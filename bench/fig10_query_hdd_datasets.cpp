@@ -1,0 +1,18 @@
+// Figures 10 and 11 share one implementation: exact query answering
+// across datasets for UCR Suite (on-disk scan), ADS+ and ParIS+, on a
+// given storage profile. This binary runs the HDD profile (Fig. 10);
+// fig11_query_ssd_datasets runs the SSD profile.
+//
+// Paper claims (Fig. 10, HDD): "ParIS+ is up to one order of magnitude
+// faster than ADS+ in query answering, and more than two orders of
+// magnitude faster than UCR Suite."
+#include "bench/query_datasets_common.h"
+
+int main(int argc, char** argv) {
+  return parisax::bench::RunQueryDatasets(
+      parisax::bench::ParseArgs(argc, argv), parisax::DiskProfile::Hdd(),
+      "Fig. 10",
+      "ParIS+ ~10x faster than ADS+ and >100x faster than UCR Suite on "
+      "HDD (parallel CPU + overlapped candidate reads; the CPU part of "
+      "the gap needs real cores)");
+}

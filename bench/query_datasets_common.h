@@ -1,0 +1,23 @@
+// Shared implementation of Figs. 10 and 11: on-disk exact query
+// answering across the three datasets for UCR Suite / ADS+ / ParIS+,
+// parameterized by the storage profile.
+#ifndef PARISAX_BENCH_QUERY_DATASETS_COMMON_H_
+#define PARISAX_BENCH_QUERY_DATASETS_COMMON_H_
+
+#include <string>
+
+#include "bench_common.h"
+#include "io/sim_disk.h"
+
+namespace parisax {
+namespace bench {
+
+/// Runs the figure; returns the process exit code.
+int RunQueryDatasets(const BenchArgs& args, const DiskProfile& profile,
+                     const std::string& figure_id,
+                     const std::string& paper_claim);
+
+}  // namespace bench
+}  // namespace parisax
+
+#endif  // PARISAX_BENCH_QUERY_DATASETS_COMMON_H_

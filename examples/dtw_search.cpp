@@ -1,0 +1,97 @@
+// DTW similarity search through an unchanged iSAX index -- the paper's
+// "current work" extension: "we can index a dataset once, and then use
+// this index to answer both Euclidean and DTW similarity search queries."
+//
+// The demo indexes an EEG-like collection once, then queries with a
+// *time-shifted* copy of a known series. Euclidean distance is fooled by
+// the phase shift; DTW warps over it and recovers the source series.
+//
+//   ./dtw_search [series]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/engine.h"
+#include "dist/znorm.h"
+#include "io/generator.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace parisax;
+
+  const size_t count = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                : 30000;
+  const size_t length = 128;
+  const size_t shift = 5;
+
+  std::cout << "indexing " << count << " EEG-like series (once)...\n";
+  GeneratorOptions gen;
+  gen.kind = DatasetKind::kSaldEeg;
+  gen.count = count;
+  gen.length = length;
+  gen.seed = 99;
+  const Dataset dataset = GenerateDataset(gen);
+
+  EngineOptions options;
+  options.algorithm = Algorithm::kMessi;
+  options.num_threads = 4;
+  options.tree.segments = 8;
+  auto engine = Engine::BuildInMemory(&dataset, options);
+  if (!engine.ok()) {
+    std::cerr << engine.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Query: series 4242 shifted right by `shift` points (the first points
+  // are regenerated context), then z-normalized again.
+  const SeriesId source = 4242;
+  Dataset query_holder(1, length);
+  MutableSeriesView query = query_holder.mutable_series(0);
+  const SeriesView original = dataset.series(source);
+  for (size_t i = 0; i < length; ++i) {
+    query[i] = original[i >= shift ? i - shift : 0];
+  }
+  ZNormalize(query);
+
+  std::cout << "query = series " << source << " shifted by " << shift
+            << " points\n\n";
+
+  // Euclidean search.
+  auto ed = (*engine)->Search(query, {});
+  if (!ed.ok()) {
+    std::cerr << ed.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Euclidean 1-NN: series " << ed->neighbors[0].id
+            << "  distance " << std::sqrt(ed->neighbors[0].distance_sq)
+            << (ed->neighbors[0].id == source ? "  (the source)"
+                                              : "  (NOT the source)")
+            << "\n";
+
+  // DTW search on the same, unchanged index, for growing warping bands.
+  bool dtw_found = false;
+  for (const size_t band : {2ul, 5ul, 10ul}) {
+    SearchRequest request;
+    request.dtw = true;
+    request.dtw_band = band;
+    WallTimer timer;
+    auto dtw = (*engine)->Search(query, request);
+    if (!dtw.ok()) {
+      std::cerr << dtw.status().ToString() << "\n";
+      return 1;
+    }
+    const bool found = dtw->neighbors[0].id == source;
+    dtw_found |= band >= shift && found;
+    std::cout << "DTW 1-NN (band " << band << "): series "
+              << dtw->neighbors[0].id << "  cost "
+              << std::sqrt(dtw->neighbors[0].distance_sq) << "  ["
+              << timer.ElapsedSeconds() * 1e3 << " ms, "
+              << dtw->stats.real_dist_calcs << " full DTW computations]"
+              << (found ? "  (the source)" : "") << "\n";
+  }
+
+  std::cout << "\nwith a band >= the shift, DTW recovers the source series "
+            << (dtw_found ? "(it did)" : "(it did NOT -- unexpected)")
+            << ", while the index structure never changed.\n";
+  return dtw_found ? 0 : 1;
+}

@@ -1,0 +1,364 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+#include "scan/ucr_scan.h"
+#include "util/timer.h"
+
+namespace parisax {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return "brute";
+    case Algorithm::kUcrSerial:
+      return "ucr";
+    case Algorithm::kUcrParallel:
+      return "ucr-p";
+    case Algorithm::kAdsPlus:
+      return "ads+";
+    case Algorithm::kParis:
+      return "paris";
+    case Algorithm::kParisPlus:
+      return "paris+";
+    case Algorithm::kMessi:
+      return "messi";
+  }
+  return "unknown";
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "brute") return Algorithm::kBruteForce;
+  if (name == "ucr") return Algorithm::kUcrSerial;
+  if (name == "ucr-p") return Algorithm::kUcrParallel;
+  if (name == "ads+" || name == "ads") return Algorithm::kAdsPlus;
+  if (name == "paris") return Algorithm::kParis;
+  if (name == "paris+") return Algorithm::kParisPlus;
+  if (name == "messi") return Algorithm::kMessi;
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+namespace {
+
+Status ValidateOptions(const EngineOptions& options) {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (options.tree.segments < 1 || options.tree.segments > kMaxSegments) {
+    return Status::InvalidArgument("tree.segments must be in [1, 16]");
+  }
+  if (options.tree.leaf_capacity == 0) {
+    return Status::InvalidArgument("tree.leaf_capacity must be positive");
+  }
+  if (options.batch_series == 0 || options.chunk_series == 0) {
+    return Status::InvalidArgument("batch/chunk sizes must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Engine::Engine(const EngineOptions& options) : options_(options) {
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
+    const Dataset* dataset, const EngineOptions& options) {
+  PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
+  auto engine = std::unique_ptr<Engine>(new Engine(options));
+  engine->dataset_ = dataset;
+  engine->series_length_ = dataset->length();
+  EngineOptions& opts = engine->options_;
+  if (opts.tree.series_length == 0) {
+    opts.tree.series_length = dataset->length();
+  }
+  if (opts.tree.series_length != dataset->length()) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset");
+  }
+
+  WallTimer wall;
+  std::ostringstream details;
+  switch (opts.algorithm) {
+    case Algorithm::kBruteForce:
+    case Algorithm::kUcrSerial:
+    case Algorithm::kUcrParallel:
+      details << "scan engine, no index";
+      break;
+    case Algorithm::kAdsPlus: {
+      AdsBuildOptions build;
+      build.tree = opts.tree;
+      PARISAX_ASSIGN_OR_RETURN(engine->ads_,
+                               AdsIndex::BuildInMemory(dataset, build));
+      engine->build_report_.tree = engine->ads_->build_stats().tree;
+      details << "ads+ serial build, cpu="
+              << engine->ads_->build_stats().cpu_seconds << "s";
+      break;
+    }
+    case Algorithm::kParis:
+    case Algorithm::kParisPlus: {
+      ParisBuildOptions build;
+      build.num_workers = opts.num_threads;
+      build.plus_mode = opts.algorithm == Algorithm::kParisPlus;
+      build.batch_series = opts.batch_series;
+      build.batches_per_round = opts.batches_per_round;
+      build.tree = opts.tree;
+      PARISAX_ASSIGN_OR_RETURN(engine->paris_,
+                               ParisIndex::BuildInMemory(dataset, build));
+      const ParisBuildStats& bs = engine->paris_->build_stats();
+      engine->build_report_.tree = bs.tree;
+      details << "paris in-memory build, stage3=" << bs.stage3_wall_seconds
+              << "s summarize_cpu=" << bs.summarize_cpu_seconds
+              << "s tree_cpu=" << bs.tree_cpu_seconds << "s";
+      break;
+    }
+    case Algorithm::kMessi: {
+      MessiBuildOptions build;
+      build.num_workers = opts.num_threads;
+      build.chunk_series = opts.chunk_series;
+      build.locked_buffers = opts.locked_buffers;
+      build.tree = opts.tree;
+      PARISAX_ASSIGN_OR_RETURN(
+          engine->messi_,
+          MessiIndex::Build(dataset, build, engine->pool_.get()));
+      const MessiBuildStats& bs = engine->messi_->build_stats();
+      engine->build_report_.tree = bs.tree;
+      details << "messi build, summarize=" << bs.summarize_wall_seconds
+              << "s tree=" << bs.tree_wall_seconds << "s";
+      break;
+    }
+  }
+  engine->build_report_.wall_seconds = wall.ElapsedSeconds();
+  engine->build_report_.details = details.str();
+  return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::BuildFromFile(
+    const std::string& dataset_path, const EngineOptions& options) {
+  PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
+  auto engine = std::unique_ptr<Engine>(new Engine(options));
+  engine->dataset_path_ = dataset_path;
+  DatasetFileInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(dataset_path));
+  engine->series_length_ = info.length;
+  EngineOptions& opts = engine->options_;
+  if (opts.tree.series_length == 0) opts.tree.series_length = info.length;
+  if (opts.tree.series_length != info.length) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset file");
+  }
+  if (opts.leaf_storage_path.empty()) {
+    opts.leaf_storage_path = dataset_path + ".leaves";
+  }
+
+  WallTimer wall;
+  std::ostringstream details;
+  switch (opts.algorithm) {
+    case Algorithm::kBruteForce:
+    case Algorithm::kUcrParallel:
+    case Algorithm::kMessi:
+      return Status::NotSupported(
+          std::string(AlgorithmName(opts.algorithm)) +
+          " is an in-memory engine; use BuildInMemory");
+    case Algorithm::kUcrSerial:
+      details << "on-disk scan engine, no index";
+      break;
+    case Algorithm::kAdsPlus: {
+      AdsBuildOptions build;
+      build.tree = opts.tree;
+      build.batch_series = opts.batch_series;
+      build.raw_profile = opts.build_profile;
+      build.leaf_storage_path = opts.leaf_storage_path;
+      build.leaf_write_mbps = opts.leaf_write_mbps;
+      PARISAX_ASSIGN_OR_RETURN(
+          engine->ads_,
+          AdsIndex::BuildFromFile(dataset_path, build, opts.query_profile));
+      const AdsBuildStats& bs = engine->ads_->build_stats();
+      engine->build_report_.tree = bs.tree;
+      details << "ads+ on-disk build, read=" << bs.read_seconds
+              << "s cpu=" << bs.cpu_seconds << "s write=" << bs.write_seconds
+              << "s";
+      break;
+    }
+    case Algorithm::kParis:
+    case Algorithm::kParisPlus: {
+      ParisBuildOptions build;
+      build.num_workers = opts.num_threads;
+      build.plus_mode = opts.algorithm == Algorithm::kParisPlus;
+      build.batch_series = opts.batch_series;
+      build.batches_per_round = opts.batches_per_round;
+      build.tree = opts.tree;
+      build.raw_profile = opts.build_profile;
+      build.leaf_storage_path = opts.leaf_storage_path;
+      build.leaf_write_mbps = opts.leaf_write_mbps;
+      PARISAX_ASSIGN_OR_RETURN(
+          engine->paris_,
+          ParisIndex::BuildFromFile(dataset_path, build,
+                                    opts.query_profile));
+      const ParisBuildStats& bs = engine->paris_->build_stats();
+      engine->build_report_.tree = bs.tree;
+      details << "paris on-disk build, read=" << bs.read_wall_seconds
+              << "s stage3=" << bs.stage3_wall_seconds
+              << "s final_flush=" << bs.final_flush_wall_seconds << "s";
+      break;
+    }
+  }
+  engine->build_report_.wall_seconds = wall.ElapsedSeconds();
+  engine->build_report_.details = details.str();
+  return engine;
+}
+
+Status Engine::CheckQuery(SeriesView query) const {
+  if (query.size() != series_length_) {
+    return Status::InvalidArgument("query length does not match the data");
+  }
+  return Status::OK();
+}
+
+Result<SearchResponse> Engine::Search(SeriesView query,
+                                      const SearchRequest& request) {
+  PARISAX_RETURN_IF_ERROR(CheckQuery(query));
+  if (request.k == 0) return Status::InvalidArgument("k must be positive");
+
+  SearchResponse response;
+  WallTimer timer;
+  const Algorithm algo = options_.algorithm;
+
+  // kNN beyond 1 is implemented for brute force, UCR-p and MESSI.
+  if (request.k > 1 && algo != Algorithm::kBruteForce &&
+      algo != Algorithm::kMessi && algo != Algorithm::kUcrParallel) {
+    return Status::NotSupported(
+        "k > 1 requires brute force, ucr-p or MESSI");
+  }
+  // DTW is implemented for the scans and MESSI.
+  if (request.dtw &&
+      (algo == Algorithm::kAdsPlus || algo == Algorithm::kParis ||
+       algo == Algorithm::kParisPlus)) {
+    return Status::NotSupported("DTW search requires a scan or MESSI");
+  }
+  if (request.approximate && (algo == Algorithm::kBruteForce ||
+                              algo == Algorithm::kUcrSerial ||
+                              algo == Algorithm::kUcrParallel)) {
+    return Status::NotSupported("approximate search requires an index");
+  }
+
+  switch (algo) {
+    case Algorithm::kBruteForce: {
+      if (request.dtw) {
+        response.neighbors.push_back(
+            BruteForceDtwNn(*dataset_, query, request.dtw_band));
+      } else if (request.k > 1) {
+        response.neighbors =
+            BruteForceKnn(*dataset_, query, request.k, options_.kernel);
+      } else {
+        response.neighbors.push_back(
+            BruteForceNn(*dataset_, query, options_.kernel));
+      }
+      break;
+    }
+    case Algorithm::kUcrSerial: {
+      if (dataset_ != nullptr) {
+        ScanStats scan;
+        response.neighbors.push_back(
+            request.dtw
+                ? DtwScanSerial(*dataset_, query, request.dtw_band, &scan)
+                : UcrScanSerial(*dataset_, query, &scan, options_.kernel));
+        response.stats.real_dist_calcs = scan.distance_calcs;
+      } else {
+        if (request.dtw) {
+          return Status::NotSupported("on-disk DTW scan is not implemented");
+        }
+        ScanStats scan;
+        Neighbor nn;
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, UcrScanDisk(dataset_path_, options_.query_profile, query,
+                            options_.batch_series, &scan, options_.kernel));
+        response.neighbors.push_back(nn);
+        response.stats.real_dist_calcs = scan.distance_calcs;
+      }
+      break;
+    }
+    case Algorithm::kUcrParallel: {
+      ScanStats scan;
+      if (request.dtw) {
+        response.neighbors.push_back(DtwScanParallel(
+            *dataset_, query, request.dtw_band, pool_.get(), &scan));
+      } else if (request.k > 1) {
+        response.neighbors = UcrKnnParallel(*dataset_, query, request.k,
+                                            pool_.get(), &scan,
+                                            options_.kernel);
+      } else {
+        response.neighbors.push_back(UcrScanParallel(
+            *dataset_, query, pool_.get(), &scan, options_.kernel));
+      }
+      response.stats.real_dist_calcs = scan.distance_calcs;
+      break;
+    }
+    case Algorithm::kAdsPlus: {
+      Neighbor nn;
+      if (request.approximate) {
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, ads_->SearchApproximate(query, &response.stats));
+      } else {
+        AdsQueryOptions qopts;
+        qopts.kernel = options_.kernel;
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, ads_->SearchExact(query, qopts, &response.stats));
+      }
+      response.neighbors.push_back(nn);
+      break;
+    }
+    case Algorithm::kParis:
+    case Algorithm::kParisPlus: {
+      Neighbor nn;
+      if (request.approximate) {
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, paris_->SearchApproximate(query, &response.stats));
+      } else {
+        ParisQueryOptions qopts;
+        qopts.num_workers = options_.num_threads;
+        qopts.kernel = options_.kernel;
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, paris_->SearchExact(query, qopts, pool_.get(),
+                                    &response.stats));
+      }
+      response.neighbors.push_back(nn);
+      break;
+    }
+    case Algorithm::kMessi: {
+      MessiQueryOptions qopts;
+      qopts.num_workers = options_.num_threads;
+      qopts.num_queues = options_.num_queues;
+      qopts.kernel = options_.kernel;
+      qopts.dtw_band = request.dtw_band;
+      if (request.approximate) {
+        Neighbor nn;
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, messi_->SearchApproximate(query, &response.stats));
+        response.neighbors.push_back(nn);
+      } else if (request.dtw) {
+        Neighbor nn;
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, messi_->SearchExactDtw(query, qopts, pool_.get(),
+                                       &response.stats));
+        response.neighbors.push_back(nn);
+      } else if (request.k > 1) {
+        PARISAX_ASSIGN_OR_RETURN(
+            response.neighbors,
+            messi_->SearchKnn(query, request.k, qopts, pool_.get(),
+                              &response.stats));
+      } else {
+        Neighbor nn;
+        PARISAX_ASSIGN_OR_RETURN(
+            nn, messi_->SearchExact(query, qopts, pool_.get(),
+                                    &response.stats));
+        response.neighbors.push_back(nn);
+      }
+      break;
+    }
+  }
+  response.stats.total_seconds = timer.ElapsedSeconds();
+  return response;
+}
+
+}  // namespace parisax

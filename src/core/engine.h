@@ -1,0 +1,158 @@
+// parisax public facade.
+//
+// Engine wraps every similarity-search strategy in the repository --
+// brute force, the UCR Suite scans, ADS+, ParIS, ParIS+ and MESSI --
+// behind a single build/search API so applications (and the examples/)
+// can switch algorithms with one option. See DESIGN.md for the system
+// inventory and the paper each engine reproduces.
+//
+// Typical use:
+//   parisax::EngineOptions options;
+//   options.algorithm = parisax::Algorithm::kMessi;
+//   auto engine = parisax::Engine::BuildInMemory(&dataset, options);
+//   auto response = (*engine)->Search(query, {});
+//   // response->neighbors[0] is the exact nearest neighbor.
+#ifndef PARISAX_CORE_ENGINE_H_
+#define PARISAX_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "dist/euclidean.h"
+#include "index/ads_index.h"
+#include "index/query_stats.h"
+#include "index/tree.h"
+#include "io/dataset.h"
+#include "io/sim_disk.h"
+#include "messi/messi_index.h"
+#include "paris/paris_index.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+/// Similarity-search strategies available through Engine.
+enum class Algorithm {
+  kBruteForce,   ///< full scan, no early abandoning (correctness oracle)
+  kUcrSerial,    ///< UCR Suite: serial early-abandoning scan
+  kUcrParallel,  ///< UCR Suite-p: parallel scan, shared BSF
+  kAdsPlus,      ///< ADS+: serial iSAX index + SIMS exact search
+  kParis,        ///< ParIS: parallel index, stage-3 construction bursts
+  kParisPlus,    ///< ParIS+: ParIS with fully overlapped construction
+  kMessi,        ///< MESSI: in-memory parallel index, tree-based search
+};
+
+/// Short lowercase name ("messi", "paris+", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Parses a name produced by AlgorithmName.
+Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+struct EngineOptions {
+  Algorithm algorithm = Algorithm::kMessi;
+  /// Worker threads for parallel builds and queries.
+  int num_threads = 4;
+  /// Index shape (segments, leaf capacity). `tree.series_length == 0`
+  /// means "take it from the data".
+  SaxTreeOptions tree = {.segments = 16, .leaf_capacity = 128,
+                         .series_length = 0};
+  /// Device model while building from a file.
+  DiskProfile build_profile = DiskProfile::Instant();
+  /// Device model for query-time raw-data reads (on-disk engines).
+  DiskProfile query_profile = DiskProfile::Instant();
+  /// Leaf materialization file for on-disk index builds; defaults to
+  /// "<dataset path>.leaves".
+  std::string leaf_storage_path;
+  /// Metered leaf-write throughput (<= 0: unmetered).
+  double leaf_write_mbps = 0.0;
+  /// Raw-data-buffer capacity in series (on-disk pipelines).
+  size_t batch_series = 8192;
+  /// ParIS "memory full" trigger, in batches.
+  size_t batches_per_round = 4;
+  /// MESSI Stage-1 chunk size in series.
+  size_t chunk_series = 4096;
+  /// MESSI footnote-2 ablation: lock-per-buffer instead of per-thread
+  /// buffer parts.
+  bool locked_buffers = false;
+  /// MESSI shared priority queues (0: one per worker).
+  int num_queues = 0;
+  /// Distance kernel selection (D4 ablation).
+  KernelPolicy kernel = KernelPolicy::kAuto;
+};
+
+struct SearchRequest {
+  /// Number of nearest neighbors (k > 1 requires kMessi or kBruteForce).
+  size_t k = 1;
+  /// Return the approximate answer (index engines only): the best match
+  /// within the query's approximate-match leaf.
+  bool approximate = false;
+  /// Search under banded DTW instead of ED (kMessi, kUcr*, kBruteForce).
+  bool dtw = false;
+  /// Sakoe-Chiba radius in points for DTW searches.
+  size_t dtw_band = 12;
+};
+
+struct SearchResponse {
+  /// Ascending (squared distance, id). Exactly min(k, collection size)
+  /// entries for exact searches.
+  std::vector<Neighbor> neighbors;
+  QueryStats stats;
+};
+
+/// Summary of an index build (empty tree stats for scan engines).
+struct BuildReport {
+  double wall_seconds = 0.0;
+  TreeStats tree;
+  /// Engine-specific breakdown, e.g. ParIS read/stage3/flush walls.
+  std::string details;
+};
+
+class Engine {
+ public:
+  /// Builds a search engine over an in-memory collection. `dataset` must
+  /// outlive the engine.
+  static Result<std::unique_ptr<Engine>> BuildInMemory(
+      const Dataset* dataset, const EngineOptions& options);
+
+  /// Builds a search engine over an on-disk collection (a file written by
+  /// WriteDataset). Supported algorithms: kUcrSerial, kAdsPlus, kParis,
+  /// kParisPlus.
+  static Result<std::unique_ptr<Engine>> BuildFromFile(
+      const std::string& dataset_path, const EngineOptions& options);
+
+  /// Answers one similarity-search query.
+  Result<SearchResponse> Search(SeriesView query,
+                                const SearchRequest& request = {});
+
+  Algorithm algorithm() const { return options_.algorithm; }
+  const EngineOptions& options() const { return options_; }
+  const BuildReport& build_report() const { return build_report_; }
+
+  /// The wrapped indexes (null when the algorithm does not use them).
+  const AdsIndex* ads_index() const { return ads_.get(); }
+  const ParisIndex* paris_index() const { return paris_.get(); }
+  const MessiIndex* messi_index() const { return messi_.get(); }
+
+ private:
+  explicit Engine(const EngineOptions& options);
+
+  Status CheckQuery(SeriesView query) const;
+
+  EngineOptions options_;
+  size_t series_length_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  BuildReport build_report_;
+
+  const Dataset* dataset_ = nullptr;  // in-memory engines
+  std::string dataset_path_;          // on-disk engines
+
+  std::unique_ptr<AdsIndex> ads_;
+  std::unique_ptr<ParisIndex> paris_;
+  std::unique_ptr<MessiIndex> messi_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_CORE_ENGINE_H_

@@ -1,0 +1,229 @@
+#include "index/ads_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "io/reader.h"
+#include "sax/mindist.h"
+#include "sax/paa.h"
+#include "util/timer.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+}  // namespace
+
+Result<std::unique_ptr<AdsIndex>> AdsIndex::BuildInMemory(
+    const Dataset* dataset, const AdsBuildOptions& options) {
+  if (dataset->length() != options.tree.series_length) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset");
+  }
+  WallTimer wall;
+  auto index = std::unique_ptr<AdsIndex>(new AdsIndex(options.tree));
+  index->cache_ = FlatSaxCache(dataset->count());
+  index->source_ = std::make_unique<InMemorySource>(dataset);
+
+  const int w = options.tree.segments;
+  WallTimer cpu;
+  float paa[kMaxSegments];
+  for (SeriesId i = 0; i < dataset->count(); ++i) {
+    ComputePaa(dataset->series(i), w, paa);
+    LeafEntry entry;
+    entry.id = i;
+    SymbolsFromPaa(paa, w, &entry.sax);
+    *index->cache_.MutableAt(i) = entry.sax;
+    PARISAX_RETURN_IF_ERROR(index->tree_.Insert(entry, nullptr));
+  }
+  index->build_stats_.cpu_seconds = cpu.ElapsedSeconds();
+
+  index->tree_.SealRoots();
+  index->build_stats_.tree = index->tree_.Collect();
+  index->build_stats_.wall_seconds = wall.ElapsedSeconds();
+  return index;
+}
+
+Result<std::unique_ptr<AdsIndex>> AdsIndex::BuildFromFile(
+    const std::string& dataset_path, const AdsBuildOptions& options,
+    DiskProfile query_profile) {
+  if (options.leaf_storage_path.empty()) {
+    return Status::InvalidArgument(
+        "on-disk ADS+ build requires leaf_storage_path");
+  }
+  WallTimer wall;
+  auto index = std::unique_ptr<AdsIndex>(new AdsIndex(options.tree));
+  PARISAX_ASSIGN_OR_RETURN(
+      index->leaf_storage_,
+      LeafStorage::Create(options.leaf_storage_path, options.leaf_write_mbps));
+
+  std::unique_ptr<BufferedSeriesReader> reader;
+  PARISAX_ASSIGN_OR_RETURN(
+      reader, BufferedSeriesReader::Open(dataset_path, options.raw_profile,
+                                         options.batch_series));
+  if (reader->info().length != options.tree.series_length) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset file");
+  }
+  index->cache_ = FlatSaxCache(reader->info().count);
+
+  const int w = options.tree.segments;
+  float paa[kMaxSegments];
+  for (;;) {
+    SeriesBatch batch;
+    {
+      WallTimer read;
+      PARISAX_RETURN_IF_ERROR(reader->NextBatch(&batch));
+      index->build_stats_.read_seconds += read.ElapsedSeconds();
+    }
+    if (batch.empty()) break;
+    WallTimer cpu;
+    for (size_t i = 0; i < batch.count; ++i) {
+      ComputePaa(batch.series(i), w, paa);
+      LeafEntry entry;
+      entry.id = batch.first_id + i;
+      SymbolsFromPaa(paa, w, &entry.sax);
+      *index->cache_.MutableAt(entry.id) = entry.sax;
+      PARISAX_RETURN_IF_ERROR(
+          index->tree_.Insert(entry, index->leaf_storage_.get()));
+    }
+    index->build_stats_.cpu_seconds += cpu.ElapsedSeconds();
+  }
+
+  // Materialize every leaf (ADS+ is an on-disk index).
+  {
+    WallTimer write;
+    Status flush_status = Status::OK();
+    index->tree_.VisitLeaves(nullptr, [&](Node* leaf) {
+      if (!flush_status.ok() || leaf->entries().empty()) return;
+      auto ref = index->leaf_storage_->AppendChunk(leaf->entries());
+      if (!ref.ok()) {
+        flush_status = ref.status();
+        return;
+      }
+      leaf->flushed_chunks().push_back(*ref);
+      leaf->entries().clear();
+      leaf->entries().shrink_to_fit();
+    });
+    PARISAX_RETURN_IF_ERROR(flush_status);
+    index->build_stats_.write_seconds = write.ElapsedSeconds();
+  }
+
+  std::unique_ptr<DiskSource> source;
+  PARISAX_ASSIGN_OR_RETURN(source,
+                           DiskSource::Open(dataset_path, query_profile));
+  index->source_ = std::move(source);
+
+  index->tree_.SealRoots();
+  index->build_stats_.tree = index->tree_.Collect();
+  index->build_stats_.wall_seconds = wall.ElapsedSeconds();
+  return index;
+}
+
+Result<Neighbor> AdsIndex::ApproximateInternal(SeriesView query,
+                                               const float* paa,
+                                               const SaxSymbols& sax,
+                                               KernelPolicy kernel,
+                                               QueryStats* stats) const {
+  Neighbor best{0, kInf};
+  Node* leaf = tree_.ApproximateLeaf(sax, paa);
+  if (leaf == nullptr) return best;  // empty index
+
+  std::vector<LeafEntry> entries;
+  PARISAX_RETURN_IF_ERROR(
+      CollectLeafEntries(*leaf, leaf_storage_.get(), &entries));
+  std::vector<Value> buffer(source_->length());
+  for (const LeafEntry& e : entries) {
+    SeriesView view = source_->TryView(e.id);
+    if (view.empty()) {
+      PARISAX_RETURN_IF_ERROR(source_->GetSeries(e.id, buffer.data()));
+      view = SeriesView(buffer.data(), buffer.size());
+    }
+    const float d = SquaredEuclideanEarlyAbandon(query, view,
+                                                 best.distance_sq, kernel);
+    if (stats != nullptr) stats->real_dist_calcs++;
+    if (d < best.distance_sq) best = Neighbor{e.id, d};
+  }
+  if (stats != nullptr) stats->leaves_inspected++;
+  return best;
+}
+
+Result<Neighbor> AdsIndex::SearchApproximate(SeriesView query,
+                                             QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer timer;
+  const int w = tree_.options().segments;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+  auto result = ApproximateInternal(query, paa, sax, KernelPolicy::kAuto,
+                                    stats);
+  if (stats != nullptr) stats->total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<Neighbor> AdsIndex::SearchExact(SeriesView query,
+                                       const AdsQueryOptions& options,
+                                       QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer total;
+  const int w = tree_.options().segments;
+  const size_t n = tree_.options().series_length;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+
+  // Phase 1: approximate answer seeds the BSF.
+  WallTimer approx;
+  Neighbor best;
+  PARISAX_ASSIGN_OR_RETURN(
+      best, ApproximateInternal(query, paa, sax, options.kernel, stats));
+  if (stats != nullptr) stats->approx_phase_seconds = approx.ElapsedSeconds();
+
+  // Phase 2: serial mindist filtering over the flat SAX array.
+  WallTimer filter;
+  std::vector<SeriesId> candidates;
+  for (SeriesId i = 0; i < cache_.count(); ++i) {
+    const float lb = MinDistPaaToSymbolsSq(paa, cache_.At(i), w, n);
+    if (lb < best.distance_sq) candidates.push_back(i);
+  }
+  if (stats != nullptr) {
+    stats->lb_checks += cache_.count();
+    stats->candidates += candidates.size();
+    stats->filter_phase_seconds = filter.ElapsedSeconds();
+  }
+
+  // Phase 3: skip-sequential refinement (candidates are in position
+  // order already; keep it explicit for clarity).
+  WallTimer refine;
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Value> buffer(source_->length());
+  for (const SeriesId id : candidates) {
+    SeriesView view = source_->TryView(id);
+    if (view.empty()) {
+      PARISAX_RETURN_IF_ERROR(source_->GetSeries(id, buffer.data()));
+      view = SeriesView(buffer.data(), buffer.size());
+    }
+    const float d = SquaredEuclideanEarlyAbandon(query, view,
+                                                 best.distance_sq,
+                                                 options.kernel);
+    if (stats != nullptr) stats->real_dist_calcs++;
+    if (d < best.distance_sq) best = Neighbor{id, d};
+  }
+  if (stats != nullptr) {
+    stats->refine_phase_seconds = refine.ElapsedSeconds();
+    stats->total_seconds = total.ElapsedSeconds();
+  }
+  return best;
+}
+
+}  // namespace parisax

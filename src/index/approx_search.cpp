@@ -1,0 +1,66 @@
+#include "index/approx_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sax/mindist.h"
+
+namespace parisax {
+
+Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
+                                       LeafStorage* storage,
+                                       const RawSeriesSource& source,
+                                       SeriesView query, const float* paa,
+                                       const SaxSymbols& sax,
+                                       KernelPolicy kernel,
+                                       QueryStats* stats) {
+  Neighbor best{0, std::numeric_limits<float>::infinity()};
+  Node* leaf = tree.ApproximateLeaf(sax, paa);
+  if (leaf == nullptr) return best;
+
+  std::vector<LeafEntry> entries;
+  PARISAX_RETURN_IF_ERROR(CollectLeafEntries(*leaf, storage, &entries));
+  // On a seek-bound device, probing every leaf member would cost a seek
+  // each; probe only the members whose summaries are closest to the
+  // query (the BSF seed just gets slightly looser, exactness is
+  // unaffected).
+  constexpr size_t kSeekBoundProbeLimit = 32;
+  if (source.PrefersSequentialAccess() &&
+      entries.size() > kSeekBoundProbeLimit) {
+    const size_t w = tree.options().segments;
+    const size_t n = tree.options().series_length;
+    std::partial_sort(
+        entries.begin(), entries.begin() + kSeekBoundProbeLimit,
+        entries.end(), [&](const LeafEntry& a, const LeafEntry& b) {
+          return MinDistPaaToSymbolsSq(paa, a.sax, w, n) <
+                 MinDistPaaToSymbolsSq(paa, b.sax, w, n);
+        });
+    entries.resize(kSeekBoundProbeLimit);
+  }
+  // Fetch raw series in position order: on disk this turns the leaf's
+  // scattered reads into a forward sweep.
+  std::sort(entries.begin(), entries.end(),
+            [](const LeafEntry& a, const LeafEntry& b) {
+              return a.id < b.id;
+            });
+  std::vector<Value> buffer(source.length());
+  for (const LeafEntry& e : entries) {
+    SeriesView view = source.TryView(e.id);
+    if (view.empty()) {
+      PARISAX_RETURN_IF_ERROR(source.GetSeries(e.id, buffer.data()));
+      view = SeriesView(buffer.data(), buffer.size());
+    }
+    const float d =
+        SquaredEuclideanEarlyAbandon(query, view, best.distance_sq, kernel);
+    if (stats != nullptr) stats->real_dist_calcs++;
+    if (d < best.distance_sq ||
+        (d == best.distance_sq && e.id < best.id)) {
+      best = Neighbor{e.id, d};
+    }
+  }
+  if (stats != nullptr) stats->leaves_inspected++;
+  return best;
+}
+
+}  // namespace parisax

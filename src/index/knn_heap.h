@@ -1,0 +1,75 @@
+// Bounded k-nearest result set: the generalization of the BSF used for
+// kNN queries. The pruning bound is the k-th best distance (or +inf until
+// k results exist), so it is monotonically non-increasing and all
+// BSF-based pruning arguments carry over.
+#ifndef PARISAX_INDEX_KNN_HEAP_H_
+#define PARISAX_INDEX_KNN_HEAP_H_
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace parisax {
+
+class KnnHeap {
+ public:
+  explicit KnnHeap(size_t k) : k_(k) {}
+
+  /// Current pruning bound: the k-th best squared distance seen, +inf if
+  /// fewer than k results exist. Thread-safe.
+  float Bound() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return BoundLocked();
+  }
+
+  /// Inserts if the candidate improves the result set. Thread-safe.
+  void Update(const Neighbor& candidate) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heap_.size() == k_ && !Closer(candidate, heap_.front())) return;
+    // Refuse duplicates (the same id can reach the heap via the
+    // approximate phase and again via refinement).
+    for (const Neighbor& n : heap_) {
+      if (n.id == candidate.id) return;
+    }
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), Closer);
+    if (heap_.size() > k_) {
+      std::pop_heap(heap_.begin(), heap_.end(), Closer);
+      heap_.pop_back();
+    }
+  }
+
+  /// Results sorted ascending by (distance, id). Thread-safe.
+  std::vector<Neighbor> Sorted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Neighbor> out = heap_;
+    std::sort(out.begin(), out.end(), Closer);
+    return out;
+  }
+
+  size_t k() const { return k_; }
+
+ private:
+  /// Max-heap order: the worst (largest distance, then largest id)
+  /// element sits at the front.
+  static bool Closer(const Neighbor& a, const Neighbor& b) {
+    return a.distance_sq < b.distance_sq ||
+           (a.distance_sq == b.distance_sq && a.id < b.id);
+  }
+
+  float BoundLocked() const {
+    return heap_.size() == k_ ? heap_.front().distance_sq
+                              : std::numeric_limits<float>::infinity();
+  }
+
+  const size_t k_;
+  mutable std::mutex mu_;
+  std::vector<Neighbor> heap_;  // max-heap via Closer
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_INDEX_KNN_HEAP_H_

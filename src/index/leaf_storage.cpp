@@ -1,0 +1,106 @@
+#include "index/leaf_storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace parisax {
+
+LeafStorage::LeafStorage(int fd, std::string path, double write_mbps)
+    : fd_(fd), path_(std::move(path)) {
+  if (write_mbps > 0.0) {
+    ns_per_byte_ = 1e9 / (write_mbps * 1024.0 * 1024.0);
+  }
+}
+
+LeafStorage::~LeafStorage() { ::close(fd_); }
+
+Result<std::unique_ptr<LeafStorage>> LeafStorage::Create(
+    const std::string& path, double write_mbps) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot create leaf storage file: " + path);
+  }
+  return std::unique_ptr<LeafStorage>(
+      new LeafStorage(fd, path, write_mbps));
+}
+
+Result<LeafChunkRef> LeafStorage::AppendChunk(
+    const std::vector<LeafEntry>& entries) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("cannot append an empty leaf chunk");
+  }
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t bytes = entries.size() * sizeof(LeafEntry);
+  LeafChunkRef ref;
+  ref.offset = tail_;
+  ref.count = static_cast<uint32_t>(entries.size());
+
+  const char* src = reinterpret_cast<const char*>(entries.data());
+  size_t remaining = bytes;
+  uint64_t pos = tail_;
+  while (remaining > 0) {
+    const ssize_t n =
+        ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+    if (n < 0) return Status::IOError("pwrite failed on " + path_);
+    src += n;
+    pos += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  tail_ += bytes;
+  bytes_written_ += bytes;
+  chunks_appended_.fetch_add(1, std::memory_order_relaxed);
+
+  if (ns_per_byte_ > 0.0) {
+    // Accumulate metering debt and only sleep once it exceeds the OS
+    // sleep granularity; per-chunk sub-microsecond sleeps would otherwise
+    // cost ~100x their nominal duration.
+    sleep_debt_ns_ +=
+        static_cast<int64_t>(static_cast<double>(bytes) * ns_per_byte_);
+    constexpr int64_t kMinSleepNs = 1000000;  // 1 ms
+    if (sleep_debt_ns_ >= kMinSleepNs) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_debt_ns_));
+      sleep_debt_ns_ = 0;
+    }
+  }
+  write_seconds_ += timer.ElapsedSeconds();
+  return ref;
+}
+
+Status CollectLeafEntries(const Node& leaf, LeafStorage* storage,
+                          std::vector<LeafEntry>* out) {
+  out->insert(out->end(), leaf.entries().begin(), leaf.entries().end());
+  for (const LeafChunkRef& ref : leaf.flushed_chunks()) {
+    if (storage == nullptr) {
+      return Status::Internal("leaf has flushed chunks but no LeafStorage");
+    }
+    PARISAX_RETURN_IF_ERROR(storage->ReadChunk(ref, out));
+  }
+  return Status::OK();
+}
+
+Status LeafStorage::ReadChunk(const LeafChunkRef& ref,
+                              std::vector<LeafEntry>* out) {
+  chunks_read_.fetch_add(1, std::memory_order_relaxed);
+  const size_t old_size = out->size();
+  out->resize(old_size + ref.count);
+  char* dst = reinterpret_cast<char*>(out->data() + old_size);
+  size_t remaining = ref.count * sizeof(LeafEntry);
+  uint64_t pos = ref.offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
+    if (n < 0) return Status::IOError("pread failed on " + path_);
+    if (n == 0) return Status::Corruption("truncated leaf chunk in " + path_);
+    dst += n;
+    pos += static_cast<uint64_t>(n);
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace parisax

@@ -1,0 +1,76 @@
+// On-disk materialization of leaf contents (ParIS/ParIS+ stage 3).
+//
+// A LeafStorage is an append-only file of LeafEntry records. Flushing a
+// leaf appends its in-memory entries as one chunk and records a
+// LeafChunkRef in the node; splitting or searching a flushed leaf reads
+// the chunks back. Appends are optionally metered at a configurable write
+// throughput so index-creation benchmarks can account a "Write" cost the
+// way the paper's Fig. 4 does.
+#ifndef PARISAX_INDEX_LEAF_STORAGE_H_
+#define PARISAX_INDEX_LEAF_STORAGE_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/node.h"
+#include "util/status.h"
+
+namespace parisax {
+
+class LeafStorage {
+ public:
+  /// Creates (truncates) the backing file. `write_mbps <= 0` disables
+  /// write metering.
+  static Result<std::unique_ptr<LeafStorage>> Create(const std::string& path,
+                                                     double write_mbps = 0.0);
+  ~LeafStorage();
+
+  LeafStorage(const LeafStorage&) = delete;
+  LeafStorage& operator=(const LeafStorage&) = delete;
+
+  /// Appends `entries` as one chunk; returns its reference. Thread-safe.
+  Result<LeafChunkRef> AppendChunk(const std::vector<LeafEntry>& entries);
+
+  /// Reads a chunk back, appending onto `out`. Thread-safe.
+  Status ReadChunk(const LeafChunkRef& ref, std::vector<LeafEntry>* out);
+
+  /// Total bytes appended so far.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Wall seconds spent inside (metered) appends.
+  double write_seconds() const { return write_seconds_; }
+
+  /// Chunks appended / read back so far (thread-safe counters).
+  uint64_t chunks_appended() const {
+    return chunks_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t chunks_read() const {
+    return chunks_read_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  LeafStorage(int fd, std::string path, double write_mbps);
+
+  std::mutex mu_;
+  int fd_;
+  std::string path_;
+  double ns_per_byte_ = 0.0;
+  uint64_t tail_ = 0;
+  uint64_t bytes_written_ = 0;
+  double write_seconds_ = 0.0;
+  int64_t sleep_debt_ns_ = 0;  // guarded by mu_
+  std::atomic<uint64_t> chunks_appended_{0};
+  std::atomic<uint64_t> chunks_read_{0};
+};
+
+/// Appends the complete contents of `leaf` (in-memory entries plus any
+/// flushed chunks) onto `out`. `storage` may be null iff the leaf has no
+/// flushed chunks.
+Status CollectLeafEntries(const Node& leaf, LeafStorage* storage,
+                          std::vector<LeafEntry>* out);
+
+}  // namespace parisax
+
+#endif  // PARISAX_INDEX_LEAF_STORAGE_H_

@@ -1,0 +1,20 @@
+#include "index/node.h"
+
+#include <cassert>
+
+namespace parisax {
+
+void Node::MakeInner(int segment) {
+  assert(IsLeaf());
+  assert(word_.bits[segment] < kMaxCardBits);
+  split_segment_ = segment;
+  for (int bit = 0; bit < 2; ++bit) {
+    SaxWord child_word = word_;
+    child_word.bits[segment] = static_cast<uint8_t>(word_.bits[segment] + 1);
+    child_word.symbols[segment] =
+        static_cast<uint8_t>((word_.symbols[segment] << 1) | bit);
+    children_[bit] = std::make_unique<Node>(child_word);
+  }
+}
+
+}  // namespace parisax

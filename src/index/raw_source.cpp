@@ -1,0 +1,34 @@
+#include "index/raw_source.h"
+
+#include <cstring>
+
+namespace parisax {
+
+Status InMemorySource::GetSeries(SeriesId id, Value* out) const {
+  if (id >= dataset_->count()) {
+    return Status::InvalidArgument("series id out of range");
+  }
+  const SeriesView view = dataset_->series(id);
+  std::memcpy(out, view.data(), view.size() * sizeof(Value));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DiskSource>> DiskSource::Open(const std::string& path,
+                                                     DiskProfile profile) {
+  DatasetFileInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(path));
+  std::unique_ptr<SimulatedDisk> disk;
+  PARISAX_ASSIGN_OR_RETURN(disk, SimulatedDisk::Open(path, profile));
+  return std::unique_ptr<DiskSource>(
+      new DiskSource(std::move(disk), info));
+}
+
+Status DiskSource::GetSeries(SeriesId id, Value* out) const {
+  if (id >= info_.count) {
+    return Status::InvalidArgument("series id out of range");
+  }
+  return disk_->ReadAt(info_.SeriesOffset(id), out,
+                       static_cast<size_t>(info_.SeriesBytes()));
+}
+
+}  // namespace parisax

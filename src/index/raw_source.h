@@ -1,0 +1,88 @@
+// Uniform access to raw series values, whether the collection lives in
+// memory (MESSI, in-memory ParIS) or on (simulated) disk (ParIS/ParIS+,
+// ADS+). Real-distance phases fetch raw series through this interface.
+#ifndef PARISAX_INDEX_RAW_SOURCE_H_
+#define PARISAX_INDEX_RAW_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/types.h"
+#include "io/dataset.h"
+#include "io/format.h"
+#include "io/sim_disk.h"
+#include "util/status.h"
+
+namespace parisax {
+
+class RawSeriesSource {
+ public:
+  virtual ~RawSeriesSource() = default;
+
+  virtual size_t count() const = 0;
+  virtual size_t length() const = 0;
+
+  /// Copies series `id` into `out` (length() values). Thread-safe.
+  virtual Status GetSeries(SeriesId id, Value* out) const = 0;
+
+  /// Zero-copy view when the data is in memory, else empty. Lets hot
+  /// paths skip the copy.
+  virtual SeriesView TryView(SeriesId id) const {
+    (void)id;
+    return SeriesView();
+  }
+
+  /// True when the backing device serves one request at a time and
+  /// rewards position-ordered access (a spinning disk). Parallel readers
+  /// should then funnel their reads through one ordered stream instead of
+  /// racing the head around the platter.
+  virtual bool PrefersSequentialAccess() const { return false; }
+};
+
+/// Wraps a Dataset the caller keeps alive.
+class InMemorySource : public RawSeriesSource {
+ public:
+  explicit InMemorySource(const Dataset* dataset) : dataset_(dataset) {}
+
+  size_t count() const override { return dataset_->count(); }
+  size_t length() const override { return dataset_->length(); }
+
+  Status GetSeries(SeriesId id, Value* out) const override;
+  SeriesView TryView(SeriesId id) const override {
+    return dataset_->series(id);
+  }
+
+ private:
+  const Dataset* dataset_;
+};
+
+/// Reads series from a dataset file through a SimulatedDisk (each fetch
+/// pays the device model's random-access cost).
+class DiskSource : public RawSeriesSource {
+ public:
+  static Result<std::unique_ptr<DiskSource>> Open(const std::string& path,
+                                                  DiskProfile profile);
+
+  size_t count() const override { return info_.count; }
+  size_t length() const override { return info_.length; }
+
+  Status GetSeries(SeriesId id, Value* out) const override;
+
+  bool PrefersSequentialAccess() const override {
+    return disk_->profile().metered() && disk_->profile().channels <= 1;
+  }
+
+  SimulatedDisk* disk() { return disk_.get(); }
+  const DatasetFileInfo& info() const { return info_; }
+
+ private:
+  DiskSource(std::unique_ptr<SimulatedDisk> disk, DatasetFileInfo info)
+      : disk_(std::move(disk)), info_(info) {}
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  DatasetFileInfo info_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_INDEX_RAW_SOURCE_H_

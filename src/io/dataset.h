@@ -1,0 +1,54 @@
+// In-memory data series collection.
+#ifndef PARISAX_IO_DATASET_H_
+#define PARISAX_IO_DATASET_H_
+
+#include <cassert>
+#include <cstddef>
+
+#include "core/types.h"
+#include "util/aligned.h"
+
+namespace parisax {
+
+/// A collection of `count` fixed-length series stored contiguously
+/// (row-major) in a SIMD-aligned buffer. This is MESSI's RawData array and
+/// the in-memory image of an on-disk dataset file.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Allocates storage for `count` series of `length` points each,
+  /// zero-initialized.
+  Dataset(size_t count, size_t length)
+      : count_(count), length_(length), storage_(count * length) {}
+
+  size_t count() const { return count_; }
+  size_t length() const { return length_; }
+
+  /// Total number of float values (count * length).
+  size_t TotalValues() const { return count_ * length_; }
+
+  /// Read-only view of series `i`.
+  SeriesView series(SeriesId i) const {
+    assert(i < count_);
+    return SeriesView(storage_.data() + i * length_, length_);
+  }
+
+  /// Mutable view of series `i`.
+  MutableSeriesView mutable_series(SeriesId i) {
+    assert(i < count_);
+    return MutableSeriesView(storage_.data() + i * length_, length_);
+  }
+
+  const Value* raw() const { return storage_.data(); }
+  Value* mutable_raw() { return storage_.data(); }
+
+ private:
+  size_t count_ = 0;
+  size_t length_ = 0;
+  AlignedBuffer<Value> storage_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_IO_DATASET_H_

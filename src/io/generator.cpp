@@ -1,0 +1,172 @@
+#include "io/generator.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "dist/znorm.h"
+#include "util/rng.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+void FillRandomWalk(Rng& rng, MutableSeriesView out) {
+  double level = 0.0;
+  for (float& v : out) {
+    level += rng.NextGaussian();
+    v = static_cast<float>(level);
+  }
+}
+
+// EEG-like: a mixture of 4 band-limited oscillations (theta..beta bands,
+// mapped onto the series as 1..24 cycles) plus correlated noise. Smooth,
+// oscillatory series whose PAA segments are strongly correlated, which
+// lowers iSAX pruning power relative to random walks -- the property the
+// paper's SALD results depend on.
+void FillSaldEeg(Rng& rng, MutableSeriesView out) {
+  const size_t n = out.size();
+  double freq[4], amp[4], phase[4];
+  for (int k = 0; k < 4; ++k) {
+    freq[k] = rng.NextDouble(1.0, 24.0);
+    amp[k] = rng.NextDouble(0.3, 1.0) / (1.0 + 0.15 * freq[k]);
+    phase[k] = rng.NextDouble(0.0, kTwoPi);
+  }
+  double noise = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    double v = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      v += amp[k] * std::sin(kTwoPi * freq[k] * t + phase[k]);
+    }
+    // AR(1) noise: smooth, pink-ish.
+    noise = 0.9 * noise + 0.1 * rng.NextGaussian();
+    out[i] = static_cast<float>(v + 0.6 * noise);
+  }
+}
+
+// Seismic-like: low-amplitude background noise with a small number of
+// high-amplitude exponentially decaying oscillatory bursts (events). After
+// z-normalization most of each series is near-constant, so energy (and
+// thus PAA variation) concentrates in a few segments: summaries of
+// different series look alike and pruning degrades -- matching the paper's
+// Seismic results.
+void FillSeismicBurst(Rng& rng, MutableSeriesView out) {
+  const size_t n = out.size();
+  // Continuous microseism background (smoothed noise) ...
+  double noise = 0.0;
+  for (float& v : out) {
+    noise = 0.8 * noise + 0.2 * rng.NextGaussian();
+    v = static_cast<float>(0.35 * noise);
+  }
+  // ... plus a small number of high-amplitude decaying-oscillation
+  // events, which dominate the z-normalized shape.
+  const int events = 1 + static_cast<int>(rng.NextBelow(3));  // 1..3 events
+  for (int e = 0; e < events; ++e) {
+    const size_t t0 = rng.NextBelow(n);
+    const double amplitude = rng.NextDouble(1.0, 4.0);
+    const double decay = rng.NextDouble(0.03, 0.12);
+    const double freq = rng.NextDouble(8.0, 40.0);
+    const double phase = rng.NextDouble(0.0, kTwoPi);
+    for (size_t i = t0; i < n; ++i) {
+      const double dt = static_cast<double>(i - t0);
+      const double envelope = amplitude * std::exp(-decay * dt);
+      if (envelope < 1e-3) break;
+      out[i] += static_cast<float>(
+          envelope * std::sin(kTwoPi * freq * dt / static_cast<double>(n) +
+                              phase));
+    }
+  }
+}
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kRandomWalk:
+      return "randomwalk";
+    case DatasetKind::kSaldEeg:
+      return "sald";
+    case DatasetKind::kSeismicBurst:
+      return "seismic";
+  }
+  return "unknown";
+}
+
+Result<DatasetKind> ParseDatasetKind(const std::string& name) {
+  if (name == "randomwalk" || name == "synthetic") {
+    return DatasetKind::kRandomWalk;
+  }
+  if (name == "sald") return DatasetKind::kSaldEeg;
+  if (name == "seismic") return DatasetKind::kSeismicBurst;
+  return Status::InvalidArgument("unknown dataset kind: " + name);
+}
+
+size_t DefaultSeriesLength(DatasetKind kind) {
+  return kind == DatasetKind::kSaldEeg ? 128 : 256;
+}
+
+void GenerateSeriesInto(DatasetKind kind, uint64_t seed, uint64_t index,
+                        MutableSeriesView out, bool znormalize) {
+  Rng rng(MixSeed(seed, index));
+  switch (kind) {
+    case DatasetKind::kRandomWalk:
+      FillRandomWalk(rng, out);
+      break;
+    case DatasetKind::kSaldEeg:
+      FillSaldEeg(rng, out);
+      break;
+    case DatasetKind::kSeismicBurst:
+      FillSeismicBurst(rng, out);
+      break;
+  }
+  if (znormalize) ZNormalize(out);
+}
+
+Dataset GenerateDataset(const GeneratorOptions& options, ThreadPool* pool) {
+  Dataset dataset(options.count, options.length);
+  const auto generate_range = [&](size_t begin, size_t end, int) {
+    for (size_t i = begin; i < end; ++i) {
+      GenerateSeriesInto(options.kind, options.seed, i,
+                         dataset.mutable_series(i), options.znormalize);
+    }
+  };
+  if (pool != nullptr && options.count >= 256) {
+    pool->ParallelFor(options.count, 128, generate_range);
+  } else {
+    generate_range(0, options.count, 0);
+  }
+  return dataset;
+}
+
+Dataset GenerateQueries(DatasetKind kind, size_t count, size_t length,
+                        uint64_t data_seed) {
+  GeneratorOptions options;
+  options.kind = kind;
+  options.count = count;
+  options.length = length;
+  // Disjoint seed stream from the dataset itself.
+  options.seed = data_seed ^ 0x5157455259ULL;  // "QUERY"
+  return GenerateDataset(options);
+}
+
+Dataset GeneratePerturbedQueries(DatasetKind kind, size_t count,
+                                 size_t length, uint64_t data_seed,
+                                 size_t dataset_count, double noise_stddev) {
+  Dataset queries(count, length);
+  Rng picker(data_seed ^ 0x504552545142ULL);  // "PERTQB"
+  for (SeriesId q = 0; q < count; ++q) {
+    const uint64_t member = picker.NextBelow(dataset_count);
+    MutableSeriesView out = queries.mutable_series(q);
+    GenerateSeriesInto(kind, data_seed, member, out, /*znormalize=*/true);
+    Rng noise(MixSeed(data_seed ^ 0x4e4f495345ULL, q));  // "NOISE"
+    for (float& v : out) {
+      v += static_cast<float>(noise_stddev * noise.NextGaussian());
+    }
+    ZNormalize(out);
+  }
+  return queries;
+}
+
+}  // namespace parisax

@@ -1,0 +1,45 @@
+#include "io/reader.h"
+
+#include <algorithm>
+
+namespace parisax {
+
+BufferedSeriesReader::BufferedSeriesReader(
+    std::unique_ptr<SimulatedDisk> disk, DatasetFileInfo info,
+    size_t batch_series)
+    : disk_(std::move(disk)),
+      info_(info),
+      batch_series_(batch_series),
+      buffer_(batch_series * info.length) {}
+
+Result<std::unique_ptr<BufferedSeriesReader>> BufferedSeriesReader::Open(
+    const std::string& path, DiskProfile profile, size_t batch_series) {
+  if (batch_series == 0) {
+    return Status::InvalidArgument("batch_series must be positive");
+  }
+  DatasetFileInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(path));
+  std::unique_ptr<SimulatedDisk> disk;
+  PARISAX_ASSIGN_OR_RETURN(disk, SimulatedDisk::Open(path, profile));
+  return std::unique_ptr<BufferedSeriesReader>(new BufferedSeriesReader(
+      std::move(disk), info, batch_series));
+}
+
+Status BufferedSeriesReader::NextBatch(SeriesBatch* batch) {
+  batch->first_id = next_series_;
+  batch->length = info_.length;
+  batch->values = buffer_.data();
+  batch->count = 0;
+  if (next_series_ >= info_.count) return Status::OK();
+
+  const uint64_t take = std::min<uint64_t>(batch_series_,
+                                           info_.count - next_series_);
+  const uint64_t offset = info_.SeriesOffset(next_series_);
+  const size_t bytes = static_cast<size_t>(take * info_.SeriesBytes());
+  PARISAX_RETURN_IF_ERROR(disk_->ReadAt(offset, buffer_.data(), bytes));
+  batch->count = static_cast<size_t>(take);
+  next_series_ += take;
+  return Status::OK();
+}
+
+}  // namespace parisax

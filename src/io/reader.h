@@ -1,0 +1,67 @@
+// Batched sequential reading of a dataset file through a SimulatedDisk.
+//
+// This is the I/O path of ParIS's Stage 1 (the Coordinator worker filling
+// the raw data buffer) and of the on-disk UCR Suite scan.
+#ifndef PARISAX_IO_READER_H_
+#define PARISAX_IO_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "io/dataset.h"
+#include "io/format.h"
+#include "io/sim_disk.h"
+#include "util/aligned.h"
+#include "util/status.h"
+
+namespace parisax {
+
+/// One batch of consecutive series read from disk. Views into the
+/// reader-owned buffer remain valid until the next NextBatch call.
+struct SeriesBatch {
+  /// Id of the first series in the batch.
+  SeriesId first_id = 0;
+  /// Number of series in the batch (0 at end of file).
+  size_t count = 0;
+  /// Points per series.
+  size_t length = 0;
+  /// Row-major values, count*length entries.
+  const Value* values = nullptr;
+
+  SeriesView series(size_t i) const {
+    return SeriesView(values + i * length, length);
+  }
+  bool empty() const { return count == 0; }
+};
+
+/// Streams a dataset file in fixed-size batches of series.
+class BufferedSeriesReader {
+ public:
+  /// Opens `path` (a dataset file, see io/format.h) behind `profile`.
+  /// `batch_series` is the raw-data-buffer capacity in series.
+  static Result<std::unique_ptr<BufferedSeriesReader>> Open(
+      const std::string& path, DiskProfile profile, size_t batch_series);
+
+  /// Reads the next batch; `batch->count == 0` signals end of file.
+  Status NextBatch(SeriesBatch* batch);
+
+  /// Restarts from the first series.
+  void Rewind() { next_series_ = 0; }
+
+  const DatasetFileInfo& info() const { return info_; }
+  SimulatedDisk* disk() { return disk_.get(); }
+
+ private:
+  BufferedSeriesReader(std::unique_ptr<SimulatedDisk> disk,
+                       DatasetFileInfo info, size_t batch_series);
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  DatasetFileInfo info_;
+  size_t batch_series_;
+  uint64_t next_series_ = 0;
+  AlignedBuffer<Value> buffer_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_IO_READER_H_

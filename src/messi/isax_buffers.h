@@ -1,0 +1,103 @@
+// MESSI's iSAX buffers: per-root-subtree staging between summarization
+// (Stage 1) and tree construction (Stage 2).
+//
+// "To reduce synchronization cost, each iSAX buffer is split into parts
+// and each worker works on its own part" -- appends in partitioned mode
+// are lock-free. The locked alternative the paper rejected in footnote 2
+// ("each buffer was protected by a lock ... worse performance due to
+// contention") is also implemented, selectable for the D1 ablation bench.
+#ifndef PARISAX_MESSI_ISAX_BUFFERS_H_
+#define PARISAX_MESSI_ISAX_BUFFERS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "index/node.h"
+
+namespace parisax {
+
+class IsaxBufferSet {
+ public:
+  /// `locked_mode` selects the footnote-2 alternative: one shared vector
+  /// per key behind a per-key mutex, instead of per-worker parts.
+  IsaxBufferSet(int segments, int num_workers, bool locked_mode)
+      : num_keys_(static_cast<size_t>(1) << segments),
+        num_workers_(num_workers),
+        locked_(locked_mode) {
+    if (locked_) {
+      shared_parts_.resize(num_keys_);
+      locks_ = std::make_unique<std::mutex[]>(num_keys_);
+      listed_.assign(num_keys_, 0);
+      touched_per_worker_.resize(num_workers);
+    } else {
+      parts_.resize(num_workers);
+      for (auto& p : parts_) p.resize(num_keys_);
+      touched_per_worker_.resize(num_workers);
+    }
+  }
+
+  /// Appends an entry produced by `worker` to buffer `key`.
+  void Append(int worker, uint32_t key, const LeafEntry& entry) {
+    if (locked_) {
+      std::lock_guard<std::mutex> lock(locks_[key]);
+      shared_parts_[key].push_back(entry);
+      if (listed_[key] == 0) {
+        listed_[key] = 1;
+        touched_per_worker_[worker].push_back(key);
+      }
+      return;
+    }
+    auto& part = parts_[worker][key];
+    if (part.empty()) touched_per_worker_[worker].push_back(key);
+    part.push_back(entry);
+  }
+
+  /// Union of keys appended to by any worker, deduplicated and sorted.
+  /// Call after Stage 1 has fully completed (no concurrent appends).
+  std::vector<uint32_t> CollectKeys() const {
+    std::vector<uint32_t> keys;
+    for (const auto& per_worker : touched_per_worker_) {
+      keys.insert(keys.end(), per_worker.begin(), per_worker.end());
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  }
+
+  /// Appends all parts of buffer `key` onto `out`. Call after Stage 1.
+  void Gather(uint32_t key, std::vector<LeafEntry>* out) const {
+    if (locked_) {
+      out->insert(out->end(), shared_parts_[key].begin(),
+                  shared_parts_[key].end());
+      return;
+    }
+    for (const auto& worker_parts : parts_) {
+      const auto& part = worker_parts[key];
+      out->insert(out->end(), part.begin(), part.end());
+    }
+  }
+
+  bool locked_mode() const { return locked_; }
+  int num_workers() const { return num_workers_; }
+
+ private:
+  const size_t num_keys_;
+  const int num_workers_;
+  const bool locked_;
+
+  // Partitioned mode: parts_[worker][key].
+  std::vector<std::vector<std::vector<LeafEntry>>> parts_;
+  // Locked mode: one shared vector per key.
+  std::vector<std::vector<LeafEntry>> shared_parts_;
+  std::unique_ptr<std::mutex[]> locks_;
+  std::vector<uint8_t> listed_;  // guarded by locks_[key]
+
+  std::vector<std::vector<uint32_t>> touched_per_worker_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_MESSI_ISAX_BUFFERS_H_

@@ -1,0 +1,472 @@
+#include "messi/messi_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <queue>
+
+#include "dist/dtw.h"
+#include "index/approx_search.h"
+#include "index/knn_heap.h"
+#include "messi/isax_buffers.h"
+#include "sax/mindist.h"
+#include "sax/paa.h"
+#include "util/timer.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+struct QueueItem {
+  float lb = 0.0f;
+  Node* leaf = nullptr;
+};
+
+struct QueueItemGreater {
+  bool operator()(const QueueItem& a, const QueueItem& b) const {
+    return a.lb > b.lb;
+  }
+};
+
+/// One of the K shared minimum priority queues of Stage 3.
+struct SharedQueue {
+  std::mutex mu;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueItemGreater> pq;
+  bool done = false;  // guarded by mu
+};
+
+struct AtomicCounters {
+  std::atomic<uint64_t> lb_checks{0};
+  std::atomic<uint64_t> real_dist_calcs{0};
+  std::atomic<uint64_t> nodes_visited{0};
+  std::atomic<uint64_t> leaves_inspected{0};
+  std::atomic<uint64_t> queue_abandons{0};
+
+  void FlushInto(QueryStats* stats) const {
+    if (stats == nullptr) return;
+    stats->lb_checks += lb_checks.load();
+    stats->real_dist_calcs += real_dist_calcs.load();
+    stats->nodes_visited += nodes_visited.load();
+    stats->leaves_inspected += leaves_inspected.load();
+    stats->queue_abandons += queue_abandons.load();
+  }
+};
+
+/// Tree traversal + priority-queue consumption shared by the ED-NN,
+/// ED-kNN and DTW-NN searches. `Policy` supplies the pruning bound, the
+/// node/entry lower bounds and the entry refinement:
+///   float Bound() const;
+///   float NodeLb(const Node&) const;
+///   void ProcessEntry(const LeafEntry&, AtomicCounters*);
+template <typename Policy>
+void RunQueuedSearch(const SaxTree& tree, Policy* policy, int num_queues,
+                     ThreadPool* pool, AtomicCounters* counters) {
+  std::vector<SharedQueue> queues(num_queues);
+  std::atomic<uint64_t> round_robin{0};
+
+  // Stage 3a: parallel traversal, leaves into queues (round-robin for
+  // load balance, as in the paper).
+  const auto& roots = tree.PresentRoots();
+  WorkCounter root_counter(roots.size());
+  pool->Run([&](int) {
+    std::vector<Node*> stack;
+    size_t item;
+    while (root_counter.NextItem(&item)) {
+      stack.push_back(tree.RootAt(roots[item]));
+      while (!stack.empty()) {
+        Node* node = stack.back();
+        stack.pop_back();
+        counters->nodes_visited.fetch_add(1, std::memory_order_relaxed);
+        const float lb = policy->NodeLb(*node);
+        if (lb >= policy->Bound()) continue;  // prune the whole subtree
+        if (node->IsLeaf()) {
+          if (node->entries().empty()) continue;
+          const uint64_t slot =
+              round_robin.fetch_add(1, std::memory_order_relaxed);
+          SharedQueue& q = queues[slot % queues.size()];
+          std::lock_guard<std::mutex> lock(q.mu);
+          q.pq.push(QueueItem{lb, node});
+        } else {
+          stack.push_back(node->child(0));
+          stack.push_back(node->child(1));
+        }
+      }
+    }
+  });
+
+  // Stage 3b: workers consume the queues; a queue whose minimum exceeds
+  // the BSF is abandoned wholesale (everything below it is farther).
+  std::atomic<uint64_t> start_counter{0};
+  pool->Run([&](int) {
+    const int k_queues = static_cast<int>(queues.size());
+    const int start = static_cast<int>(
+        start_counter.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint64_t>(k_queues));
+    for (;;) {
+      bool all_done = true;
+      for (int offset = 0; offset < k_queues; ++offset) {
+        SharedQueue& q = queues[(start + offset) % k_queues];
+        for (;;) {
+          QueueItem item;
+          {
+            std::lock_guard<std::mutex> lock(q.mu);
+            if (q.done) break;
+            if (q.pq.empty()) {
+              q.done = true;
+              break;
+            }
+            item = q.pq.top();
+            if (item.lb >= policy->Bound()) {
+              q.done = true;
+              counters->queue_abandons.fetch_add(1,
+                                                 std::memory_order_relaxed);
+              break;
+            }
+            q.pq.pop();
+          }
+          all_done = false;
+          counters->leaves_inspected.fetch_add(1, std::memory_order_relaxed);
+          for (const LeafEntry& e : item.leaf->entries()) {
+            policy->ProcessEntry(e, counters);
+          }
+        }
+      }
+      if (all_done) return;
+    }
+  });
+}
+
+/// Thread-safe single best neighbor (1-NN result set).
+struct BestNeighbor {
+  explicit BestNeighbor(Neighbor seed) : bsf(seed.distance_sq), best(seed) {}
+
+  float Bound() const { return bsf.Load(); }
+
+  void Offer(SeriesId id, float d) {
+    if (!bsf.UpdateMin(d) && d > bsf.Load()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (d < best.distance_sq || (d == best.distance_sq && id < best.id)) {
+      best = Neighbor{id, d};
+    }
+  }
+
+  AtomicMinFloat bsf;
+  std::mutex mu;
+  Neighbor best;
+};
+
+/// Exact-ED 1-NN policy.
+struct EdNnPolicy {
+  const Dataset* dataset;
+  const float* paa;
+  int w;
+  size_t n;
+  KernelPolicy kernel;
+  SeriesView query;
+  BestNeighbor* result;
+
+  float Bound() const { return result->Bound(); }
+
+  float NodeLb(const Node& node) const {
+    return MinDistPaaToWordSq(paa, node.word(), w, n);
+  }
+
+  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters) {
+    counters->lb_checks.fetch_add(1, std::memory_order_relaxed);
+    const float bound = Bound();
+    if (MinDistPaaToSymbolsSq(paa, e.sax, w, n) >= bound) return;
+    counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
+    const float d = SquaredEuclideanEarlyAbandon(query, dataset->series(e.id),
+                                                 bound, kernel);
+    if (d < bound) result->Offer(e.id, d);
+  }
+};
+
+/// Exact-ED kNN policy: the bound is the k-th best distance.
+struct EdKnnPolicy {
+  const Dataset* dataset;
+  const float* paa;
+  int w;
+  size_t n;
+  KernelPolicy kernel;
+  SeriesView query;
+  KnnHeap* heap;
+
+  float Bound() const { return heap->Bound(); }
+
+  float NodeLb(const Node& node) const {
+    return MinDistPaaToWordSq(paa, node.word(), w, n);
+  }
+
+  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters) {
+    counters->lb_checks.fetch_add(1, std::memory_order_relaxed);
+    const float bound = Bound();
+    if (MinDistPaaToSymbolsSq(paa, e.sax, w, n) >= bound) return;
+    counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
+    const float d = SquaredEuclideanEarlyAbandon(query, dataset->series(e.id),
+                                                 bound, kernel);
+    if (d < bound) heap->Update(Neighbor{e.id, d});
+  }
+};
+
+/// Exact-DTW 1-NN policy: envelope-based lower bounds cascade into
+/// LB_Keogh and finally early-abandoning banded DTW.
+struct DtwNnPolicy {
+  const Dataset* dataset;
+  const float* env_lower_paa;
+  const float* env_upper_paa;
+  const std::vector<Value>* env_lower;
+  const std::vector<Value>* env_upper;
+  int w;
+  size_t n;
+  size_t band;
+  SeriesView query;
+  BestNeighbor* result;
+
+  float Bound() const { return result->Bound(); }
+
+  float NodeLb(const Node& node) const {
+    return MinDistEnvelopePaaToWordSq(env_lower_paa, env_upper_paa,
+                                      node.word(), w, n);
+  }
+
+  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters) {
+    counters->lb_checks.fetch_add(1, std::memory_order_relaxed);
+    float bound = Bound();
+    if (MinDistEnvelopePaaToSymbolsSq(env_lower_paa, env_upper_paa, e.sax, w,
+                                      n) >= bound) {
+      return;
+    }
+    const SeriesView candidate = dataset->series(e.id);
+    if (LbKeoghSq(*env_lower, *env_upper, candidate, bound) >= bound) return;
+    counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
+    bound = Bound();
+    const float d = DtwBand(query, candidate, band, bound);
+    if (d < bound) result->Offer(e.id, d);
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
+    const Dataset* dataset, const MessiBuildOptions& options,
+    ThreadPool* pool) {
+  if (dataset->length() != options.tree.series_length) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset");
+  }
+  if (pool->num_threads() < options.num_workers) {
+    return Status::InvalidArgument(
+        "thread pool is smaller than num_workers");
+  }
+  WallTimer wall;
+  auto index = std::unique_ptr<MessiIndex>(
+      new MessiIndex(dataset, options.tree));
+  const int w = options.tree.segments;
+
+  IsaxBufferSet buffers(w, pool->num_threads(), options.locked_buffers);
+
+  // Stage 1: summarization into the iSAX buffers, chunks by Fetch&Inc.
+  WallTimer summarize_timer;
+  {
+    WorkCounter chunks(dataset->count());
+    pool->Run([&](int worker) {
+      float paa[kMaxSegments];
+      size_t begin, end;
+      while (chunks.NextBatch(options.chunk_series, &begin, &end)) {
+        for (SeriesId i = begin; i < end; ++i) {
+          ComputePaa(dataset->series(i), w, paa);
+          LeafEntry entry;
+          entry.id = i;
+          SymbolsFromPaa(paa, w, &entry.sax);
+          buffers.Append(worker, RootKey(entry.sax, w), entry);
+        }
+      }
+    });
+  }
+  index->build_stats_.summarize_wall_seconds =
+      summarize_timer.ElapsedSeconds();
+
+  // Stage 2: each worker builds whole root subtrees, claimed by
+  // Fetch&Inc; no synchronization inside a subtree.
+  WallTimer tree_timer;
+  std::mutex error_mu;
+  Status first_error;
+  {
+    const std::vector<uint32_t> keys = buffers.CollectKeys();
+    WorkCounter key_counter(keys.size());
+    pool->Run([&](int) {
+      std::vector<LeafEntry> gathered;
+      size_t item;
+      while (key_counter.NextItem(&item)) {
+        const uint32_t key = keys[item];
+        gathered.clear();
+        buffers.Gather(key, &gathered);
+        Node* root = index->tree_.GetOrCreateRoot(key);
+        for (const LeafEntry& e : gathered) {
+          const Status st = index->tree_.InsertIntoSubtree(root, e, nullptr);
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = st;
+            return;
+          }
+        }
+      }
+    });
+  }
+  PARISAX_RETURN_IF_ERROR(first_error);
+  index->build_stats_.tree_wall_seconds = tree_timer.ElapsedSeconds();
+
+  index->tree_.SealRoots();
+  index->build_stats_.tree = index->tree_.Collect();
+  index->build_stats_.wall_seconds = wall.ElapsedSeconds();
+  if (index->build_stats_.tree.total_entries != dataset->count()) {
+    return Status::Internal("MESSI build lost series");
+  }
+  return index;
+}
+
+Result<Neighbor> MessiIndex::SearchApproximate(SeriesView query,
+                                               QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer timer;
+  const int w = tree_.options().segments;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+  auto result = ApproximateLeafSearch(tree_, nullptr, source_, query, paa,
+                                      sax, KernelPolicy::kAuto, stats);
+  if (stats != nullptr) stats->total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
+                                         const MessiQueryOptions& options,
+                                         ThreadPool* pool,
+                                         QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer total;
+  const int w = tree_.options().segments;
+  const size_t n = tree_.options().series_length;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+
+  WallTimer approx_timer;
+  Neighbor seed;
+  PARISAX_ASSIGN_OR_RETURN(
+      seed, ApproximateLeafSearch(tree_, nullptr, source_, query, paa, sax,
+                                  options.kernel, stats));
+  if (stats != nullptr) {
+    stats->approx_phase_seconds = approx_timer.ElapsedSeconds();
+  }
+
+  BestNeighbor result(seed);
+  EdNnPolicy policy{dataset_, paa, w, n, options.kernel, query, &result};
+  AtomicCounters counters;
+  const int num_queues =
+      options.num_queues > 0 ? options.num_queues : options.num_workers;
+  RunQueuedSearch(tree_, &policy, num_queues, pool, &counters);
+  counters.FlushInto(stats);
+  if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
+  return result.best;
+}
+
+Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
+    SeriesView query, size_t k, const MessiQueryOptions& options,
+    ThreadPool* pool, QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  WallTimer total;
+  const int w = tree_.options().segments;
+  const size_t n = tree_.options().series_length;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+
+  // Seed the heap with every entry of the approximate-match leaf.
+  KnnHeap heap(k);
+  Node* leaf = tree_.ApproximateLeaf(sax, paa);
+  if (leaf != nullptr) {
+    for (const LeafEntry& e : leaf->entries()) {
+      const float d = SquaredEuclidean(query, dataset_->series(e.id),
+                                       options.kernel);
+      if (stats != nullptr) stats->real_dist_calcs++;
+      heap.Update(Neighbor{e.id, d});
+    }
+  }
+
+  EdKnnPolicy policy{dataset_, paa, w, n, options.kernel, query, &heap};
+  AtomicCounters counters;
+  const int num_queues =
+      options.num_queues > 0 ? options.num_queues : options.num_workers;
+  RunQueuedSearch(tree_, &policy, num_queues, pool, &counters);
+  counters.FlushInto(stats);
+  if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
+  return heap.Sorted();
+}
+
+Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
+                                            const MessiQueryOptions& options,
+                                            ThreadPool* pool,
+                                            QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer total;
+  const int w = tree_.options().segments;
+  const size_t n = tree_.options().series_length;
+
+  std::vector<Value> env_lower, env_upper;
+  ComputeEnvelope(query, options.dtw_band, &env_lower, &env_upper);
+  float env_lower_paa[kMaxSegments], env_upper_paa[kMaxSegments];
+  ComputeEnvelopePaaMinMax(env_lower, env_upper, w, env_lower_paa,
+                           env_upper_paa);
+
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+
+  // Approximate phase: true DTW against the matching leaf's series.
+  Neighbor seed{0, kInf};
+  Node* leaf = tree_.ApproximateLeaf(sax, paa);
+  if (leaf != nullptr) {
+    for (const LeafEntry& e : leaf->entries()) {
+      const float d = DtwBand(query, dataset_->series(e.id),
+                              options.dtw_band, seed.distance_sq);
+      if (stats != nullptr) stats->real_dist_calcs++;
+      if (d < seed.distance_sq ||
+          (d == seed.distance_sq && e.id < seed.id)) {
+        seed = Neighbor{e.id, d};
+      }
+    }
+  }
+
+  BestNeighbor result(seed);
+  DtwNnPolicy policy{dataset_,        env_lower_paa, env_upper_paa,
+                     &env_lower,      &env_upper,    w,
+                     n,               options.dtw_band, query,
+                     &result};
+  AtomicCounters counters;
+  const int num_queues =
+      options.num_queues > 0 ? options.num_queues : options.num_workers;
+  RunQueuedSearch(tree_, &policy, num_queues, pool, &counters);
+  counters.FlushInto(stats);
+  if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
+  return result.best;
+}
+
+}  // namespace parisax

@@ -1,0 +1,112 @@
+// MESSI: the first parallel in-memory data series index, reproduced from
+//   Peng, Fatourou, Palpanas. "MESSI: In-Memory Data Series Indexing"
+//   (ICDE 2020), as summarized in the thesis paper.
+//
+// Index construction (Fig. 3, Stages 1-2): the in-memory RawData array is
+// split into chunks assigned to index workers by Fetch&Inc; workers write
+// iSAX summaries into per-thread parts of per-root-subtree iSAX buffers
+// (no locks); after a barrier, workers claim whole buffers by Fetch&Inc
+// and build the corresponding root subtrees independently.
+//
+// Query answering (Stage 3): seed the BSF from the approximate-match
+// leaf; workers traverse root subtrees pruning with mindist against the
+// BSF and push surviving leaves into K shared priority queues
+// (round-robin); workers then pop queues, abandoning a queue as soon as
+// its minimum exceeds the BSF, computing per-entry lower bounds and
+// early-abandoning real distances for what survives.
+//
+// Extensions implemented beyond the exact-ED query: kNN search and DTW
+// search on the unchanged index (the paper's "current work").
+#ifndef PARISAX_MESSI_MESSI_INDEX_H_
+#define PARISAX_MESSI_MESSI_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "dist/euclidean.h"
+#include "index/query_stats.h"
+#include "index/raw_source.h"
+#include "index/tree.h"
+#include "io/dataset.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+struct MessiBuildOptions {
+  /// Index worker count (used for both stages).
+  int num_workers = 4;
+  /// Chunk size (series) for Fetch&Inc work distribution in Stage 1.
+  size_t chunk_series = 4096;
+  /// Footnote-2 ablation: use one lock per iSAX buffer instead of
+  /// per-thread buffer parts.
+  bool locked_buffers = false;
+  SaxTreeOptions tree;
+};
+
+struct MessiBuildStats {
+  double wall_seconds = 0.0;
+  /// Stage 1 wall time: "Calculate iSAX Representations" in Fig. 5.
+  double summarize_wall_seconds = 0.0;
+  /// Stage 2 wall time: "Tree Index Construction" in Fig. 5.
+  double tree_wall_seconds = 0.0;
+  TreeStats tree;
+};
+
+struct MessiQueryOptions {
+  int num_workers = 4;
+  /// Shared priority queues; 0 means one per worker (design choice D2).
+  int num_queues = 0;
+  KernelPolicy kernel = KernelPolicy::kAuto;
+  /// Sakoe-Chiba band radius (points) for DTW searches.
+  size_t dtw_band = 12;
+};
+
+class MessiIndex {
+ public:
+  /// Builds over an in-memory dataset, which must outlive the index.
+  static Result<std::unique_ptr<MessiIndex>> Build(
+      const Dataset* dataset, const MessiBuildOptions& options,
+      ThreadPool* pool);
+
+  /// Exact 1-NN under squared ED. `Neighbor{0, +inf}` if empty.
+  Result<Neighbor> SearchExact(SeriesView query,
+                               const MessiQueryOptions& options,
+                               ThreadPool* pool,
+                               QueryStats* stats = nullptr) const;
+
+  /// Exact k-NN under squared ED, ascending (distance, id).
+  Result<std::vector<Neighbor>> SearchKnn(SeriesView query, size_t k,
+                                          const MessiQueryOptions& options,
+                                          ThreadPool* pool,
+                                          QueryStats* stats = nullptr) const;
+
+  /// Exact 1-NN under banded DTW (squared cost), through the unchanged
+  /// index.
+  Result<Neighbor> SearchExactDtw(SeriesView query,
+                                  const MessiQueryOptions& options,
+                                  ThreadPool* pool,
+                                  QueryStats* stats = nullptr) const;
+
+  /// Approximate 1-NN: best real distance within the matching leaf.
+  Result<Neighbor> SearchApproximate(SeriesView query,
+                                     QueryStats* stats = nullptr) const;
+
+  const SaxTree& tree() const { return tree_; }
+  const MessiBuildStats& build_stats() const { return build_stats_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  explicit MessiIndex(const Dataset* dataset,
+                      const SaxTreeOptions& tree_options)
+      : dataset_(dataset), tree_(tree_options), source_(dataset) {}
+
+  const Dataset* dataset_;
+  SaxTree tree_;
+  InMemorySource source_;
+  MessiBuildStats build_stats_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_MESSI_MESSI_INDEX_H_

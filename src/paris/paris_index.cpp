@@ -1,0 +1,613 @@
+#include "paris/paris_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "index/approx_search.h"
+#include "io/reader.h"
+#include "paris/recbuf.h"
+#include "sax/mindist.h"
+#include "sax/paa.h"
+#include "util/timer.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// One half of the double-buffered raw data buffer (Stage 1 <-> Stage 2).
+struct BatchSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Buffer contents. `storage` backs file builds; in-memory builds point
+  // `values` straight into the dataset.
+  AlignedBuffer<Value> storage;
+  const Value* values = nullptr;
+  SeriesId first_id = 0;
+  size_t count = 0;
+
+  // Protocol state (guarded by mu unless noted).
+  int64_t published = -1;    ///< batch index currently in the buffer
+  bool free = true;          ///< coordinator may refill
+  int arrived = 0;           ///< workers done summarizing `published`
+  int64_t drain_ready = -1;  ///< batch whose drain work list is ready
+
+  WorkCounter summarize{0};          // claims over [0, count)
+  std::vector<uint32_t> drain_list;  // ParIS+: keys to drain this batch
+  WorkCounter drain{0};              // claims over drain_list
+};
+
+}  // namespace
+
+/// Orchestrates one index build. Owns the transient pipeline state; the
+/// durable result lands in the ParisIndex.
+class ParisBuilder {
+ public:
+  ParisBuilder(ParisIndex* index, const ParisBuildOptions& options,
+               size_t total_series)
+      : index_(index),
+        options_(options),
+        total_series_(total_series),
+        recbufs_(options.tree.segments),
+        flush_threshold_(std::max<size_t>(
+            1, static_cast<size_t>(options.flush_fill_fraction *
+                                   static_cast<double>(
+                                       options.tree.leaf_capacity)))) {
+    total_batches_ =
+        static_cast<int64_t>((total_series_ + options_.batch_series - 1) /
+                             options_.batch_series);
+  }
+
+  Status RunFromFile(const std::string& path);
+  Status RunInMemory(const Dataset& dataset);
+
+ private:
+  Status CoordinatorLoop(BufferedSeriesReader* reader,
+                         const Dataset* dataset);
+  void WorkerLoop(int worker_id);
+
+  /// Drains RecBuf `key` into its subtree; flushes leaves holding at
+  /// least `flush_threshold` entries when `flush` is set.
+  Status DrainKey(uint32_t key, bool flush, size_t flush_threshold,
+                  std::vector<LeafEntry>* scratch);
+
+  /// ParIS stage 3: construction workers drain all touched RecBufs while
+  /// the coordinator is paused.
+  Status Stage3Round();
+
+  /// Flushes every leaf still holding in-memory entries (build tail).
+  Status FinalFlush();
+
+  void RecordError(const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (first_error_.ok()) first_error_ = status;
+      failed_.store(true, std::memory_order_release);
+    }
+    // Wake anyone blocked on a slot so the pipeline can unwind.
+    for (BatchSlot& s : slots_) s.cv.notify_all();
+  }
+
+  bool materialize_leaves() const {
+    return index_->leaf_storage_ != nullptr;
+  }
+
+  ParisIndex* index_;
+  const ParisBuildOptions& options_;
+  const size_t total_series_;
+  int64_t total_batches_ = 0;
+
+  RecBufSet recbufs_;
+  const size_t flush_threshold_;
+  BatchSlot slots_[2];
+
+  std::unique_ptr<ThreadPool> construction_pool_;  // ParIS stage 3
+
+  StageAccumulator summarize_cpu_;
+  StageAccumulator tree_cpu_;
+
+  std::mutex error_mu_;
+  Status first_error_;
+  std::atomic<bool> failed_{false};
+};
+
+Status ParisBuilder::RunFromFile(const std::string& path) {
+  std::unique_ptr<BufferedSeriesReader> reader;
+  PARISAX_ASSIGN_OR_RETURN(
+      reader, BufferedSeriesReader::Open(path, options_.raw_profile,
+                                         options_.batch_series));
+  if (reader->info().length != options_.tree.series_length) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset file");
+  }
+  // File builds copy batches into slot-owned buffers.
+  for (BatchSlot& slot : slots_) {
+    slot.storage.Allocate(options_.batch_series *
+                          options_.tree.series_length);
+    slot.values = slot.storage.data();
+  }
+  return CoordinatorLoop(reader.get(), nullptr);
+}
+
+Status ParisBuilder::RunInMemory(const Dataset& dataset) {
+  if (dataset.length() != options_.tree.series_length) {
+    return Status::InvalidArgument(
+        "tree.series_length does not match the dataset");
+  }
+  return CoordinatorLoop(nullptr, &dataset);
+}
+
+Status ParisBuilder::CoordinatorLoop(BufferedSeriesReader* reader,
+                                     const Dataset* dataset) {
+  WallTimer wall;
+  ParisBuildStats& stats = index_->build_stats_;
+
+  if (!options_.plus_mode) {
+    construction_pool_ =
+        std::make_unique<ThreadPool>(options_.num_workers);
+  }
+  ThreadPool bulk_pool(options_.num_workers);
+
+  // The bulk-loading workers run as one long parallel region; the
+  // coordinator (this thread) feeds them batches. Run() blocks, so the
+  // coordinator logic itself executes on a dedicated thread.
+  Status coord_status;
+  std::thread coordinator([&] {
+    for (int64_t b = 0; b < total_batches_; ++b) {
+      if (failed_.load(std::memory_order_acquire)) break;
+      BatchSlot& slot = slots_[b % 2];
+      {
+        std::unique_lock<std::mutex> lock(slot.mu);
+        slot.cv.wait(lock, [&] {
+          return slot.free || failed_.load(std::memory_order_acquire);
+        });
+      }
+      if (failed_.load(std::memory_order_acquire)) break;
+      // Exclusive buffer access between `free` and re-publication.
+      const SeriesId first = static_cast<SeriesId>(b) *
+                             options_.batch_series;
+      size_t count;
+      if (reader != nullptr) {
+        SeriesBatch batch;
+        WallTimer read;
+        const Status st = reader->NextBatch(&batch);
+        stats.read_wall_seconds += read.ElapsedSeconds();
+        if (!st.ok()) {
+          coord_status = st;
+          RecordError(st);
+          break;
+        }
+        count = batch.count;
+        std::copy(batch.values,
+                  batch.values + count * options_.tree.series_length,
+                  slot.storage.data());
+      } else {
+        count = std::min(options_.batch_series,
+                         dataset->count() - static_cast<size_t>(first));
+        slot.values = dataset->raw() +
+                      static_cast<size_t>(first) * dataset->length();
+      }
+      {
+        std::lock_guard<std::mutex> lock(slot.mu);
+        slot.first_id = first;
+        slot.count = count;
+        slot.free = false;
+        slot.arrived = 0;
+        slot.summarize.Reset(count);
+        slot.published = b;
+      }
+      slot.cv.notify_all();
+
+      // ParIS: "main memory full" -> pause reading, run stage 3.
+      if (!options_.plus_mode &&
+          ((b + 1) % static_cast<int64_t>(options_.batches_per_round) == 0 ||
+           b + 1 == total_batches_)) {
+        for (BatchSlot& s : slots_) {
+          std::unique_lock<std::mutex> lock(s.mu);
+          s.cv.wait(lock, [&] {
+            return s.free || failed_.load(std::memory_order_acquire);
+          });
+        }
+        if (failed_.load(std::memory_order_acquire)) break;
+        WallTimer stage3;
+        const Status st = Stage3Round();
+        stats.stage3_wall_seconds += stage3.ElapsedSeconds();
+        if (!st.ok()) {
+          coord_status = st;
+          RecordError(st);
+          break;
+        }
+      }
+    }
+    // Ensure workers blocked on publication observe the end state.
+    for (BatchSlot& s : slots_) s.cv.notify_all();
+  });
+
+  bulk_pool.Run([&](int worker) { WorkerLoop(worker); });
+  coordinator.join();
+
+  PARISAX_RETURN_IF_ERROR(coord_status);
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    PARISAX_RETURN_IF_ERROR(first_error_);
+  }
+
+  // Tail: ParIS+ drains whatever the last batches re-listed; ParIS's
+  // final stage-3 round already ran. Then materialize remaining leaves.
+  if (recbufs_.HasTouched()) {
+    WallTimer stage3;
+    PARISAX_RETURN_IF_ERROR(Stage3Round());
+    stats.stage3_wall_seconds += stage3.ElapsedSeconds();
+  }
+  if (materialize_leaves()) {
+    WallTimer flush;
+    PARISAX_RETURN_IF_ERROR(FinalFlush());
+    stats.final_flush_wall_seconds = flush.ElapsedSeconds();
+  }
+
+  index_->tree_.SealRoots();
+  stats.tree = index_->tree_.Collect();
+  stats.summarize_cpu_seconds = summarize_cpu_.TotalSeconds();
+  stats.tree_cpu_seconds = tree_cpu_.TotalSeconds();
+  if (index_->leaf_storage_ != nullptr) {
+    stats.leaf_chunks_flushed = index_->leaf_storage_->chunks_appended();
+    stats.leaf_chunk_readbacks = index_->leaf_storage_->chunks_read();
+  }
+  stats.wall_seconds = wall.ElapsedSeconds();
+
+  if (stats.tree.total_entries != total_series_) {
+    return Status::Internal("index lost series during the build");
+  }
+  return Status::OK();
+}
+
+void ParisBuilder::WorkerLoop(int worker_id) {
+  (void)worker_id;
+  const int w = options_.tree.segments;
+  std::vector<LeafEntry> scratch;
+
+  for (int64_t b = 0; b < total_batches_; ++b) {
+    BatchSlot& slot = slots_[b % 2];
+    {
+      std::unique_lock<std::mutex> lock(slot.mu);
+      slot.cv.wait(lock, [&] {
+        return slot.published >= b ||
+               failed_.load(std::memory_order_acquire);
+      });
+    }
+    if (failed_.load(std::memory_order_acquire)) return;
+
+    // Stage 2: summarize claimed ranges of the raw data buffer.
+    {
+      StageAccumulator::Scope timed(&summarize_cpu_);
+      float paa[kMaxSegments];
+      size_t begin, end;
+      while (slot.summarize.NextBatch(64, &begin, &end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const SeriesView series(
+              slot.values + i * options_.tree.series_length,
+              options_.tree.series_length);
+          ComputePaa(series, w, paa);
+          LeafEntry entry;
+          entry.id = slot.first_id + i;
+          SymbolsFromPaa(paa, w, &entry.sax);
+          *index_->cache_.MutableAt(entry.id) = entry.sax;
+          recbufs_.Append(RootKey(entry.sax, w), entry);
+        }
+      }
+    }
+
+    // Per-batch barrier; the last arriver frees the buffer for the
+    // coordinator and, in ParIS+ mode, snapshots the drain work list.
+    {
+      std::unique_lock<std::mutex> lock(slot.mu);
+      if (++slot.arrived == options_.num_workers) {
+        slot.free = true;
+        if (options_.plus_mode) {
+          slot.drain_list = recbufs_.TakeTouched();
+          slot.drain.Reset(slot.drain_list.size());
+        }
+        slot.drain_ready = b;
+        slot.cv.notify_all();
+      } else {
+        slot.cv.wait(lock, [&] {
+          return slot.drain_ready >= b ||
+                 failed_.load(std::memory_order_acquire);
+        });
+        if (failed_.load(std::memory_order_acquire)) return;
+      }
+    }
+
+    // ParIS+ tree growth, overlapped with the coordinator's next read.
+    if (options_.plus_mode) {
+      StageAccumulator::Scope timed(&tree_cpu_);
+      size_t item;
+      while (slot.drain.NextItem(&item)) {
+        const Status st = DrainKey(slot.drain_list[item],
+                                   materialize_leaves(), flush_threshold_,
+                                   &scratch);
+        if (!st.ok()) {
+          RecordError(st);
+          return;
+        }
+      }
+    }
+  }
+}
+
+Status ParisBuilder::DrainKey(uint32_t key, bool flush,
+                              size_t flush_threshold,
+                              std::vector<LeafEntry>* scratch) {
+  recbufs_.Drain(key, scratch);
+  if (scratch->empty()) return Status::OK();
+  Node* root = index_->tree_.GetOrCreateRoot(key);
+  LeafStorage* storage = index_->leaf_storage_.get();
+  for (const LeafEntry& e : *scratch) {
+    PARISAX_RETURN_IF_ERROR(
+        index_->tree_.InsertIntoSubtree(root, e, storage));
+  }
+  if (!flush) return Status::OK();
+
+  Status flush_status;
+  index_->tree_.VisitLeaves(root, [&](Node* leaf) {
+    if (!flush_status.ok()) return;
+    if (leaf->entries().size() < flush_threshold) return;
+    auto ref = storage->AppendChunk(leaf->entries());
+    if (!ref.ok()) {
+      flush_status = ref.status();
+      return;
+    }
+    leaf->flushed_chunks().push_back(*ref);
+    leaf->entries().clear();
+  });
+  return flush_status;
+}
+
+Status ParisBuilder::Stage3Round() {
+  const std::vector<uint32_t> keys = recbufs_.TakeTouched();
+  if (keys.empty()) return Status::OK();
+  WorkCounter counter(keys.size());
+  const bool flush = materialize_leaves();
+
+  const auto drain_all = [&](int) {
+    StageAccumulator::Scope timed(&tree_cpu_);
+    std::vector<LeafEntry> scratch;
+    size_t item;
+    while (counter.NextItem(&item)) {
+      // ParIS flushes every leaf it grew in this round ("flush subtree
+      // leaves to disk"), hence threshold 1.
+      const Status st = DrainKey(keys[item], flush, 1, &scratch);
+      if (!st.ok()) {
+        RecordError(st);
+        return;
+      }
+    }
+  };
+
+  if (construction_pool_ != nullptr) {
+    construction_pool_->Run(drain_all);
+  } else {
+    drain_all(0);
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+Status ParisBuilder::FinalFlush() {
+  LeafStorage* storage = index_->leaf_storage_.get();
+  Status flush_status;
+  index_->tree_.VisitLeaves(nullptr, [&](Node* leaf) {
+    if (!flush_status.ok() || leaf->entries().empty()) return;
+    auto ref = storage->AppendChunk(leaf->entries());
+    if (!ref.ok()) {
+      flush_status = ref.status();
+      return;
+    }
+    leaf->flushed_chunks().push_back(*ref);
+    leaf->entries().clear();
+    leaf->entries().shrink_to_fit();
+  });
+  return flush_status;
+}
+
+Result<std::unique_ptr<ParisIndex>> ParisIndex::BuildFromFile(
+    const std::string& dataset_path, const ParisBuildOptions& options,
+    DiskProfile query_profile) {
+  if (options.leaf_storage_path.empty()) {
+    return Status::InvalidArgument(
+        "on-disk ParIS build requires leaf_storage_path");
+  }
+  DatasetFileInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(dataset_path));
+
+  auto index = std::unique_ptr<ParisIndex>(new ParisIndex(options.tree));
+  index->cache_ = FlatSaxCache(info.count);
+  PARISAX_ASSIGN_OR_RETURN(
+      index->leaf_storage_,
+      LeafStorage::Create(options.leaf_storage_path,
+                          options.leaf_write_mbps));
+
+  ParisBuilder builder(index.get(), options, info.count);
+  PARISAX_RETURN_IF_ERROR(builder.RunFromFile(dataset_path));
+
+  std::unique_ptr<DiskSource> source;
+  PARISAX_ASSIGN_OR_RETURN(source,
+                           DiskSource::Open(dataset_path, query_profile));
+  index->source_ = std::move(source);
+  return index;
+}
+
+Result<std::unique_ptr<ParisIndex>> ParisIndex::BuildInMemory(
+    const Dataset* dataset, const ParisBuildOptions& options) {
+  auto index = std::unique_ptr<ParisIndex>(new ParisIndex(options.tree));
+  index->cache_ = FlatSaxCache(dataset->count());
+  index->source_ = std::make_unique<InMemorySource>(dataset);
+
+  ParisBuilder builder(index.get(), options, dataset->count());
+  PARISAX_RETURN_IF_ERROR(builder.RunInMemory(*dataset));
+  return index;
+}
+
+Result<Neighbor> ParisIndex::SearchApproximate(SeriesView query,
+                                               QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer timer;
+  const int w = tree_.options().segments;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+  auto result =
+      ApproximateLeafSearch(tree_, leaf_storage_.get(), *source_, query, paa,
+                            sax, KernelPolicy::kAuto, stats);
+  if (stats != nullptr) stats->total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
+                                         const ParisQueryOptions& options,
+                                         ThreadPool* pool,
+                                         QueryStats* stats) const {
+  if (query.size() != tree_.options().series_length) {
+    return Status::InvalidArgument("query length does not match the index");
+  }
+  WallTimer total;
+  const int w = tree_.options().segments;
+  const size_t n = tree_.options().series_length;
+  float paa[kMaxSegments];
+  ComputePaa(query, w, paa);
+  SaxSymbols sax;
+  SymbolsFromPaa(paa, w, &sax);
+
+  // Phase 1: BSF from the approximate-match leaf.
+  WallTimer approx_timer;
+  Neighbor best;
+  PARISAX_ASSIGN_OR_RETURN(
+      best, ApproximateLeafSearch(tree_, leaf_storage_.get(), *source_,
+                                  query, paa, sax, options.kernel, stats));
+  if (stats != nullptr) {
+    stats->approx_phase_seconds = approx_timer.ElapsedSeconds();
+  }
+
+  // Phase 2: lower-bound workers filter the flat SAX array in parallel.
+  WallTimer filter_timer;
+  const float bsf0 = best.distance_sq;
+  std::vector<SeriesId> candidates(cache_.count());
+  std::atomic<size_t> tail{0};
+  {
+    WorkCounter counter(cache_.count());
+    pool->Run([&](int) {
+      size_t begin, end;
+      while (counter.NextBatch(options.filter_grain, &begin, &end)) {
+        for (SeriesId i = begin; i < end; ++i) {
+          const float lb = MinDistPaaToSymbolsSq(paa, cache_.At(i), w, n);
+          if (lb < bsf0) {
+            candidates[tail.fetch_add(1, std::memory_order_relaxed)] = i;
+          }
+        }
+      }
+    });
+  }
+  const size_t num_candidates = tail.load();
+  // Skip-sequential order for the raw-data reads.
+  std::sort(candidates.begin(), candidates.begin() + num_candidates);
+  if (stats != nullptr) {
+    stats->lb_checks += cache_.count();
+    stats->candidates += num_candidates;
+    stats->filter_phase_seconds = filter_timer.ElapsedSeconds();
+  }
+
+  // Phase 3: real-distance workers refine candidates in parallel.
+  WallTimer refine_timer;
+  AtomicMinFloat bsf(bsf0);
+  std::mutex best_mu;
+  std::atomic<bool> failed{false};
+  Status worker_status;
+  if (source_->PrefersSequentialAccess()) {
+    // Spinning disk: racing workers would destroy the skip-sequential
+    // order and pay a seek per candidate. One I/O stream reads the
+    // sorted candidates in chunks; the pool computes distances per
+    // chunk.
+    constexpr size_t kChunk = 256;
+    std::vector<Value> chunk_values(kChunk * n);
+    for (size_t base = 0; base < num_candidates; base += kChunk) {
+      const size_t count = std::min(kChunk, num_candidates - base);
+      for (size_t c = 0; c < count; ++c) {
+        PARISAX_RETURN_IF_ERROR(source_->GetSeries(
+            candidates[base + c], chunk_values.data() + c * n));
+      }
+      WorkCounter counter(count);
+      pool->Run([&](int) {
+        size_t c;
+        while (counter.NextItem(&c)) {
+          const float bound = bsf.Load();
+          const float d = SquaredEuclideanEarlyAbandon(
+              query.data(), chunk_values.data() + c * n, n, bound,
+              options.kernel);
+          if (d < bound) {
+            bsf.UpdateMin(d);
+            const SeriesId id = candidates[base + c];
+            std::lock_guard<std::mutex> lock(best_mu);
+            if (d < best.distance_sq ||
+                (d == best.distance_sq && id < best.id)) {
+              best = Neighbor{id, d};
+            }
+          }
+        }
+      });
+    }
+  } else {
+    WorkCounter counter(num_candidates);
+    pool->Run([&](int) {
+      std::vector<Value> buffer(source_->length());
+      size_t begin, end;
+      while (counter.NextBatch(options.refine_grain, &begin, &end)) {
+        if (failed.load(std::memory_order_acquire)) return;
+        for (size_t c = begin; c < end; ++c) {
+          const SeriesId id = candidates[c];
+          SeriesView view = source_->TryView(id);
+          if (view.empty()) {
+            const Status st = source_->GetSeries(id, buffer.data());
+            if (!st.ok()) {
+              std::lock_guard<std::mutex> lock(best_mu);
+              if (worker_status.ok()) worker_status = st;
+              failed.store(true, std::memory_order_release);
+              return;
+            }
+            view = SeriesView(buffer.data(), buffer.size());
+          }
+          const float bound = bsf.Load();
+          const float d =
+              SquaredEuclideanEarlyAbandon(query, view, bound,
+                                           options.kernel);
+          if (d < bound) {
+            bsf.UpdateMin(d);
+            std::lock_guard<std::mutex> lock(best_mu);
+            if (d < best.distance_sq ||
+                (d == best.distance_sq && id < best.id)) {
+              best = Neighbor{id, d};
+            }
+          }
+        }
+      }
+    });
+  }
+  PARISAX_RETURN_IF_ERROR(worker_status);
+  if (stats != nullptr) {
+    stats->real_dist_calcs += num_candidates;
+    stats->refine_phase_seconds = refine_timer.ElapsedSeconds();
+    stats->total_seconds = total.ElapsedSeconds();
+  }
+  return best;
+}
+
+}  // namespace parisax

@@ -1,0 +1,141 @@
+// ParIS and ParIS+: the first data series indices designed for multi-core
+// architectures (on-disk), reproduced from
+//   Peng, Palpanas, Fatourou. "ParIS: The Next Destination for Fast Data
+//   Series Indexing and Query Answering" (IEEE BigData 2018) and
+//   "ParIS+: Data Series Indexing on Multi-core Architectures" (TKDE 2020)
+// as summarized in the thesis paper this repository reproduces.
+//
+// Index creation pipeline (Fig. 2 of the paper):
+//   Stage 1  a Coordinator worker reads raw series from disk into the raw
+//            data buffer (double-buffered here);
+//   Stage 2  IndexBulkLoading workers summarize the buffered series,
+//            filling the flat SAX array and the per-root-subtree RecBufs;
+//   Stage 3  when "main memory is full" (every batches_per_round batches
+//            here), IndexConstruction workers drain RecBufs, grow the
+//            corresponding subtrees, and flush leaves to LeafStorage.
+//
+// ParIS: stage 3 does not overlap stage 1 -- the coordinator pauses, so
+// tree-construction CPU time is visible in the creation time.
+// ParIS+: the bulk-loading workers themselves grow the subtrees after
+// every batch (overlapped with the coordinator's next read), and leaf
+// flushing happens along the way; only a small tail flush remains visible.
+// For in-memory datasets the same machinery runs without a coordinator
+// read phase or leaf materialization (used by Figs. 7/9/12).
+//
+// Query answering (both variants): seed the BSF from the approximate-
+// match leaf, filter the flat SAX array in parallel with SIMD mindist,
+// then compute real distances of surviving candidates in parallel with a
+// shared atomic BSF.
+#ifndef PARISAX_PARIS_PARIS_INDEX_H_
+#define PARISAX_PARIS_PARIS_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "dist/euclidean.h"
+#include "index/flat_sax.h"
+#include "index/leaf_storage.h"
+#include "index/query_stats.h"
+#include "index/raw_source.h"
+#include "index/tree.h"
+#include "io/dataset.h"
+#include "io/sim_disk.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+struct ParisBuildOptions {
+  /// IndexBulkLoading (and construction) worker count.
+  int num_workers = 4;
+  /// ParIS+ behaviour: grow subtrees inside the bulk-loading workers,
+  /// overlapped with the coordinator's reads.
+  bool plus_mode = false;
+  /// Raw-data-buffer capacity: series per read batch.
+  size_t batch_series = 8192;
+  /// "Main memory full" trigger: ParIS runs stage 3 after this many
+  /// batches.
+  size_t batches_per_round = 4;
+  SaxTreeOptions tree;
+  /// Device model for the raw dataset file during the build.
+  DiskProfile raw_profile = DiskProfile::Hdd();
+  /// Leaf materialization path (required for on-disk builds).
+  std::string leaf_storage_path;
+  /// Metered leaf-write throughput; <= 0 disables metering.
+  double leaf_write_mbps = 0.0;
+  /// ParIS+ flushes a leaf once it holds at least this fraction of
+  /// leaf_capacity in memory (lower = more eager flushing).
+  double flush_fill_fraction = 0.5;
+};
+
+struct ParisBuildStats {
+  double wall_seconds = 0.0;
+  /// Coordinator wall time blocked on the raw-data device.
+  double read_wall_seconds = 0.0;
+  /// Wall time of ParIS stage-3 rounds (reading paused): the "visible
+  /// CPU" of the paper's Fig. 4.
+  double stage3_wall_seconds = 0.0;
+  /// Wall time of the final (non-overlapped) flush: visible "Write".
+  double final_flush_wall_seconds = 0.0;
+  /// Accumulated per-worker busy time (informational, not wall time).
+  double summarize_cpu_seconds = 0.0;
+  double tree_cpu_seconds = 0.0;
+  uint64_t leaf_chunks_flushed = 0;
+  uint64_t leaf_chunk_readbacks = 0;
+  TreeStats tree;
+};
+
+struct ParisQueryOptions {
+  int num_workers = 4;
+  /// SAX-array block size per Fetch&Inc claim in the filtering phase.
+  size_t filter_grain = 4096;
+  /// Candidates per Fetch&Inc claim in the refinement phase.
+  size_t refine_grain = 4;
+  KernelPolicy kernel = KernelPolicy::kAuto;
+};
+
+class ParisIndex {
+ public:
+  /// Builds from a dataset file; query-time raw reads use
+  /// `query_profile`.
+  static Result<std::unique_ptr<ParisIndex>> BuildFromFile(
+      const std::string& dataset_path, const ParisBuildOptions& options,
+      DiskProfile query_profile);
+
+  /// Builds over an in-memory dataset (must outlive the index); no
+  /// coordinator reads, no leaf materialization.
+  static Result<std::unique_ptr<ParisIndex>> BuildInMemory(
+      const Dataset* dataset, const ParisBuildOptions& options);
+
+  /// Exact 1-NN (squared ED), parallel. `Neighbor{0, +inf}` if empty.
+  Result<Neighbor> SearchExact(SeriesView query,
+                               const ParisQueryOptions& options,
+                               ThreadPool* pool,
+                               QueryStats* stats = nullptr) const;
+
+  /// Approximate 1-NN: real distances within the approximate leaf only.
+  Result<Neighbor> SearchApproximate(SeriesView query,
+                                     QueryStats* stats = nullptr) const;
+
+  const SaxTree& tree() const { return tree_; }
+  const FlatSaxCache& cache() const { return cache_; }
+  const ParisBuildStats& build_stats() const { return build_stats_; }
+  RawSeriesSource* raw_source() const { return source_.get(); }
+  LeafStorage* leaf_storage() const { return leaf_storage_.get(); }
+
+ private:
+  explicit ParisIndex(const SaxTreeOptions& tree_options)
+      : tree_(tree_options) {}
+
+  friend class ParisBuilder;
+
+  SaxTree tree_;
+  FlatSaxCache cache_;
+  std::unique_ptr<RawSeriesSource> source_;
+  std::unique_ptr<LeafStorage> leaf_storage_;
+  ParisBuildStats build_stats_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_PARIS_PARIS_INDEX_H_

@@ -1,0 +1,81 @@
+// Receiving buffers (RecBufs): per-root-subtree staging of iSAX summaries
+// between ParIS's bulk-loading stage and its tree-construction stage.
+//
+// Each RecBuf is protected by its own mutex (this is ParIS's design; the
+// contention it causes is exactly what MESSI's per-thread buffer parts
+// remove -- see messi/isax_buffers.h and the D1 ablation bench). A shared
+// "touched list" tracks which keys currently hold entries so draining
+// never scans all 2^w buffers.
+#ifndef PARISAX_PARIS_RECBUF_H_
+#define PARISAX_PARIS_RECBUF_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "index/node.h"
+
+namespace parisax {
+
+class RecBufSet {
+ public:
+  explicit RecBufSet(int segments)
+      : bufs_(static_cast<size_t>(1) << segments) {}
+
+  /// Appends an entry to buffer `key`, registering the key in the touched
+  /// list if it was not already listed. Thread-safe.
+  void Append(uint32_t key, const LeafEntry& entry) {
+    RecBuf& rb = bufs_[key];
+    bool newly_listed = false;
+    {
+      std::lock_guard<std::mutex> lock(rb.mu);
+      rb.entries.push_back(entry);
+      if (!rb.listed) {
+        rb.listed = true;
+        newly_listed = true;
+      }
+    }
+    if (newly_listed) {
+      std::lock_guard<std::mutex> lock(touched_mu_);
+      touched_.push_back(key);
+    }
+  }
+
+  /// Moves buffer `key`'s entries into `*out` (overwriting it) and
+  /// unlists the key. Entries appended concurrently after the drain will
+  /// re-register the key. Thread-safe.
+  void Drain(uint32_t key, std::vector<LeafEntry>* out) {
+    RecBuf& rb = bufs_[key];
+    out->clear();
+    std::lock_guard<std::mutex> lock(rb.mu);
+    out->swap(rb.entries);
+    rb.listed = false;
+  }
+
+  /// Atomically takes the current touched-key list (the drain work list
+  /// for one construction round).
+  std::vector<uint32_t> TakeTouched() {
+    std::lock_guard<std::mutex> lock(touched_mu_);
+    return std::move(touched_);
+  }
+
+  bool HasTouched() {
+    std::lock_guard<std::mutex> lock(touched_mu_);
+    return !touched_.empty();
+  }
+
+ private:
+  struct RecBuf {
+    std::mutex mu;
+    std::vector<LeafEntry> entries;
+    bool listed = false;  // guarded by mu
+  };
+
+  std::vector<RecBuf> bufs_;
+  std::mutex touched_mu_;
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_PARIS_RECBUF_H_

@@ -1,0 +1,87 @@
+#include "sax/breakpoints.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parisax {
+
+double InverseNormalCdf(double p) {
+  // Acklam's rational approximation with one Halley refinement step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+
+  double x;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - kLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley step against erfc for ~1e-15 accuracy.
+  const double e =
+      0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+BreakpointTable::BreakpointTable() {
+  for (int bits = 1; bits <= kMaxCardBits; ++bits) {
+    const int cardinality = 1 << bits;
+    auto& level = levels_[bits];
+    level.resize(cardinality - 1);
+    for (int i = 1; i < cardinality; ++i) {
+      level[i - 1] = InverseNormalCdf(static_cast<double>(i) /
+                                      static_cast<double>(cardinality));
+    }
+    auto& lows = region_low_[bits];
+    auto& highs = region_high_[bits];
+    lows.resize(cardinality);
+    highs.resize(cardinality);
+    for (int sym = 0; sym < cardinality; ++sym) {
+      lows[sym] = sym == 0 ? -std::numeric_limits<float>::infinity()
+                           : static_cast<float>(level[sym - 1]);
+      highs[sym] = sym == cardinality - 1
+                       ? std::numeric_limits<float>::infinity()
+                       : static_cast<float>(level[sym]);
+    }
+  }
+}
+
+const BreakpointTable& BreakpointTable::Get() {
+  static const BreakpointTable table;
+  return table;
+}
+
+uint8_t BreakpointTable::FullSymbol(float value) const {
+  const auto& level = levels_[kMaxCardBits];
+  // Region index = number of breakpoints strictly below or equal to value.
+  // upper_bound gives the first breakpoint > value; its index is the
+  // number of breakpoints <= value, i.e. the region index.
+  const auto it = std::upper_bound(level.begin(), level.end(),
+                                   static_cast<double>(value));
+  return static_cast<uint8_t>(it - level.begin());
+}
+
+}  // namespace parisax

@@ -1,0 +1,72 @@
+// iSAX breakpoint tables.
+//
+// SAX discretizes the value axis into regions that are equiprobable under
+// N(0,1) (series are z-normalized, so segment means are approximately
+// standard normal). iSAX uses *nested* binary cardinalities: the regions at
+// cardinality 2^b are refined by splitting each region in two at
+// cardinality 2^(b+1). Because the quantile grid {i/2^b} is a subset of
+// {i/2^(b+1)}, a symbol at b bits is exactly the b-bit prefix of the same
+// value's symbol at b+1 bits -- the property the whole index relies on.
+//
+// Symbols are numbered from the lowest region (0) upward, so symbol
+// comparisons follow value order.
+#ifndef PARISAX_SAX_BREAKPOINTS_H_
+#define PARISAX_SAX_BREAKPOINTS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace parisax {
+
+/// Maximum per-segment cardinality is 2^8: symbols fit one byte.
+inline constexpr int kMaxCardBits = 8;
+inline constexpr int kMaxCardinality = 1 << kMaxCardBits;
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.2e-9). Defined for p in (0, 1).
+double InverseNormalCdf(double p);
+
+/// Precomputed N(0,1) quantile breakpoints for all cardinalities 2^1..2^8.
+///
+/// For `bits` b, Breakpoints(b) has 2^b - 1 ascending values; region
+/// `sym` (0-based from the bottom) spans
+///   [RegionLow(b, sym), RegionHigh(b, sym)]
+/// with -inf / +inf at the extremes.
+class BreakpointTable {
+ public:
+  /// The process-wide table (built once, immutable afterwards).
+  static const BreakpointTable& Get();
+
+  /// Ascending breakpoints for cardinality 2^bits (size 2^bits - 1).
+  const std::vector<double>& Breakpoints(int bits) const {
+    return levels_[bits];
+  }
+
+  /// Lower edge of region `sym` at cardinality 2^bits (-inf for sym 0).
+  float RegionLow(int bits, uint32_t sym) const {
+    return region_low_[bits][sym];
+  }
+
+  /// Upper edge of region `sym` at cardinality 2^bits (+inf for the top).
+  float RegionHigh(int bits, uint32_t sym) const {
+    return region_high_[bits][sym];
+  }
+
+  /// Symbol of `value` at full (8-bit) cardinality: the index of the
+  /// region containing value, counted from the bottom.
+  uint8_t FullSymbol(float value) const;
+
+ private:
+  BreakpointTable();
+
+  // levels_[b] for b in 1..8; index 0 unused.
+  std::vector<double> levels_[kMaxCardBits + 1];
+  // region_low_[b][sym] / region_high_[b][sym], sym < 2^b.
+  std::vector<float> region_low_[kMaxCardBits + 1];
+  std::vector<float> region_high_[kMaxCardBits + 1];
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_SAX_BREAKPOINTS_H_

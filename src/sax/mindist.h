@@ -1,0 +1,42 @@
+// Lower-bounding distances between a query and iSAX summaries.
+//
+// All functions return *squared* distances (compare against squared ED /
+// squared-cost DTW) and are guaranteed lower bounds of the corresponding
+// true distance -- the correctness foundation of every pruning step in
+// ADS+/ParIS/MESSI. The scaling factor n/w comes from the PAA
+// lower-bounding lemma (Keogh et al.), carried through to iSAX regions.
+#ifndef PARISAX_SAX_MINDIST_H_
+#define PARISAX_SAX_MINDIST_H_
+
+#include <cstddef>
+
+#include "sax/word.h"
+
+namespace parisax {
+
+/// mindist(PAA(query), iSAX word)^2: lower bound on ED(query, any series
+/// whose summary lies in `word`'s region)^2. Used to prune tree nodes.
+float MinDistPaaToWordSq(const float* query_paa, const SaxWord& word, int w,
+                         size_t n);
+
+/// mindist(PAA(query), full-cardinality symbols)^2: the hot path used to
+/// filter the flat SAX array (ParIS/ADS+) and leaf entries (MESSI).
+float MinDistPaaToSymbolsSq(const float* query_paa, const SaxSymbols& sax,
+                            int w, size_t n);
+
+/// DTW variant against an iSAX word: lower-bounds DTW(query, series)^2
+/// for every series in the region, given the PAA of the query's
+/// lower/upper Sakoe-Chiba envelopes (see dist/dtw.h). Analogue of
+/// LB_PAA from Keogh's exact DTW indexing.
+float MinDistEnvelopePaaToWordSq(const float* env_lower_paa,
+                                 const float* env_upper_paa,
+                                 const SaxWord& word, int w, size_t n);
+
+/// DTW variant against full-cardinality symbols.
+float MinDistEnvelopePaaToSymbolsSq(const float* env_lower_paa,
+                                    const float* env_upper_paa,
+                                    const SaxSymbols& sax, int w, size_t n);
+
+}  // namespace parisax
+
+#endif  // PARISAX_SAX_MINDIST_H_

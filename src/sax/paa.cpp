@@ -1,0 +1,19 @@
+#include "sax/paa.h"
+
+#include <cassert>
+
+namespace parisax {
+
+void ComputePaa(SeriesView series, size_t w, float* out) {
+  const size_t n = series.size();
+  assert(w >= 1 && w <= n);
+  for (size_t seg = 0; seg < w; ++seg) {
+    const size_t begin = PaaSegmentBegin(n, w, seg);
+    const size_t end = PaaSegmentBegin(n, w, seg + 1);
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += series[i];
+    out[seg] = static_cast<float>(sum / static_cast<double>(end - begin));
+  }
+}
+
+}  // namespace parisax

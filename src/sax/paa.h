@@ -1,0 +1,24 @@
+// Piecewise Aggregate Approximation.
+#ifndef PARISAX_SAX_PAA_H_
+#define PARISAX_SAX_PAA_H_
+
+#include <cstddef>
+
+#include "core/types.h"
+
+namespace parisax {
+
+/// First point (inclusive) of PAA segment `seg` of `w` segments over a
+/// series of n points. Segments are as equal as integer division allows:
+/// segment s covers [s*n/w, (s+1)*n/w).
+inline size_t PaaSegmentBegin(size_t n, size_t w, size_t seg) {
+  return seg * n / w;
+}
+
+/// Computes the w-segment PAA of `series` into `out` (out has w entries).
+/// Each output value is the mean of the points in its segment.
+void ComputePaa(SeriesView series, size_t w, float* out);
+
+}  // namespace parisax
+
+#endif  // PARISAX_SAX_PAA_H_

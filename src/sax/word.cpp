@@ -1,0 +1,51 @@
+#include "sax/word.h"
+
+namespace parisax {
+
+std::string SaxWord::ToString(int w) const {
+  std::string out;
+  for (int s = 0; s < w; ++s) {
+    if (s > 0) out += ' ';
+    for (int b = bits[s] - 1; b >= 0; --b) {
+      out += ((symbols[s] >> b) & 1) != 0 ? '1' : '0';
+    }
+    out += "^";
+    out += std::to_string(static_cast<int>(bits[s]));
+  }
+  return out;
+}
+
+bool WordContains(const SaxWord& word, const SaxSymbols& full, int w) {
+  for (int s = 0; s < w; ++s) {
+    if (TruncateSymbol(full.symbols[s], word.bits[s]) != word.symbols[s]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t RootKey(const SaxSymbols& full, int w) {
+  uint32_t key = 0;
+  for (int s = 0; s < w; ++s) {
+    key = (key << 1) | TruncateSymbol(full.symbols[s], 1);
+  }
+  return key;
+}
+
+SaxWord RootWord(uint32_t key, int w) {
+  SaxWord word;
+  for (int s = 0; s < w; ++s) {
+    word.symbols[s] = static_cast<uint8_t>((key >> (w - 1 - s)) & 1u);
+    word.bits[s] = 1;
+  }
+  return word;
+}
+
+void SymbolsFromPaa(const float* paa, int w, SaxSymbols* out) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  for (int s = 0; s < w; ++s) {
+    out->symbols[s] = table.FullSymbol(paa[s]);
+  }
+}
+
+}  // namespace parisax

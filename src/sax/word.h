@@ -1,0 +1,58 @@
+// iSAX words: per-segment symbols at per-segment (variable) cardinality.
+#ifndef PARISAX_SAX_WORD_H_
+#define PARISAX_SAX_WORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sax/breakpoints.h"
+
+namespace parisax {
+
+/// Maximum number of PAA segments supported (the paper fixes w = 16).
+inline constexpr int kMaxSegments = 16;
+
+/// Full-cardinality (8-bit) symbols of one series: what the SAX array
+/// (FlatSaxCache) and leaf entries store. symbols[s] is the region index
+/// of PAA segment s at cardinality 256.
+struct SaxSymbols {
+  uint8_t symbols[kMaxSegments] = {};
+};
+
+/// A variable-cardinality iSAX word: segment s carries `bits[s]` bits of
+/// its symbol. Index tree nodes are labeled with SaxWords; the root's
+/// children have 1 bit per segment, and each split adds one bit to one
+/// segment.
+struct SaxWord {
+  uint8_t symbols[kMaxSegments] = {};
+  uint8_t bits[kMaxSegments] = {};
+
+  /// Readable form like "1^2 01^3 ..." where ^b is the bit count; used in
+  /// logs and test failures.
+  std::string ToString(int w) const;
+};
+
+/// The b-bit prefix of an 8-bit symbol: the symbol of the same value at
+/// cardinality 2^b (valid because iSAX breakpoints are nested).
+inline uint8_t TruncateSymbol(uint8_t full_symbol, int bits) {
+  return static_cast<uint8_t>(full_symbol >> (kMaxCardBits - bits));
+}
+
+/// True if `full` falls inside the region `word` describes, i.e. every
+/// segment's truncated symbol matches. This is the "series belongs to this
+/// node's subtree" predicate.
+bool WordContains(const SaxWord& word, const SaxSymbols& full, int w);
+
+/// Root-subtree key of a series: the top bit of each of the w segments,
+/// packed with segment 0 as the most significant bit. In [0, 2^w).
+uint32_t RootKey(const SaxSymbols& full, int w);
+
+/// The 1-bit-per-segment word describing root child `key`.
+SaxWord RootWord(uint32_t key, int w);
+
+/// Computes full-cardinality symbols from a PAA vector.
+void SymbolsFromPaa(const float* paa, int w, SaxSymbols* out);
+
+}  // namespace parisax
+
+#endif  // PARISAX_SAX_WORD_H_

@@ -1,0 +1,268 @@
+#include "scan/ucr_scan.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "dist/dtw.h"
+#include "index/knn_heap.h"
+#include "io/reader.h"
+#include "util/timer.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+bool Improves(const Neighbor& candidate, const Neighbor& best) {
+  return candidate.distance_sq < best.distance_sq ||
+         (candidate.distance_sq == best.distance_sq &&
+          candidate.id < best.id);
+}
+
+}  // namespace
+
+Neighbor BruteForceNn(const Dataset& dataset, SeriesView query,
+                      KernelPolicy kernel) {
+  Neighbor best{0, kInf};
+  for (SeriesId i = 0; i < dataset.count(); ++i) {
+    const float d = SquaredEuclidean(query, dataset.series(i), kernel);
+    if (Improves({i, d}, best)) best = {i, d};
+  }
+  return best;
+}
+
+std::vector<Neighbor> BruteForceKnn(const Dataset& dataset, SeriesView query,
+                                    size_t k, KernelPolicy kernel) {
+  std::vector<Neighbor> all;
+  all.reserve(dataset.count());
+  for (SeriesId i = 0; i < dataset.count(); ++i) {
+    all.push_back({i, SquaredEuclidean(query, dataset.series(i), kernel)});
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance_sq < b.distance_sq ||
+                             (a.distance_sq == b.distance_sq && a.id < b.id);
+                    });
+  all.resize(take);
+  return all;
+}
+
+Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
+                       ScanStats* stats, KernelPolicy kernel) {
+  WallTimer timer;
+  Neighbor best{0, kInf};
+  uint64_t abandoned = 0;
+  for (SeriesId i = 0; i < dataset.count(); ++i) {
+    const float d = SquaredEuclideanEarlyAbandon(query, dataset.series(i),
+                                                 best.distance_sq, kernel);
+    if (d < best.distance_sq) {
+      best = {i, d};
+    } else {
+      ++abandoned;
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_calcs += dataset.count();
+    stats->abandoned += abandoned;
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return best;
+}
+
+Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
+                         ThreadPool* pool, ScanStats* stats,
+                         KernelPolicy kernel) {
+  WallTimer timer;
+  AtomicMinFloat bsf(kInf);
+  std::mutex best_mu;
+  Neighbor best{0, kInf};
+  std::atomic<uint64_t> abandoned{0};
+
+  constexpr size_t kGrain = 256;
+  WorkCounter counter(dataset.count());
+  pool->Run([&](int) {
+    uint64_t local_abandoned = 0;
+    size_t begin, end;
+    while (counter.NextBatch(kGrain, &begin, &end)) {
+      for (SeriesId i = begin; i < end; ++i) {
+        const float bound = bsf.Load();
+        const float d = SquaredEuclideanEarlyAbandon(query, dataset.series(i),
+                                                     bound, kernel);
+        if (d < bound) {
+          bsf.UpdateMin(d);
+          std::lock_guard<std::mutex> lock(best_mu);
+          if (Improves({i, d}, best)) best = {i, d};
+        } else {
+          ++local_abandoned;
+        }
+      }
+    }
+    abandoned.fetch_add(local_abandoned, std::memory_order_relaxed);
+  });
+
+  if (stats != nullptr) {
+    stats->distance_calcs += dataset.count();
+    stats->abandoned += abandoned.load();
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return best;
+}
+
+std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
+                                     SeriesView query, size_t k,
+                                     ThreadPool* pool, ScanStats* stats,
+                                     KernelPolicy kernel) {
+  WallTimer timer;
+  KnnHeap heap(k);
+  std::atomic<uint64_t> abandoned{0};
+
+  constexpr size_t kGrain = 256;
+  WorkCounter counter(dataset.count());
+  pool->Run([&](int) {
+    uint64_t local_abandoned = 0;
+    size_t begin, end;
+    while (counter.NextBatch(kGrain, &begin, &end)) {
+      for (SeriesId i = begin; i < end; ++i) {
+        const float bound = heap.Bound();
+        const float d = SquaredEuclideanEarlyAbandon(query, dataset.series(i),
+                                                     bound, kernel);
+        if (d < bound) {
+          heap.Update({i, d});
+        } else {
+          ++local_abandoned;
+        }
+      }
+    }
+    abandoned.fetch_add(local_abandoned, std::memory_order_relaxed);
+  });
+
+  if (stats != nullptr) {
+    stats->distance_calcs += dataset.count();
+    stats->abandoned += abandoned.load();
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return heap.Sorted();
+}
+
+Result<Neighbor> UcrScanDisk(const std::string& dataset_path,
+                             DiskProfile profile, SeriesView query,
+                             size_t batch_series, ScanStats* stats,
+                             KernelPolicy kernel) {
+  WallTimer timer;
+  std::unique_ptr<BufferedSeriesReader> reader;
+  PARISAX_ASSIGN_OR_RETURN(
+      reader, BufferedSeriesReader::Open(dataset_path, profile, batch_series));
+  if (reader->info().length != query.size()) {
+    return Status::InvalidArgument("query length does not match the file");
+  }
+  Neighbor best{0, kInf};
+  uint64_t total = 0, abandoned = 0;
+  for (;;) {
+    SeriesBatch batch;
+    PARISAX_RETURN_IF_ERROR(reader->NextBatch(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.count; ++i) {
+      const float d = SquaredEuclideanEarlyAbandon(query, batch.series(i),
+                                                   best.distance_sq, kernel);
+      if (d < best.distance_sq) {
+        best = {batch.first_id + i, d};
+      } else {
+        ++abandoned;
+      }
+      ++total;
+    }
+  }
+  if (stats != nullptr) {
+    stats->distance_calcs += total;
+    stats->abandoned += abandoned;
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return best;
+}
+
+Neighbor BruteForceDtwNn(const Dataset& dataset, SeriesView query,
+                         size_t band) {
+  Neighbor best{0, kInf};
+  for (SeriesId i = 0; i < dataset.count(); ++i) {
+    const float d = DtwBand(query, dataset.series(i), band, kInf);
+    if (Improves({i, d}, best)) best = {i, d};
+  }
+  return best;
+}
+
+Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
+                       ScanStats* stats) {
+  WallTimer timer;
+  std::vector<Value> lower, upper;
+  ComputeEnvelope(query, band, &lower, &upper);
+
+  Neighbor best{0, kInf};
+  uint64_t dtw_calcs = 0, abandoned = 0;
+  for (SeriesId i = 0; i < dataset.count(); ++i) {
+    const float lb = LbKeoghSq(lower, upper, dataset.series(i),
+                               best.distance_sq);
+    if (lb >= best.distance_sq) {
+      ++abandoned;
+      continue;
+    }
+    const float d = DtwBand(query, dataset.series(i), band, best.distance_sq);
+    ++dtw_calcs;
+    if (d < best.distance_sq) best = {i, d};
+  }
+  if (stats != nullptr) {
+    stats->distance_calcs += dtw_calcs;
+    stats->abandoned += abandoned;
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return best;
+}
+
+Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
+                         size_t band, ThreadPool* pool, ScanStats* stats) {
+  WallTimer timer;
+  std::vector<Value> lower, upper;
+  ComputeEnvelope(query, band, &lower, &upper);
+
+  AtomicMinFloat bsf(kInf);
+  std::mutex best_mu;
+  Neighbor best{0, kInf};
+  std::atomic<uint64_t> dtw_calcs{0}, abandoned{0};
+
+  constexpr size_t kGrain = 128;
+  WorkCounter counter(dataset.count());
+  pool->Run([&](int) {
+    uint64_t local_calcs = 0, local_abandoned = 0;
+    size_t begin, end;
+    while (counter.NextBatch(kGrain, &begin, &end)) {
+      for (SeriesId i = begin; i < end; ++i) {
+        const float bound = bsf.Load();
+        const float lb = LbKeoghSq(lower, upper, dataset.series(i), bound);
+        if (lb >= bound) {
+          ++local_abandoned;
+          continue;
+        }
+        const float d = DtwBand(query, dataset.series(i), band, bound);
+        ++local_calcs;
+        if (d < bound) {
+          bsf.UpdateMin(d);
+          std::lock_guard<std::mutex> lock(best_mu);
+          if (Improves({i, d}, best)) best = {i, d};
+        }
+      }
+    }
+    dtw_calcs.fetch_add(local_calcs, std::memory_order_relaxed);
+    abandoned.fetch_add(local_abandoned, std::memory_order_relaxed);
+  });
+
+  if (stats != nullptr) {
+    stats->distance_calcs += dtw_calcs.load();
+    stats->abandoned += abandoned.load();
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return best;
+}
+
+}  // namespace parisax

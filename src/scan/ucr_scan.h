@@ -1,0 +1,85 @@
+// Sequential-scan similarity search: the brute-force reference and the
+// UCR Suite baselines of the paper.
+//
+// "UCR Suite" here is the whole-matching variant relevant to the paper's
+// experiments: an optimized serial scan with early-abandoning SIMD ED.
+// "UCR Suite-p" (the paper's in-memory competitor for MESSI, Figs. 9/12)
+// partitions the collection over threads that share an atomic BSF.
+#ifndef PARISAX_SCAN_UCR_SCAN_H_
+#define PARISAX_SCAN_UCR_SCAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/euclidean.h"
+#include "io/dataset.h"
+#include "io/sim_disk.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+struct ScanStats {
+  uint64_t distance_calcs = 0;
+  uint64_t abandoned = 0;  ///< distance computations cut short
+  double seconds = 0.0;
+};
+
+/// Exact 1-NN by full (non-abandoning) scan. The correctness oracle for
+/// every other engine. Ties broken toward the smaller id.
+Neighbor BruteForceNn(const Dataset& dataset, SeriesView query,
+                      KernelPolicy kernel = KernelPolicy::kAuto);
+
+/// Exact k-NN by full scan, ascending distance (ties: smaller id first).
+std::vector<Neighbor> BruteForceKnn(const Dataset& dataset, SeriesView query,
+                                    size_t k,
+                                    KernelPolicy kernel = KernelPolicy::kAuto);
+
+/// UCR Suite: serial scan with early-abandoning ED.
+Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
+                       ScanStats* stats = nullptr,
+                       KernelPolicy kernel = KernelPolicy::kAuto);
+
+/// UCR Suite-p: parallel partitioned scan with a shared atomic BSF.
+Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
+                         ThreadPool* pool, ScanStats* stats = nullptr,
+                         KernelPolicy kernel = KernelPolicy::kAuto);
+
+/// Parallel exact k-NN scan: the BSF generalizes to the k-th best
+/// distance (see index/knn_heap.h). Ascending (distance, id).
+std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
+                                     SeriesView query, size_t k,
+                                     ThreadPool* pool,
+                                     ScanStats* stats = nullptr,
+                                     KernelPolicy kernel =
+                                         KernelPolicy::kAuto);
+
+/// UCR Suite over an on-disk collection: streams the file through the
+/// simulated device in `batch_series` chunks (serial; the paper's on-disk
+/// UCR baseline for Figs. 10/11).
+Result<Neighbor> UcrScanDisk(const std::string& dataset_path,
+                             DiskProfile profile, SeriesView query,
+                             size_t batch_series = 8192,
+                             ScanStats* stats = nullptr,
+                             KernelPolicy kernel = KernelPolicy::kAuto);
+
+// --- DTW variants (the paper's "current work" extension) ---------------
+
+/// Exact DTW 1-NN by full banded DTW (no lower bounding); test oracle.
+Neighbor BruteForceDtwNn(const Dataset& dataset, SeriesView query,
+                         size_t band);
+
+/// UCR-DTW: serial scan with the LB_Keogh cascade and early-abandoning
+/// banded DTW.
+Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
+                       ScanStats* stats = nullptr);
+
+/// Parallel UCR-DTW with a shared atomic BSF.
+Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
+                         size_t band, ThreadPool* pool,
+                         ScanStats* stats = nullptr);
+
+}  // namespace parisax
+
+#endif  // PARISAX_SCAN_UCR_SCAN_H_

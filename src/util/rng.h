@@ -1,0 +1,97 @@
+// Deterministic, splittable random number generation.
+//
+// parisax needs reproducible data generation that is identical whether a
+// dataset is produced serially or in parallel. We therefore avoid
+// <random>'s distribution objects (whose output is implementation-defined)
+// and use our own generators: SplitMix64 for seeding/mixing and
+// Xoshiro256** for the main stream, with a Box-Muller Gaussian on top.
+#ifndef PARISAX_UTIL_RNG_H_
+#define PARISAX_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace parisax {
+
+/// One step of the SplitMix64 mixing function. Useful on its own to derive
+/// independent per-item seeds from (dataset_seed, item_index).
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two 64-bit values into one; used to derive the seed of
+/// series `index` from a dataset seed so generation order does not matter.
+inline uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL + index * 0xbf58476d1ce4e5b9ULL);
+  SplitMix64(s);
+  return SplitMix64(s);
+}
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Fast, 2^256-1 period,
+/// deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  /// Standard normal N(0,1) via Box-Muller (deterministic across
+  /// platforms, unlike std::normal_distribution).
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(kTwoPi * u2);
+    have_spare_ = true;
+    return mag * std::cos(kTwoPi * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_UTIL_RNG_H_

@@ -1,0 +1,143 @@
+// Status / Result error-handling primitives.
+//
+// parisax does not use exceptions on its public API (following the style of
+// large database codebases such as RocksDB and Arrow). Fallible operations
+// return a `Status`, or a `Result<T>` when they also produce a value.
+#ifndef PARISAX_UTIL_STATUS_H_
+#define PARISAX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace parisax {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIoError,
+  kCorruption,
+  kNotFound,
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "IOError").
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail.
+///
+/// A default-constructed Status is OK. Failed statuses carry a code and a
+/// free-form message. Statuses are cheap to move and to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a failed Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a failed Status. Constructing from an OK status is a
+  /// programming error.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The failure, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The value. Must hold a value (checked by assert in debug builds).
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define PARISAX_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::parisax::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on failure returns its Status, on
+/// success assigns the value to `lhs`.
+#define PARISAX_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto PARISAX_CONCAT_(_res, __LINE__) = (expr);              \
+  if (!PARISAX_CONCAT_(_res, __LINE__).ok())                  \
+    return PARISAX_CONCAT_(_res, __LINE__).status();          \
+  lhs = std::move(PARISAX_CONCAT_(_res, __LINE__)).value()
+
+#define PARISAX_CONCAT_IMPL_(a, b) a##b
+#define PARISAX_CONCAT_(a, b) PARISAX_CONCAT_IMPL_(a, b)
+
+}  // namespace parisax
+
+#endif  // PARISAX_UTIL_STATUS_H_

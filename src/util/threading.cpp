@@ -1,0 +1,68 @@
+#include "util/threading.h"
+
+#include <cassert>
+
+namespace parisax {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  assert(num_threads >= 1);
+  threads_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(task_ == nullptr && "ThreadPool::Run is not reentrant");
+  task_ = &fn;
+  active_ = num_threads_;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::ParallelFor(
+    size_t total, size_t grain,
+    const std::function<void(size_t, size_t, int)>& fn) {
+  WorkCounter counter(total);
+  Run([&](int worker) {
+    size_t begin, end;
+    while (counter.NextBatch(grain, &begin, &end)) {
+      fn(begin, end, worker);
+    }
+  });
+}
+
+void ThreadPool::WorkerLoop(int id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace parisax

@@ -1,0 +1,156 @@
+// Threading substrate: a parallel-region thread pool, spin barrier,
+// Fetch&Inc work distribution, and the atomic best-so-far (BSF) cell.
+//
+// ParIS/ParIS+/MESSI are structured as *parallel regions*: a fixed set of
+// worker threads all execute the same phase function and synchronize on
+// barriers, distributing work items among themselves with Fetch&Inc
+// counters (the primitive the papers call out explicitly). ThreadPool
+// models exactly that: Run(f) executes f(worker_id) on every worker and
+// returns when all workers finish the phase.
+#ifndef PARISAX_UTIL_THREADING_H_
+#define PARISAX_UTIL_THREADING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parisax {
+
+/// Atomic shared upper bound used for pruning: the Best-So-Far distance.
+/// Readers may see a slightly stale (larger) value, which only weakens
+/// pruning, never correctness.
+class AtomicMinFloat {
+ public:
+  explicit AtomicMinFloat(float initial) : value_(initial) {}
+
+  /// Lowers the stored value to `candidate` if it is smaller.
+  /// Returns true if this call lowered the value.
+  bool UpdateMin(float candidate) {
+    float current = value_.load(std::memory_order_relaxed);
+    while (candidate < current) {
+      if (value_.compare_exchange_weak(current, candidate,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  float Load() const { return value_.load(std::memory_order_acquire); }
+
+  void Reset(float v) { value_.store(v, std::memory_order_release); }
+
+ private:
+  std::atomic<float> value_;
+};
+
+/// Fetch&Inc work distribution over a range [0, total). Each call to
+/// NextBatch claims the next contiguous batch of up to `grain` items.
+class WorkCounter {
+ public:
+  explicit WorkCounter(size_t total) : total_(total) {}
+
+  /// Claims up to `grain` items. Returns false when the range is
+  /// exhausted; otherwise sets [*begin, *end).
+  bool NextBatch(size_t grain, size_t* begin, size_t* end) {
+    const size_t b = next_.fetch_add(grain, std::memory_order_relaxed);
+    if (b >= total_) return false;
+    *begin = b;
+    *end = b + grain < total_ ? b + grain : total_;
+    return true;
+  }
+
+  /// Claims a single item; returns false when exhausted.
+  bool NextItem(size_t* item) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) return false;
+    *item = i;
+    return true;
+  }
+
+  void Reset(size_t total) {
+    total_ = total;
+    next_.store(0, std::memory_order_relaxed);
+  }
+
+  size_t total() const { return total_; }
+
+ private:
+  size_t total_;
+  std::atomic<size_t> next_{0};
+};
+
+/// Reusable spinning barrier for `parties` threads. Spins with
+/// std::this_thread::yield(), which behaves sensibly both on dedicated
+/// cores and when oversubscribed.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  /// Blocks until all `parties` threads have arrived.
+  void ArriveAndWait() {
+    const uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<uint64_t> generation_{0};
+};
+
+/// A pool of `num_threads` persistent workers executing parallel regions.
+///
+/// Run(f) makes every worker execute f(worker_id) once and returns when all
+/// have finished. Workers are identified by 0..num_threads-1 so phases can
+/// use per-worker state (e.g. MESSI's per-thread iSAX buffer parts).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Executes `fn(worker_id)` on all workers; blocks until every worker
+  /// has returned from `fn`. Not reentrant.
+  void Run(const std::function<void(int)>& fn);
+
+  /// Convenience: splits [0, total) into batches of `grain` items claimed
+  /// via Fetch&Inc and calls fn(begin, end, worker_id) for each batch.
+  void ParallelFor(size_t total, size_t grain,
+                   const std::function<void(size_t, size_t, int)>& fn);
+
+ private:
+  void WorkerLoop(int id);
+
+  const int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  uint64_t generation_ = 0;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_UTIL_THREADING_H_

@@ -1,0 +1,70 @@
+// Wall-clock timing utilities used by benchmarks and build/query stats.
+#ifndef PARISAX_UTIL_TIMER_H_
+#define PARISAX_UTIL_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parisax {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Thread-safe accumulator of time spent in a named stage, in nanoseconds.
+/// Multiple threads may Add() concurrently; the total is the sum of all
+/// per-thread contributions (i.e. CPU-style accounting, not wall time).
+class StageAccumulator {
+ public:
+  void Add(int64_t nanos) {
+    total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  /// Measures the lifetime of the returned guard into this accumulator.
+  class Scope {
+   public:
+    explicit Scope(StageAccumulator* acc) : acc_(acc) {}
+    ~Scope() { acc_->Add(timer_.ElapsedNanos()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageAccumulator* acc_;
+    WallTimer timer_;
+  };
+
+  double TotalSeconds() const {
+    return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  void Reset() { total_nanos_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> total_nanos_{0};
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_UTIL_TIMER_H_

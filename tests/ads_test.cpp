@@ -1,0 +1,204 @@
+// Tests for the ADS+ baseline: SIMS phase behavior, build stats, leaf
+// materialization, and in-memory/on-disk equivalence.
+#include "index/ads_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/format.h"
+#include "io/generator.h"
+#include "scan/ucr_scan.h"
+
+namespace parisax {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset MakeData(size_t count = 3000, size_t length = 64,
+                 uint64_t seed = 61) {
+  GeneratorOptions gen;
+  gen.count = count;
+  gen.length = length;
+  gen.seed = seed;
+  return GenerateDataset(gen);
+}
+
+AdsBuildOptions SmallBuild() {
+  AdsBuildOptions o;
+  o.tree.segments = 8;
+  o.tree.leaf_capacity = 32;
+  o.tree.series_length = 64;
+  return o;
+}
+
+TEST(AdsTest, InMemoryBuildIndexesEverything) {
+  const Dataset data = MakeData();
+  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->build_stats().tree.total_entries, data.count());
+  EXPECT_TRUE((*index)->tree().CheckInvariants().ok());
+  EXPECT_EQ((*index)->cache().count(), data.count());
+  EXPECT_GT((*index)->build_stats().cpu_seconds, 0.0);
+}
+
+TEST(AdsTest, OnDiskBuildEqualsInMemoryBuild) {
+  const Dataset data = MakeData();
+  const std::string path = TempPath("ads_equal.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  auto mem = AdsIndex::BuildInMemory(&data, SmallBuild());
+  ASSERT_TRUE(mem.ok());
+  AdsBuildOptions disk_build = SmallBuild();
+  disk_build.leaf_storage_path = TempPath("ads_equal.leaves");
+  auto disk = AdsIndex::BuildFromFile(path, disk_build,
+                                      DiskProfile::Instant());
+  ASSERT_TRUE(disk.ok());
+
+  // Identical trees: same serial insertion order, so the structures must
+  // match exactly (root population and leaf count).
+  EXPECT_EQ((*mem)->tree().PresentRoots(), (*disk)->tree().PresentRoots());
+  EXPECT_EQ((*mem)->build_stats().tree.leaves,
+            (*disk)->build_stats().tree.leaves);
+  EXPECT_EQ((*mem)->build_stats().tree.inner_nodes,
+            (*disk)->build_stats().tree.inner_nodes);
+
+  // Same SAX cache.
+  for (SeriesId i = 0; i < data.count(); i += 61) {
+    for (int s = 0; s < 8; ++s) {
+      EXPECT_EQ((*mem)->cache().At(i).symbols[s],
+                (*disk)->cache().At(i).symbols[s]);
+    }
+  }
+
+  // Same exact answers.
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 5, 64, 61);
+  for (size_t q = 0; q < queries.count(); ++q) {
+    auto a = (*mem)->SearchExact(queries.series(q));
+    auto b = (*disk)->SearchExact(queries.series(q));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->id, b->id);
+    EXPECT_FLOAT_EQ(a->distance_sq, b->distance_sq);
+  }
+}
+
+TEST(AdsTest, OnDiskBuildMaterializesAllLeaves) {
+  const Dataset data = MakeData();
+  const std::string path = TempPath("ads_mat.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  AdsBuildOptions build = SmallBuild();
+  build.leaf_storage_path = TempPath("ads_mat.leaves");
+  auto index = AdsIndex::BuildFromFile(path, build, DiskProfile::Instant());
+  ASSERT_TRUE(index.ok());
+  size_t in_memory = 0, chunks = 0;
+  (*index)->tree().VisitLeaves(nullptr, [&](Node* leaf) {
+    in_memory += leaf->entries().size();
+    chunks += leaf->flushed_chunks().size();
+  });
+  EXPECT_EQ(in_memory, 0u);
+  EXPECT_GT(chunks, 0u);
+  EXPECT_GT((*index)->leaf_storage()->bytes_written(),
+            data.count() * sizeof(LeafEntry) - 1);
+}
+
+TEST(AdsTest, SimsPhaseAccountingIsConsistent) {
+  const Dataset data = MakeData(5000);
+  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  ASSERT_TRUE(index.ok());
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 4, 64, 61);
+  for (size_t q = 0; q < queries.count(); ++q) {
+    QueryStats stats;
+    auto nn = (*index)->SearchExact(queries.series(q), {}, &stats);
+    ASSERT_TRUE(nn.ok());
+    // One lower-bound check per series.
+    EXPECT_EQ(stats.lb_checks, data.count());
+    // Candidates = what survived; every candidate got a real distance,
+    // plus the approximate phase's leaf members.
+    EXPECT_GE(stats.real_dist_calcs, stats.candidates);
+    EXPECT_LE(stats.real_dist_calcs,
+              stats.candidates + SmallBuild().tree.leaf_capacity + 1);
+    // Phases are timed.
+    EXPECT_GE(stats.total_seconds,
+              stats.filter_phase_seconds + stats.refine_phase_seconds);
+  }
+}
+
+TEST(AdsTest, ApproximateNeverBeatsExact) {
+  const Dataset data = MakeData(4000);
+  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  ASSERT_TRUE(index.ok());
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 8, 64, 61);
+  for (size_t q = 0; q < queries.count(); ++q) {
+    auto approx = (*index)->SearchApproximate(queries.series(q));
+    auto exact = (*index)->SearchExact(queries.series(q));
+    ASSERT_TRUE(approx.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(approx->distance_sq, exact->distance_sq - 1e-3f);
+    // Both must point at real series.
+    EXPECT_LT(approx->id, data.count());
+    EXPECT_LT(exact->id, data.count());
+  }
+}
+
+TEST(AdsTest, ExactMatchesOracleOnEveryDatasetKind) {
+  for (const DatasetKind kind :
+       {DatasetKind::kRandomWalk, DatasetKind::kSaldEeg,
+        DatasetKind::kSeismicBurst}) {
+    GeneratorOptions gen;
+    gen.kind = kind;
+    gen.count = 2000;
+    gen.length = 64;
+    gen.seed = 62;
+    const Dataset data = GenerateDataset(gen);
+    auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+    ASSERT_TRUE(index.ok());
+    const Dataset queries = GenerateQueries(kind, 4, 64, 62);
+    for (size_t q = 0; q < queries.count(); ++q) {
+      const Neighbor oracle =
+          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+      auto nn = (*index)->SearchExact(queries.series(q));
+      ASSERT_TRUE(nn.ok());
+      EXPECT_NEAR(nn->distance_sq, oracle.distance_sq,
+                  1e-3f * std::max(1.0f, oracle.distance_sq))
+          << DatasetKindName(kind);
+    }
+  }
+}
+
+TEST(AdsTest, RejectsMismatchedSeriesLength) {
+  const Dataset data = MakeData();
+  AdsBuildOptions bad = SmallBuild();
+  bad.tree.series_length = 32;
+  EXPECT_EQ(AdsIndex::BuildInMemory(&data, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AdsTest, OnDiskRequiresLeafStorage) {
+  AdsBuildOptions build = SmallBuild();
+  build.leaf_storage_path.clear();
+  EXPECT_EQ(AdsIndex::BuildFromFile("x.psax", build,
+                                    DiskProfile::Instant())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AdsTest, EmptyCollection) {
+  const Dataset data(0, 64);
+  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  ASSERT_TRUE(index.ok());
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 61);
+  auto nn = (*index)->SearchExact(queries.series(0));
+  ASSERT_TRUE(nn.ok());
+  EXPECT_TRUE(std::isinf(nn->distance_sq));
+}
+
+}  // namespace
+}  // namespace parisax

@@ -1,0 +1,111 @@
+// Tests for the N(0,1) breakpoint tables and the inverse normal CDF.
+#include "sax/breakpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parisax {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447460685429), 1.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.9986501019683699), 3.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.0013498980316301), -3.0, 1e-9);
+}
+
+TEST(InverseNormalCdfTest, SymmetricAroundHalf) {
+  for (double p : {0.01, 0.1, 0.2, 0.3, 0.45}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST(InverseNormalCdfTest, RoundTripsThroughErfc) {
+  for (double p = 0.02; p < 1.0; p += 0.07) {
+    const double x = InverseNormalCdf(p);
+    const double back = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(back, p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(BreakpointTableTest, SizesAndMonotonicity) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  for (int bits = 1; bits <= kMaxCardBits; ++bits) {
+    const auto& level = table.Breakpoints(bits);
+    ASSERT_EQ(level.size(), (1u << bits) - 1) << "bits=" << bits;
+    for (size_t i = 1; i < level.size(); ++i) {
+      EXPECT_LT(level[i - 1], level[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(BreakpointTableTest, TwoRegionSplitIsAtZero) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  ASSERT_EQ(table.Breakpoints(1).size(), 1u);
+  EXPECT_NEAR(table.Breakpoints(1)[0], 0.0, 1e-12);
+}
+
+// The defining iSAX property: the grid at cardinality 2^b is a subset of
+// the grid at 2^(b+1) (every breakpoint survives refinement).
+TEST(BreakpointTableTest, NestedGrids) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  for (int bits = 1; bits < kMaxCardBits; ++bits) {
+    const auto& coarse = table.Breakpoints(bits);
+    const auto& fine = table.Breakpoints(bits + 1);
+    for (size_t i = 0; i < coarse.size(); ++i) {
+      // coarse[i] corresponds to fine[2i + 1].
+      EXPECT_NEAR(coarse[i], fine[2 * i + 1], 1e-12)
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(BreakpointTableTest, RegionBoundsTileTheRealLine) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  for (int bits = 1; bits <= kMaxCardBits; ++bits) {
+    const uint32_t cardinality = 1u << bits;
+    EXPECT_TRUE(std::isinf(table.RegionLow(bits, 0)));
+    EXPECT_TRUE(std::isinf(table.RegionHigh(bits, cardinality - 1)));
+    for (uint32_t sym = 0; sym + 1 < cardinality; ++sym) {
+      // Adjacent regions share an edge.
+      EXPECT_FLOAT_EQ(table.RegionHigh(bits, sym),
+                      table.RegionLow(bits, sym + 1));
+    }
+    for (uint32_t sym = 0; sym < cardinality; ++sym) {
+      EXPECT_LT(table.RegionLow(bits, sym), table.RegionHigh(bits, sym));
+    }
+  }
+}
+
+TEST(BreakpointTableTest, FullSymbolLocatesValues) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  // Values around the median map to the middle regions.
+  EXPECT_EQ(table.FullSymbol(-10.0f), 0);
+  EXPECT_EQ(table.FullSymbol(10.0f), kMaxCardinality - 1);
+  const uint8_t mid = table.FullSymbol(0.0f);
+  EXPECT_TRUE(mid == kMaxCardinality / 2 || mid == kMaxCardinality / 2 - 1);
+  // Each value lies inside its region.
+  for (float v = -3.0f; v <= 3.0f; v += 0.13f) {
+    const uint8_t sym = table.FullSymbol(v);
+    EXPECT_GE(v, table.RegionLow(kMaxCardBits, sym));
+    EXPECT_LE(v, table.RegionHigh(kMaxCardBits, sym));
+  }
+}
+
+TEST(BreakpointTableTest, FullSymbolOnExactBreakpointIsConsistent) {
+  const BreakpointTable& table = BreakpointTable::Get();
+  const auto& level = table.Breakpoints(kMaxCardBits);
+  for (size_t i = 0; i < level.size(); i += 37) {
+    const float v = static_cast<float>(level[i]);
+    const uint8_t sym = table.FullSymbol(v);
+    EXPECT_GE(v, table.RegionLow(kMaxCardBits, sym));
+    EXPECT_LE(v, table.RegionHigh(kMaxCardBits, sym));
+  }
+}
+
+}  // namespace
+}  // namespace parisax

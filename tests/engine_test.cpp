@@ -1,0 +1,162 @@
+// Tests for the public Engine facade: option validation, capability
+// gating, build reports, and algorithm name parsing.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "io/format.h"
+#include "io/generator.h"
+
+namespace parisax {
+namespace {
+
+Dataset MakeData(size_t count = 500, size_t length = 64) {
+  GeneratorOptions gen;
+  gen.count = count;
+  gen.length = length;
+  gen.seed = 71;
+  return GenerateDataset(gen);
+}
+
+EngineOptions BaseOptions(Algorithm algorithm) {
+  EngineOptions o;
+  o.algorithm = algorithm;
+  o.num_threads = 2;
+  o.tree.segments = 8;
+  o.tree.leaf_capacity = 16;
+  return o;
+}
+
+TEST(EngineTest, AlgorithmNamesRoundTrip) {
+  for (const Algorithm a :
+       {Algorithm::kBruteForce, Algorithm::kUcrSerial,
+        Algorithm::kUcrParallel, Algorithm::kAdsPlus, Algorithm::kParis,
+        Algorithm::kParisPlus, Algorithm::kMessi}) {
+    auto parsed = ParseAlgorithm(AlgorithmName(a));
+    ASSERT_TRUE(parsed.ok()) << AlgorithmName(a);
+    EXPECT_EQ(*parsed, a);
+  }
+  EXPECT_FALSE(ParseAlgorithm("quantum").ok());
+}
+
+TEST(EngineTest, BuildReportHasTreeForIndexEngines) {
+  const Dataset data = MakeData();
+  for (const Algorithm a :
+       {Algorithm::kAdsPlus, Algorithm::kParisPlus, Algorithm::kMessi}) {
+    auto engine = Engine::BuildInMemory(&data, BaseOptions(a));
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ((*engine)->build_report().tree.total_entries, data.count())
+        << AlgorithmName(a);
+    EXPECT_GT((*engine)->build_report().wall_seconds, 0.0);
+    EXPECT_FALSE((*engine)->build_report().details.empty());
+  }
+  auto scan = Engine::BuildInMemory(&data,
+                                    BaseOptions(Algorithm::kUcrSerial));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)->build_report().tree.total_entries, 0u);
+}
+
+TEST(EngineTest, RejectsBadOptions) {
+  const Dataset data = MakeData();
+  EngineOptions bad = BaseOptions(Algorithm::kMessi);
+  bad.num_threads = 0;
+  EXPECT_EQ(Engine::BuildInMemory(&data, bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EngineOptions wrong_len = BaseOptions(Algorithm::kMessi);
+  wrong_len.tree.series_length = 32;
+  EXPECT_EQ(Engine::BuildInMemory(&data, wrong_len).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, RejectsWrongQueryShapes) {
+  const Dataset data = MakeData();
+  auto engine =
+      Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(engine.ok());
+  std::vector<float> short_query(32, 0.0f);
+  EXPECT_EQ((*engine)
+                ->Search(SeriesView(short_query.data(), 32), {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<float> query(64, 0.0f);
+  SearchRequest zero_k;
+  zero_k.k = 0;
+  EXPECT_EQ((*engine)
+                ->Search(SeriesView(query.data(), 64), zero_k)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, CapabilityGating) {
+  const Dataset data = MakeData();
+  std::vector<float> query(64, 0.0f);
+  const SeriesView q(query.data(), 64);
+
+  // kNN > 1 unsupported on ParIS+.
+  auto paris = Engine::BuildInMemory(&data,
+                                     BaseOptions(Algorithm::kParisPlus));
+  ASSERT_TRUE(paris.ok());
+  SearchRequest knn;
+  knn.k = 5;
+  EXPECT_EQ((*paris)->Search(q, knn).status().code(),
+            StatusCode::kNotSupported);
+
+  // DTW unsupported on ADS+.
+  auto ads = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kAdsPlus));
+  ASSERT_TRUE(ads.ok());
+  SearchRequest dtw;
+  dtw.dtw = true;
+  EXPECT_EQ((*ads)->Search(q, dtw).status().code(),
+            StatusCode::kNotSupported);
+
+  // Approximate unsupported on scans.
+  auto ucr = Engine::BuildInMemory(&data,
+                                   BaseOptions(Algorithm::kUcrParallel));
+  ASSERT_TRUE(ucr.ok());
+  SearchRequest approx;
+  approx.approximate = true;
+  EXPECT_EQ((*ucr)->Search(q, approx).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(EngineTest, OnDiskRejectsInMemoryOnlyEngines) {
+  const Dataset data = MakeData(100);
+  const std::string path = ::testing::TempDir() + "/engine_ondisk.psax";
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  for (const Algorithm a :
+       {Algorithm::kBruteForce, Algorithm::kUcrParallel, Algorithm::kMessi}) {
+    EXPECT_EQ(Engine::BuildFromFile(path, BaseOptions(a)).status().code(),
+              StatusCode::kNotSupported)
+        << AlgorithmName(a);
+  }
+}
+
+TEST(EngineTest, OnDiskDefaultsLeafStoragePath) {
+  const Dataset data = MakeData(200);
+  const std::string path = ::testing::TempDir() + "/engine_leafdflt.psax";
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  auto engine =
+      Engine::BuildFromFile(path, BaseOptions(Algorithm::kParisPlus));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->options().leaf_storage_path, path + ".leaves");
+}
+
+TEST(EngineTest, SearchReportsStats) {
+  const Dataset data = MakeData(1000);
+  auto engine =
+      Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(engine.ok());
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 71);
+  auto response = (*engine)->Search(queries.series(0), {});
+  ASSERT_TRUE(response.ok());
+  EXPECT_GT(response->stats.total_seconds, 0.0);
+  EXPECT_GT(response->stats.real_dist_calcs, 0u);
+  EXPECT_EQ(response->neighbors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parisax

@@ -1,0 +1,177 @@
+// Failure injection: corrupted files, impossible options, and error
+// propagation out of the parallel build pipelines. A failed build or
+// query must surface a Status -- never crash, hang, or silently return
+// wrong answers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "index/leaf_storage.h"
+#include "io/format.h"
+#include "io/generator.h"
+#include "paris/paris_index.h"
+
+namespace parisax {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset MakeData(size_t count = 1000, size_t length = 64) {
+  GeneratorOptions gen;
+  gen.count = count;
+  gen.length = length;
+  gen.seed = 313;
+  return GenerateDataset(gen);
+}
+
+TEST(FailureTest, EngineRejectsMissingFile) {
+  EngineOptions options;
+  options.algorithm = Algorithm::kParisPlus;
+  options.tree.segments = 8;
+  auto engine = Engine::BuildFromFile(TempPath("missing_engine.psax"),
+                                      options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FailureTest, EngineRejectsCorruptHeader) {
+  const std::string path = TempPath("corrupt_header.psax");
+  std::ofstream f(path, std::ios::binary);
+  f << "GARBAGEGARBAGEGARBAGEGARBAGE";
+  f.close();
+  EngineOptions options;
+  options.algorithm = Algorithm::kAdsPlus;
+  options.tree.segments = 8;
+  auto engine = Engine::BuildFromFile(path, options);
+  EXPECT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FailureTest, ParisBuildSurvivesTruncatedDataset) {
+  // A dataset whose payload is shorter than its header claims must fail
+  // cleanly during the pipelined build -- the interesting part is that
+  // the coordinator error must unwind the worker pool without deadlock.
+  const Dataset data = MakeData(2000);
+  const std::string path = TempPath("truncated_build.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  const DatasetFileInfo info{2000, 64, 0};
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(info.FileBytes() / 2)), 0);
+
+  ParisBuildOptions build;
+  build.num_workers = 4;
+  build.plus_mode = true;
+  build.batch_series = 128;
+  build.tree.segments = 8;
+  build.tree.leaf_capacity = 16;
+  build.tree.series_length = 64;
+  build.raw_profile = DiskProfile::Instant();
+  build.leaf_storage_path = TempPath("truncated_build.leaves");
+  auto index = ParisIndex::BuildFromFile(path, build,
+                                         DiskProfile::Instant());
+  EXPECT_FALSE(index.ok());
+}
+
+TEST(FailureTest, LeafStorageReadBeyondEndFails) {
+  auto storage = LeafStorage::Create(TempPath("short_leaf.bin"));
+  ASSERT_TRUE(storage.ok());
+  std::vector<LeafEntry> entries(4);
+  auto ref = (*storage)->AppendChunk(entries);
+  ASSERT_TRUE(ref.ok());
+  LeafChunkRef bogus = *ref;
+  bogus.count = 400;  // far beyond what was written
+  std::vector<LeafEntry> out;
+  EXPECT_EQ((*storage)->ReadChunk(bogus, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FailureTest, ParisRejectsImpossibleLeafStoragePath) {
+  const Dataset data = MakeData(500);
+  const std::string path = TempPath("ok_data.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  ParisBuildOptions build;
+  build.num_workers = 2;
+  build.tree.segments = 8;
+  build.tree.series_length = 64;
+  build.raw_profile = DiskProfile::Instant();
+  build.leaf_storage_path = "/no-such-dir-xyz/leaves.bin";
+  EXPECT_FALSE(
+      ParisIndex::BuildFromFile(path, build, DiskProfile::Instant()).ok());
+}
+
+TEST(FailureTest, EngineSearchAfterFailedOptionsNeverCrashes) {
+  const Dataset data = MakeData(200);
+  // segments beyond kMaxSegments would corrupt SaxWord storage; the
+  // options path must refuse before any engine code runs.
+  EngineOptions options;
+  options.algorithm = Algorithm::kMessi;
+  options.tree.segments = 8;
+  options.tree.leaf_capacity = 0;  // nonsense
+  auto engine = Engine::BuildInMemory(&data, options);
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+
+  options.tree.leaf_capacity = 128;
+  options.tree.segments = 0;  // also nonsense
+  EXPECT_EQ(Engine::BuildInMemory(&data, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.tree.segments = 17;  // beyond kMaxSegments
+  EXPECT_EQ(Engine::BuildInMemory(&data, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FailureTest, UcrDiskScanPropagatesOpenFailure) {
+  std::vector<float> query(64, 0.0f);
+  EngineOptions options;
+  options.algorithm = Algorithm::kUcrSerial;
+  auto engine = Engine::BuildFromFile(TempPath("missing_ucr.psax"),
+                                      options);
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST(FailureTest, DeletedFileAfterOpenIsHandledAtQueryTime) {
+  // Building ParIS+ keeps a DiskSource fd open; deleting the file under
+  // it is fine on POSIX (the fd stays valid). The engine must keep
+  // answering queries correctly.
+  const Dataset data = MakeData(1500);
+  const std::string path = TempPath("deleted_under_fd.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  EngineOptions options;
+  options.algorithm = Algorithm::kParisPlus;
+  options.num_threads = 2;
+  options.tree.segments = 8;
+  options.leaf_storage_path = TempPath("deleted_under_fd.leaves");
+  auto engine = Engine::BuildFromFile(path, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 2, 64, 313);
+  for (size_t q = 0; q < queries.count(); ++q) {
+    auto response = (*engine)->Search(queries.series(q), {});
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+  }
+}
+
+TEST(FailureTest, ZeroLengthQuerySpanRejectedEverywhere) {
+  const Dataset data = MakeData(100);
+  for (const Algorithm algorithm :
+       {Algorithm::kBruteForce, Algorithm::kUcrParallel, Algorithm::kMessi,
+        Algorithm::kAdsPlus, Algorithm::kParisPlus}) {
+    EngineOptions options;
+    options.algorithm = algorithm;
+    options.num_threads = 2;
+    options.tree.segments = 8;
+    auto engine = Engine::BuildInMemory(&data, options);
+    ASSERT_TRUE(engine.ok()) << AlgorithmName(algorithm);
+    auto response = (*engine)->Search(SeriesView(), {});
+    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument)
+        << AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace parisax

@@ -1,0 +1,445 @@
+// Tests for the dataset file format, generators, simulated disk and the
+// buffered reader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "dist/znorm.h"
+#include "io/format.h"
+#include "io/generator.h"
+#include "io/reader.h"
+#include "io/sim_disk.h"
+#include "util/threading.h"
+#include "util/timer.h"
+
+namespace parisax {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset SmallDataset(size_t count = 100, size_t length = 32,
+                     uint64_t seed = 1) {
+  GeneratorOptions gen;
+  gen.count = count;
+  gen.length = length;
+  gen.seed = seed;
+  return GenerateDataset(gen);
+}
+
+// --- format --------------------------------------------------------------
+
+TEST(FormatTest, WriteLoadRoundTrip) {
+  const Dataset original = SmallDataset(123, 40);
+  const std::string path = TempPath("fmt_roundtrip.psax");
+  ASSERT_TRUE(WriteDataset(original, path).ok());
+
+  auto info = ReadDatasetInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->count, 123u);
+  EXPECT_EQ(info->length, 40u);
+  EXPECT_EQ(info->flags & kDatasetFlagZNormalized, kDatasetFlagZNormalized);
+
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->count(), original.count());
+  ASSERT_EQ(loaded->length(), original.length());
+  for (SeriesId i = 0; i < original.count(); ++i) {
+    const SeriesView a = original.series(i), b = loaded->series(i);
+    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(FormatTest, OffsetsMatchLayout) {
+  DatasetFileInfo info;
+  info.count = 10;
+  info.length = 16;
+  EXPECT_EQ(info.SeriesBytes(), 64u);
+  EXPECT_EQ(info.SeriesOffset(0), kDatasetHeaderBytes);
+  EXPECT_EQ(info.SeriesOffset(3), kDatasetHeaderBytes + 3 * 64);
+  EXPECT_EQ(info.FileBytes(), kDatasetHeaderBytes + 640);
+}
+
+TEST(FormatTest, RejectsMissingFile) {
+  EXPECT_EQ(ReadDatasetInfo(TempPath("does_not_exist.psax")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FormatTest, RejectsBadMagic) {
+  const std::string path = TempPath("fmt_badmagic.psax");
+  std::ofstream f(path, std::ios::binary);
+  f << "NOTPSAXFILE.....garbage.....padding to be long enough";
+  f.close();
+  EXPECT_EQ(ReadDatasetInfo(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(FormatTest, RejectsTruncatedPayload) {
+  const Dataset original = SmallDataset(50, 32);
+  const std::string path = TempPath("fmt_truncated.psax");
+  ASSERT_TRUE(WriteDataset(original, path).ok());
+  // Truncate the file by a few bytes.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const DatasetFileInfo info{50, 32, 0};
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(info.FileBytes() - 8)), 0);
+  std::fclose(f);
+  EXPECT_EQ(ReadDatasetInfo(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(FormatTest, WriterEnforcesDeclaredCount) {
+  const std::string path = TempPath("fmt_writer.psax");
+  DatasetFileWriter writer;
+  ASSERT_TRUE(writer.Open(path, 2, 4).ok());
+  const std::vector<float> series = {1, 2, 3, 4};
+  ASSERT_TRUE(writer.Append(SeriesView(series.data(), 4)).ok());
+  // Wrong length rejected.
+  EXPECT_FALSE(writer.Append(SeriesView(series.data(), 3)).ok());
+  // Early close rejected.
+  EXPECT_FALSE(writer.Close().ok());
+}
+
+TEST(FormatTest, WriterRejectsExtraAppends) {
+  const std::string path = TempPath("fmt_writer2.psax");
+  DatasetFileWriter writer;
+  ASSERT_TRUE(writer.Open(path, 1, 4).ok());
+  const std::vector<float> series = {1, 2, 3, 4};
+  ASSERT_TRUE(writer.Append(SeriesView(series.data(), 4)).ok());
+  EXPECT_FALSE(writer.Append(SeriesView(series.data(), 4)).ok());
+  EXPECT_TRUE(writer.Close().ok());
+  EXPECT_TRUE(ReadDatasetInfo(path).ok());
+}
+
+// --- generators -----------------------------------------------------------
+
+TEST(GeneratorTest, DeterministicPerSeedAndIndex) {
+  const Dataset a = SmallDataset(50, 64, 99);
+  const Dataset b = SmallDataset(50, 64, 99);
+  for (SeriesId i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 64; ++j) {
+      ASSERT_EQ(a.series(i)[j], b.series(i)[j]) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Dataset a = SmallDataset(10, 64, 1);
+  const Dataset b = SmallDataset(10, 64, 2);
+  bool any_diff = false;
+  for (size_t j = 0; j < 64; ++j) any_diff |= a.series(0)[j] != b.series(0)[j];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ParallelGenerationMatchesSerial) {
+  GeneratorOptions gen;
+  gen.count = 1000;
+  gen.length = 48;
+  gen.seed = 7;
+  const Dataset serial = GenerateDataset(gen);
+  ThreadPool pool(4);
+  const Dataset parallel = GenerateDataset(gen, &pool);
+  for (SeriesId i = 0; i < gen.count; ++i) {
+    for (size_t j = 0; j < gen.length; ++j) {
+      ASSERT_EQ(serial.series(i)[j], parallel.series(i)[j]);
+    }
+  }
+}
+
+TEST(GeneratorTest, AllKindsAreZNormalized) {
+  for (const DatasetKind kind :
+       {DatasetKind::kRandomWalk, DatasetKind::kSaldEeg,
+        DatasetKind::kSeismicBurst}) {
+    GeneratorOptions gen;
+    gen.kind = kind;
+    gen.count = 30;
+    gen.length = DefaultSeriesLength(kind);
+    const Dataset data = GenerateDataset(gen);
+    for (SeriesId i = 0; i < data.count(); ++i) {
+      EXPECT_TRUE(IsZNormalized(data.series(i), 5e-3))
+          << DatasetKindName(kind) << " series " << i;
+    }
+  }
+}
+
+TEST(GeneratorTest, QueriesAreDisjointFromData) {
+  const uint64_t seed = 11;
+  const Dataset data = SmallDataset(50, 32, seed);
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 50, 32, seed);
+  // Same index in both streams must differ (different seed stream).
+  bool differs = false;
+  for (size_t j = 0; j < 32; ++j) {
+    differs |= data.series(0)[j] != queries.series(0)[j];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, PerturbedQueriesStayNearTheirSourceMembers) {
+  // Each perturbed query must be z-normalized and much closer to *some*
+  // dataset member than a fresh draw would be.
+  const uint64_t seed = 77;
+  const size_t count = 200, length = 64;
+  const Dataset data = SmallDataset(count, length, seed);
+  const Dataset perturbed = GeneratePerturbedQueries(
+      DatasetKind::kRandomWalk, 10, length, seed, count, 0.1);
+  const Dataset fresh =
+      GenerateQueries(DatasetKind::kRandomWalk, 10, length, seed);
+
+  auto nearest_sq = [&](SeriesView q) {
+    float best = 1e30f;
+    for (SeriesId i = 0; i < data.count(); ++i) {
+      float sum = 0.0f;
+      for (size_t j = 0; j < length; ++j) {
+        const float d = q[j] - data.series(i)[j];
+        sum += d * d;
+      }
+      best = std::min(best, sum);
+    }
+    return best;
+  };
+
+  double perturbed_mean = 0.0, fresh_mean = 0.0;
+  for (SeriesId q = 0; q < 10; ++q) {
+    EXPECT_TRUE(IsZNormalized(perturbed.series(q), 5e-3));
+    perturbed_mean += std::sqrt(nearest_sq(perturbed.series(q)));
+    fresh_mean += std::sqrt(nearest_sq(fresh.series(q)));
+  }
+  EXPECT_LT(perturbed_mean * 2.0, fresh_mean)
+      << "perturbed queries should sit far closer to the collection";
+}
+
+TEST(GeneratorTest, PerturbedQueriesAreDeterministic) {
+  const Dataset a = GeneratePerturbedQueries(DatasetKind::kSeismicBurst, 5,
+                                             96, 9, 100, 0.25);
+  const Dataset b = GeneratePerturbedQueries(DatasetKind::kSeismicBurst, 5,
+                                             96, 9, 100, 0.25);
+  for (SeriesId q = 0; q < 5; ++q) {
+    for (size_t j = 0; j < 96; ++j) {
+      ASSERT_EQ(a.series(q)[j], b.series(q)[j]);
+    }
+  }
+}
+
+TEST(GeneratorTest, KindNamesRoundTrip) {
+  for (const DatasetKind kind :
+       {DatasetKind::kRandomWalk, DatasetKind::kSaldEeg,
+        DatasetKind::kSeismicBurst}) {
+    auto parsed = ParseDatasetKind(DatasetKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseDatasetKind("bogus").ok());
+  // "synthetic" is an accepted alias for the paper's dataset name.
+  auto alias = ParseDatasetKind("synthetic");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(*alias, DatasetKind::kRandomWalk);
+}
+
+// --- simulated disk --------------------------------------------------------
+
+TEST(SimDiskTest, ReadsBytesFaithfully) {
+  const Dataset data = SmallDataset(64, 32);
+  const std::string path = TempPath("disk_faithful.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  auto disk = SimulatedDisk::Open(path, DiskProfile::Instant());
+  ASSERT_TRUE(disk.ok());
+
+  DatasetFileInfo info{64, 32, 0};
+  std::vector<float> buf(32);
+  for (const SeriesId id : {0ul, 7ul, 63ul}) {
+    ASSERT_TRUE((*disk)
+                    ->ReadAt(info.SeriesOffset(id), buf.data(),
+                             info.SeriesBytes())
+                    .ok());
+    for (size_t j = 0; j < 32; ++j) EXPECT_EQ(buf[j], data.series(id)[j]);
+  }
+  EXPECT_EQ((*disk)->stats().read_calls, 3u);
+  EXPECT_EQ((*disk)->stats().bytes_read, 3 * info.SeriesBytes());
+}
+
+TEST(SimDiskTest, RejectsOutOfRangeReads) {
+  const Dataset data = SmallDataset(4, 8);
+  const std::string path = TempPath("disk_range.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  auto disk = SimulatedDisk::Open(path, DiskProfile::Instant());
+  ASSERT_TRUE(disk.ok());
+  char buf[16];
+  EXPECT_FALSE((*disk)->ReadAt((*disk)->file_size() - 4, buf, 16).ok());
+}
+
+TEST(SimDiskTest, ThroughputMeteringSlowsReads) {
+  const Dataset data = SmallDataset(256, 64);  // 64 KB payload
+  const std::string path = TempPath("disk_throughput.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  DiskProfile slow;
+  slow.name = "slow";
+  slow.seq_read_mbps = 1.0;  // 64 KB at 1 MB/s ~ 62 ms
+  slow.seek_latency_us = 0.0;
+  auto disk = SimulatedDisk::Open(path, slow);
+  ASSERT_TRUE(disk.ok());
+
+  std::vector<char> buf(64 * 1024);
+  WallTimer timer;
+  ASSERT_TRUE((*disk)->ReadAt(kDatasetHeaderBytes, buf.data(), buf.size())
+                  .ok());
+  EXPECT_GT(timer.ElapsedSeconds(), 0.04);
+  EXPECT_GT((*disk)->stats().simulated_busy_seconds, 0.04);
+}
+
+TEST(SimDiskTest, SeeksAreChargedAndCounted) {
+  const Dataset data = SmallDataset(100, 64);
+  const std::string path = TempPath("disk_seeks.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  DiskProfile seeky;
+  seeky.name = "seeky";
+  seeky.seq_read_mbps = 10000.0;
+  seeky.seek_latency_us = 5000.0;  // 5 ms
+  seeky.contiguity_window_bytes = 0;
+  auto disk = SimulatedDisk::Open(path, seeky);
+  ASSERT_TRUE(disk.ok());
+
+  DatasetFileInfo info{100, 64, 0};
+  std::vector<float> buf(64);
+  WallTimer timer;
+  // Alternate between far-apart series: every read is a seek.
+  for (int i = 0; i < 6; ++i) {
+    const SeriesId id = (i % 2 == 0) ? 0 : 90;
+    ASSERT_TRUE((*disk)
+                    ->ReadAt(info.SeriesOffset(id), buf.data(),
+                             info.SeriesBytes())
+                    .ok());
+  }
+  EXPECT_GE((*disk)->stats().seeks, 5u);
+  EXPECT_GT(timer.ElapsedSeconds(), 0.02);
+}
+
+TEST(SimDiskTest, ContiguityWindowSkipsSeekCharge) {
+  const Dataset data = SmallDataset(100, 64);
+  const std::string path = TempPath("disk_contig.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  DiskProfile profile;
+  profile.name = "hddish";
+  profile.seq_read_mbps = 10000.0;
+  profile.seek_latency_us = 5000.0;
+  profile.contiguity_window_bytes = 1 << 20;  // everything is "close"
+  auto disk = SimulatedDisk::Open(path, profile);
+  ASSERT_TRUE(disk.ok());
+
+  DatasetFileInfo info{100, 64, 0};
+  std::vector<float> buf(64);
+  // Forward skip-sequential reads: no seek charges.
+  for (SeriesId id = 0; id < 100; id += 7) {
+    ASSERT_TRUE((*disk)
+                    ->ReadAt(info.SeriesOffset(id), buf.data(),
+                             info.SeriesBytes())
+                    .ok());
+  }
+  EXPECT_EQ((*disk)->stats().seeks, 0u);
+}
+
+TEST(SimDiskTest, SingleChannelSerializesConcurrentReaders) {
+  const Dataset data = SmallDataset(64, 64);
+  const std::string path = TempPath("disk_channels.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  DiskProfile hdd1;
+  hdd1.seq_read_mbps = 10000.0;
+  hdd1.seek_latency_us = 2000.0;  // 2 ms per random read
+  hdd1.channels = 1;
+  auto disk = SimulatedDisk::Open(path, hdd1);
+  ASSERT_TRUE(disk.ok());
+
+  DatasetFileInfo info{64, 64, 0};
+  constexpr int kThreads = 4, kReadsPerThread = 5;
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<float> buf(64);
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const SeriesId id = (t * 17 + i * 29) % 64;
+        ASSERT_TRUE((*disk)
+                        ->ReadAt(info.SeriesOffset(id), buf.data(),
+                                 info.SeriesBytes())
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 20 random reads x 2 ms on one channel must take >= ~40 ms of wall
+  // time even with 4 "concurrent" readers.
+  EXPECT_GT(timer.ElapsedSeconds(), 0.030);
+}
+
+TEST(SimDiskTest, ProfilesHaveExpectedShape) {
+  const DiskProfile hdd = DiskProfile::Hdd();
+  const DiskProfile ssd = DiskProfile::Ssd();
+  EXPECT_TRUE(hdd.metered());
+  EXPECT_TRUE(ssd.metered());
+  EXPECT_GT(ssd.seq_read_mbps, hdd.seq_read_mbps);
+  EXPECT_LT(ssd.seek_latency_us, hdd.seek_latency_us);
+  EXPECT_GT(ssd.channels, hdd.channels);
+  EXPECT_FALSE(DiskProfile::Instant().metered());
+}
+
+// --- buffered reader --------------------------------------------------------
+
+TEST(ReaderTest, StreamsWholeFileInBatches) {
+  const Dataset data = SmallDataset(103, 24);
+  const std::string path = TempPath("reader_stream.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  auto reader = BufferedSeriesReader::Open(path, DiskProfile::Instant(), 10);
+  ASSERT_TRUE(reader.ok());
+  size_t total = 0;
+  for (;;) {
+    SeriesBatch batch;
+    ASSERT_TRUE((*reader)->NextBatch(&batch).ok());
+    if (batch.empty()) break;
+    ASSERT_LE(batch.count, 10u);
+    EXPECT_EQ(batch.first_id, total);
+    for (size_t i = 0; i < batch.count; ++i) {
+      const SeriesView expect = data.series(batch.first_id + i);
+      const SeriesView got = batch.series(i);
+      for (size_t j = 0; j < 24; ++j) ASSERT_EQ(got[j], expect[j]);
+    }
+    total += batch.count;
+  }
+  EXPECT_EQ(total, 103u);
+  // Final batch is the remainder (103 = 10*10 + 3).
+}
+
+TEST(ReaderTest, RewindRestarts) {
+  const Dataset data = SmallDataset(20, 16);
+  const std::string path = TempPath("reader_rewind.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  auto reader = BufferedSeriesReader::Open(path, DiskProfile::Instant(), 64);
+  ASSERT_TRUE(reader.ok());
+  SeriesBatch batch;
+  ASSERT_TRUE((*reader)->NextBatch(&batch).ok());
+  EXPECT_EQ(batch.count, 20u);
+  ASSERT_TRUE((*reader)->NextBatch(&batch).ok());
+  EXPECT_TRUE(batch.empty());
+  (*reader)->Rewind();
+  ASSERT_TRUE((*reader)->NextBatch(&batch).ok());
+  EXPECT_EQ(batch.count, 20u);
+  EXPECT_EQ(batch.first_id, 0u);
+}
+
+TEST(ReaderTest, RejectsZeroBatch) {
+  const Dataset data = SmallDataset(4, 8);
+  const std::string path = TempPath("reader_zero.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  EXPECT_FALSE(
+      BufferedSeriesReader::Open(path, DiskProfile::Instant(), 0).ok());
+}
+
+}  // namespace
+}  // namespace parisax

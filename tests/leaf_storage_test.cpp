@@ -1,0 +1,209 @@
+// Tests for on-disk leaf materialization: round-trips, multi-chunk
+// leaves, split-after-flush read-backs, metering accounting and
+// concurrent appends.
+#include "index/leaf_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "index/tree.h"
+#include "util/rng.h"
+
+namespace parisax {
+namespace {
+
+std::vector<LeafEntry> RandomEntries(Rng& rng, size_t count) {
+  std::vector<LeafEntry> entries(count);
+  for (size_t i = 0; i < count; ++i) {
+    for (int s = 0; s < kMaxSegments; ++s) {
+      entries[i].sax.symbols[s] = static_cast<uint8_t>(rng.NextU64() & 0xff);
+    }
+    entries[i].id = rng.NextU64();
+  }
+  return entries;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(LeafStorageTest, AppendReadRoundTrip) {
+  auto storage = LeafStorage::Create(TempPath("ls_roundtrip.bin"));
+  ASSERT_TRUE(storage.ok());
+  Rng rng(1);
+  const auto entries = RandomEntries(rng, 257);
+  auto ref = (*storage)->AppendChunk(entries);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->count, entries.size());
+
+  std::vector<LeafEntry> back;
+  ASSERT_TRUE((*storage)->ReadChunk(*ref, &back).ok());
+  ASSERT_EQ(back.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(back[i].id, entries[i].id);
+    for (int s = 0; s < kMaxSegments; ++s) {
+      EXPECT_EQ(back[i].sax.symbols[s], entries[i].sax.symbols[s]);
+    }
+  }
+}
+
+TEST(LeafStorageTest, ManyChunksKeepDistinctOffsets) {
+  auto storage = LeafStorage::Create(TempPath("ls_many.bin"));
+  ASSERT_TRUE(storage.ok());
+  Rng rng(2);
+  std::vector<std::vector<LeafEntry>> chunks;
+  std::vector<LeafChunkRef> refs;
+  for (int c = 0; c < 50; ++c) {
+    chunks.push_back(RandomEntries(rng, 1 + rng.NextBelow(40)));
+    auto ref = (*storage)->AppendChunk(chunks.back());
+    ASSERT_TRUE(ref.ok());
+    refs.push_back(*ref);
+  }
+  EXPECT_EQ((*storage)->chunks_appended(), 50u);
+  // Read back in reverse order.
+  for (int c = 49; c >= 0; --c) {
+    std::vector<LeafEntry> back;
+    ASSERT_TRUE((*storage)->ReadChunk(refs[c], &back).ok());
+    ASSERT_EQ(back.size(), chunks[c].size());
+    EXPECT_EQ(back.front().id, chunks[c].front().id);
+    EXPECT_EQ(back.back().id, chunks[c].back().id);
+  }
+}
+
+TEST(LeafStorageTest, EmptyChunkRejected) {
+  auto storage = LeafStorage::Create(TempPath("ls_empty.bin"));
+  ASSERT_TRUE(storage.ok());
+  const std::vector<LeafEntry> none;
+  EXPECT_EQ((*storage)->AppendChunk(none).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LeafStorageTest, CollectLeafEntriesMergesMemoryAndChunks) {
+  auto storage = LeafStorage::Create(TempPath("ls_collect.bin"));
+  ASSERT_TRUE(storage.ok());
+  Rng rng(3);
+  Node leaf(RootWord(0, 4));
+  const auto flushed = RandomEntries(rng, 10);
+  auto ref = (*storage)->AppendChunk(flushed);
+  ASSERT_TRUE(ref.ok());
+  leaf.flushed_chunks().push_back(*ref);
+  const auto in_memory = RandomEntries(rng, 5);
+  leaf.entries() = in_memory;
+
+  EXPECT_EQ(leaf.LeafSize(), 15u);
+  std::vector<LeafEntry> all;
+  ASSERT_TRUE(CollectLeafEntries(leaf, storage->get(), &all).ok());
+  ASSERT_EQ(all.size(), 15u);
+  EXPECT_EQ(all[0].id, in_memory[0].id);
+  EXPECT_EQ(all[5].id, flushed[0].id);
+}
+
+TEST(LeafStorageTest, CollectWithoutStorageFailsOnFlushedChunks) {
+  Node leaf(RootWord(0, 4));
+  leaf.flushed_chunks().push_back(LeafChunkRef{0, 3});
+  std::vector<LeafEntry> all;
+  EXPECT_FALSE(CollectLeafEntries(leaf, nullptr, &all).ok());
+}
+
+TEST(LeafStorageTest, SplitReadsFlushedChunksBack) {
+  // Insert through the tree with a storage, flush the leaf, then keep
+  // inserting so it must split: the flushed entries must survive.
+  auto storage = LeafStorage::Create(TempPath("ls_split.bin"));
+  ASSERT_TRUE(storage.ok());
+  SaxTreeOptions options;
+  options.segments = 2;
+  options.leaf_capacity = 8;
+  options.series_length = 16;
+  SaxTree tree(options);
+
+  Rng rng(4);
+  std::vector<LeafEntry> inserted;
+  auto insert_some = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      LeafEntry e;
+      for (int s = 0; s < options.segments; ++s) {
+        e.sax.symbols[s] = static_cast<uint8_t>(rng.NextU64() & 0xff);
+      }
+      e.id = inserted.size();
+      inserted.push_back(e);
+      ASSERT_TRUE(tree.Insert(e, storage->get()).ok());
+    }
+  };
+  insert_some(8);
+  // Flush every leaf.
+  tree.VisitLeaves(nullptr, [&](Node* leaf) {
+    if (leaf->entries().empty()) return;
+    auto ref = (*storage)->AppendChunk(leaf->entries());
+    ASSERT_TRUE(ref.ok());
+    leaf->flushed_chunks().push_back(*ref);
+    leaf->entries().clear();
+  });
+  insert_some(200);
+  tree.SealRoots();
+  ASSERT_TRUE(tree.CheckInvariants(storage->get()).ok());
+  EXPECT_GT((*storage)->chunks_read(), 0u);
+
+  // All inserted ids present exactly once.
+  std::vector<uint64_t> seen;
+  tree.VisitLeaves(nullptr, [&](Node* leaf) {
+    std::vector<LeafEntry> all;
+    ASSERT_TRUE(CollectLeafEntries(*leaf, storage->get(), &all).ok());
+    for (const LeafEntry& e : all) seen.push_back(e.id);
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), inserted.size());
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(LeafStorageTest, ConcurrentAppendsDoNotInterleave) {
+  auto storage = LeafStorage::Create(TempPath("ls_concurrent.bin"));
+  ASSERT_TRUE(storage.ok());
+  constexpr int kThreads = 4;
+  constexpr int kChunksPerThread = 25;
+  std::vector<std::vector<LeafChunkRef>> refs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int c = 0; c < kChunksPerThread; ++c) {
+        std::vector<LeafEntry> entries(1 + rng.NextBelow(20));
+        for (auto& e : entries) {
+          e.id = static_cast<uint64_t>(t) << 32 | c;
+        }
+        auto ref = (*storage)->AppendChunk(entries);
+        ASSERT_TRUE(ref.ok());
+        refs[t].push_back(*ref);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int c = 0; c < kChunksPerThread; ++c) {
+      std::vector<LeafEntry> back;
+      ASSERT_TRUE((*storage)->ReadChunk(refs[t][c], &back).ok());
+      for (const LeafEntry& e : back) {
+        EXPECT_EQ(e.id, static_cast<uint64_t>(t) << 32 | c);
+      }
+    }
+  }
+}
+
+TEST(LeafStorageTest, MeteredWritesTakeTime) {
+  // 1 MB/s metering: writing ~24 KB should take ~23 ms.
+  auto storage = LeafStorage::Create(TempPath("ls_metered.bin"), 1.0);
+  ASSERT_TRUE(storage.ok());
+  Rng rng(5);
+  const auto entries = RandomEntries(rng, 1000);  // 24 KB
+  ASSERT_TRUE((*storage)->AppendChunk(entries).ok());
+  EXPECT_GT((*storage)->write_seconds(), 0.01);
+  EXPECT_EQ((*storage)->bytes_written(), 1000 * sizeof(LeafEntry));
+}
+
+TEST(LeafStorageTest, CreateFailsInMissingDirectory) {
+  EXPECT_FALSE(LeafStorage::Create("/nonexistent-dir-xyz/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace parisax

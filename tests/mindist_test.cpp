@@ -1,0 +1,166 @@
+// Property tests for the mindist lower bounds -- the correctness
+// foundation of all pruning in ADS+/ParIS/MESSI:
+//   mindist(PAA(q), iSAX(s)) <= ED(q, s)          (any cardinality)
+//   envelope-mindist(q, iSAX(s)) <= DTW(q, s)     (any cardinality)
+// plus tightness monotonicity in cardinality.
+#include "sax/mindist.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/dtw.h"
+#include "dist/euclidean.h"
+#include "io/generator.h"
+#include "sax/paa.h"
+#include "util/rng.h"
+
+namespace parisax {
+namespace {
+
+struct MindistCase {
+  DatasetKind kind;
+  int w;
+  size_t n;
+};
+
+class MindistProperty : public ::testing::TestWithParam<MindistCase> {};
+
+SaxWord WordAtBits(const SaxSymbols& full, int w, int bits) {
+  SaxWord word;
+  for (int s = 0; s < w; ++s) {
+    word.bits[s] = static_cast<uint8_t>(bits);
+    word.symbols[s] = TruncateSymbol(full.symbols[s], bits);
+  }
+  return word;
+}
+
+TEST_P(MindistProperty, LowerBoundsEuclidean) {
+  const auto [kind, w, n] = GetParam();
+  GeneratorOptions gen;
+  gen.kind = kind;
+  gen.count = 120;
+  gen.length = n;
+  gen.seed = 31;
+  const Dataset data = GenerateDataset(gen);
+  const Dataset queries = GenerateQueries(kind, 6, n, 31);
+
+  float qpaa[kMaxSegments], spaa[kMaxSegments];
+  SaxSymbols ssax;
+  for (size_t qi = 0; qi < queries.count(); ++qi) {
+    const SeriesView q = queries.series(qi);
+    ComputePaa(q, w, qpaa);
+    for (SeriesId i = 0; i < data.count(); ++i) {
+      const SeriesView s = data.series(i);
+      const float ed_sq = SquaredEuclideanScalar(q.data(), s.data(), n);
+      ComputePaa(s, w, spaa);
+      SymbolsFromPaa(spaa, w, &ssax);
+
+      // Full-cardinality bound (the hot path).
+      const float lb_full = MinDistPaaToSymbolsSq(qpaa, ssax, w, n);
+      EXPECT_LE(lb_full, ed_sq * (1.0f + 1e-4f) + 1e-4f)
+          << "q=" << qi << " s=" << i;
+
+      // Every cardinality lower-bounds ED, and coarser cardinalities are
+      // never tighter than finer ones.
+      float prev = -1.0f;
+      for (int bits = 1; bits <= kMaxCardBits; ++bits) {
+        const SaxWord word = WordAtBits(ssax, w, bits);
+        const float lb = MinDistPaaToWordSq(qpaa, word, w, n);
+        EXPECT_LE(lb, ed_sq * (1.0f + 1e-4f) + 1e-4f)
+            << "bits=" << bits << " q=" << qi << " s=" << i;
+        EXPECT_GE(lb, prev - 1e-5f) << "tightness must grow with bits";
+        prev = lb;
+      }
+      // Word at 8 bits equals the symbols-based bound.
+      const SaxWord full_word = WordAtBits(ssax, w, kMaxCardBits);
+      EXPECT_FLOAT_EQ(MinDistPaaToWordSq(qpaa, full_word, w, n), lb_full);
+    }
+  }
+}
+
+TEST_P(MindistProperty, EnvelopeLowerBoundsDtw) {
+  const auto [kind, w, n] = GetParam();
+  GeneratorOptions gen;
+  gen.kind = kind;
+  gen.count = 60;
+  gen.length = n;
+  gen.seed = 37;
+  const Dataset data = GenerateDataset(gen);
+  const Dataset queries = GenerateQueries(kind, 3, n, 37);
+  const size_t band = n / 10;
+
+  float spaa[kMaxSegments];
+  SaxSymbols ssax;
+  std::vector<Value> lower, upper;
+  float env_lo_paa[kMaxSegments], env_hi_paa[kMaxSegments];
+  for (size_t qi = 0; qi < queries.count(); ++qi) {
+    const SeriesView q = queries.series(qi);
+    ComputeEnvelope(q, band, &lower, &upper);
+    ComputeEnvelopePaaMinMax(lower, upper, w, env_lo_paa, env_hi_paa);
+    for (SeriesId i = 0; i < data.count(); ++i) {
+      const SeriesView s = data.series(i);
+      const float dtw_sq = DtwBand(q, s, band, 1e30f);
+      ComputePaa(s, w, spaa);
+      SymbolsFromPaa(spaa, w, &ssax);
+
+      const float lb_full =
+          MinDistEnvelopePaaToSymbolsSq(env_lo_paa, env_hi_paa, ssax, w, n);
+      EXPECT_LE(lb_full, dtw_sq * (1.0f + 1e-4f) + 1e-4f)
+          << "q=" << qi << " s=" << i;
+
+      for (int bits = 1; bits <= kMaxCardBits; bits += 3) {
+        const SaxWord word = WordAtBits(ssax, w, bits);
+        const float lb =
+            MinDistEnvelopePaaToWordSq(env_lo_paa, env_hi_paa, word, w, n);
+        EXPECT_LE(lb, dtw_sq * (1.0f + 1e-4f) + 1e-4f)
+            << "bits=" << bits << " q=" << qi << " s=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndShapes, MindistProperty,
+    ::testing::Values(MindistCase{DatasetKind::kRandomWalk, 8, 64},
+                      MindistCase{DatasetKind::kRandomWalk, 16, 256},
+                      MindistCase{DatasetKind::kSaldEeg, 16, 128},
+                      MindistCase{DatasetKind::kSeismicBurst, 8, 96},
+                      MindistCase{DatasetKind::kRandomWalk, 4, 61}),
+    [](const auto& info) {
+      return std::string(DatasetKindName(info.param.kind)) + "_w" +
+             std::to_string(info.param.w) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(MindistTest, ZeroWhenPaaInsideRegion) {
+  // A query whose PAA equals the series PAA has mindist zero against that
+  // series' symbols.
+  GeneratorOptions gen;
+  gen.count = 10;
+  gen.length = 64;
+  const Dataset data = GenerateDataset(gen);
+  const int w = 8;
+  float paa[kMaxSegments];
+  SaxSymbols sax;
+  for (SeriesId i = 0; i < data.count(); ++i) {
+    ComputePaa(data.series(i), w, paa);
+    SymbolsFromPaa(paa, w, &sax);
+    EXPECT_FLOAT_EQ(MinDistPaaToSymbolsSq(paa, sax, w, 64), 0.0f);
+  }
+}
+
+TEST(MindistTest, ScalesWithSeriesLength) {
+  // Same PAA gap, doubled n => doubled squared mindist (n/w scaling).
+  SaxSymbols sax;
+  sax.symbols[0] = 0;  // region (-inf, lowest breakpoint]
+  const int w = 1;
+  float paa[1] = {10.0f};  // far above region 0
+  const float d64 = MinDistPaaToSymbolsSq(paa, sax, w, 64);
+  const float d128 = MinDistPaaToSymbolsSq(paa, sax, w, 128);
+  EXPECT_GT(d64, 0.0f);
+  EXPECT_NEAR(d128, 2.0f * d64, 1e-3f);
+}
+
+}  // namespace
+}  // namespace parisax

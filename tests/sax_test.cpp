@@ -1,0 +1,161 @@
+// Tests for PAA and iSAX words: prefix/promotion laws, root keys,
+// containment, and the string rendering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/znorm.h"
+#include "io/generator.h"
+#include "sax/paa.h"
+#include "sax/word.h"
+#include "util/rng.h"
+
+namespace parisax {
+namespace {
+
+TEST(PaaTest, ExactMeansOnDivisibleLength) {
+  const std::vector<float> series = {1, 1, 2, 2, 3, 3, 10, 10};
+  float paa[4];
+  ComputePaa(SeriesView(series.data(), series.size()), 4, paa);
+  EXPECT_FLOAT_EQ(paa[0], 1.0f);
+  EXPECT_FLOAT_EQ(paa[1], 2.0f);
+  EXPECT_FLOAT_EQ(paa[2], 3.0f);
+  EXPECT_FLOAT_EQ(paa[3], 10.0f);
+}
+
+TEST(PaaTest, RemainderSpreadsOverSegments) {
+  // 10 points over 4 segments: boundaries at 0,2,5,7,10.
+  std::vector<float> series(10);
+  for (size_t i = 0; i < 10; ++i) series[i] = static_cast<float>(i);
+  float paa[4];
+  ComputePaa(SeriesView(series.data(), series.size()), 4, paa);
+  EXPECT_FLOAT_EQ(paa[0], 0.5f);   // mean of 0,1
+  EXPECT_FLOAT_EQ(paa[1], 3.0f);   // mean of 2,3,4
+  EXPECT_FLOAT_EQ(paa[2], 5.5f);   // mean of 5,6
+  EXPECT_FLOAT_EQ(paa[3], 8.0f);   // mean of 7,8,9
+}
+
+TEST(PaaTest, SegmentsCoverSeriesExactly) {
+  for (const size_t n : {8u, 100u, 128u, 256u, 257u}) {
+    for (const size_t w : {1u, 4u, 8u, 16u}) {
+      if (w > n) continue;
+      EXPECT_EQ(PaaSegmentBegin(n, w, 0), 0u);
+      EXPECT_EQ(PaaSegmentBegin(n, w, w), n);
+      for (size_t s = 0; s < w; ++s) {
+        EXPECT_LT(PaaSegmentBegin(n, w, s), PaaSegmentBegin(n, w, s + 1))
+            << "n=" << n << " w=" << w << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(PaaTest, WholeSeriesMeanForSingleSegment) {
+  std::vector<float> series = {2.0f, 4.0f, 6.0f, 8.0f};
+  float paa[1];
+  ComputePaa(SeriesView(series.data(), series.size()), 1, paa);
+  EXPECT_FLOAT_EQ(paa[0], 5.0f);
+}
+
+TEST(SaxWordTest, TruncateIsBitPrefix) {
+  // Symbol 0b10110011 at 8 bits.
+  const uint8_t full = 0b10110011;
+  EXPECT_EQ(TruncateSymbol(full, 8), full);
+  EXPECT_EQ(TruncateSymbol(full, 4), 0b1011);
+  EXPECT_EQ(TruncateSymbol(full, 2), 0b10);
+  EXPECT_EQ(TruncateSymbol(full, 1), 0b1);
+}
+
+// The nesting law: truncating to b bits then "re-truncating" to fewer
+// bits equals truncating directly.
+TEST(SaxWordTest, TruncationComposes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint8_t full = static_cast<uint8_t>(rng.NextU64() & 0xff);
+    for (int b1 = 1; b1 <= 8; ++b1) {
+      for (int b2 = 1; b2 <= b1; ++b2) {
+        EXPECT_EQ(TruncateSymbol(full, b2),
+                  TruncateSymbol(full, b1) >> (b1 - b2));
+      }
+    }
+  }
+}
+
+TEST(SaxWordTest, RootKeyPacksTopBits) {
+  SaxSymbols sax;
+  const int w = 4;
+  sax.symbols[0] = 0b10000000;  // top bit 1
+  sax.symbols[1] = 0b01111111;  // top bit 0
+  sax.symbols[2] = 0b11000000;  // top bit 1
+  sax.symbols[3] = 0b00000000;  // top bit 0
+  EXPECT_EQ(RootKey(sax, w), 0b1010u);
+}
+
+TEST(SaxWordTest, RootWordRoundTripsKey) {
+  for (const int w : {1, 4, 8, 12, 16}) {
+    const uint32_t max_key = 1u << w;
+    for (uint32_t key = 0; key < max_key; key += (max_key / 16) + 1) {
+      const SaxWord word = RootWord(key, w);
+      SaxSymbols probe;
+      for (int s = 0; s < w; ++s) {
+        ASSERT_EQ(word.bits[s], 1);
+        // Place the symbol's bit at the top of an 8-bit symbol.
+        probe.symbols[s] = static_cast<uint8_t>(word.symbols[s] << 7);
+      }
+      EXPECT_EQ(RootKey(probe, w), key);
+    }
+  }
+}
+
+TEST(SaxWordTest, WordContainsMatchesTruncation) {
+  Rng rng(4242);
+  const int w = 8;
+  for (int trial = 0; trial < 100; ++trial) {
+    SaxSymbols full;
+    for (int s = 0; s < w; ++s) {
+      full.symbols[s] = static_cast<uint8_t>(rng.NextU64() & 0xff);
+    }
+    SaxWord word;
+    for (int s = 0; s < w; ++s) {
+      word.bits[s] = static_cast<uint8_t>(1 + rng.NextBelow(8));
+      word.symbols[s] = TruncateSymbol(full.symbols[s], word.bits[s]);
+    }
+    EXPECT_TRUE(WordContains(word, full, w));
+    // Perturbing any segment's symbol breaks containment.
+    const int seg = static_cast<int>(rng.NextBelow(w));
+    word.symbols[seg] ^= 1;
+    EXPECT_FALSE(WordContains(word, full, w));
+  }
+}
+
+TEST(SaxWordTest, SymbolsFromPaaMatchesTable) {
+  GeneratorOptions gen;
+  gen.count = 50;
+  gen.length = 64;
+  gen.seed = 5;
+  const Dataset data = GenerateDataset(gen);
+  const BreakpointTable& table = BreakpointTable::Get();
+  const int w = 8;
+  float paa[kMaxSegments];
+  SaxSymbols sax;
+  for (SeriesId i = 0; i < data.count(); ++i) {
+    ComputePaa(data.series(i), w, paa);
+    SymbolsFromPaa(paa, w, &sax);
+    for (int s = 0; s < w; ++s) {
+      EXPECT_EQ(sax.symbols[s], table.FullSymbol(paa[s]));
+      EXPECT_GE(paa[s], table.RegionLow(kMaxCardBits, sax.symbols[s]));
+      EXPECT_LE(paa[s], table.RegionHigh(kMaxCardBits, sax.symbols[s]));
+    }
+  }
+}
+
+TEST(SaxWordTest, ToStringRendersBits) {
+  SaxWord word;
+  word.symbols[0] = 0b1;
+  word.bits[0] = 1;
+  word.symbols[1] = 0b01;
+  word.bits[1] = 2;
+  EXPECT_EQ(word.ToString(2), "1^1 01^2");
+}
+
+}  // namespace
+}  // namespace parisax

@@ -1,0 +1,185 @@
+// Concurrency stress: repeated parallel builds and query storms must be
+// deterministic in their *results* (answers and index contents) even
+// when thread interleavings differ, and must never lose or duplicate
+// work. These loops are small enough for CI but hammer every
+// synchronization point (RecBuf locks, slot barriers, buffer parts,
+// priority queues, the shared BSF) hundreds of times.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "core/engine.h"
+#include "io/generator.h"
+#include "messi/messi_index.h"
+#include "paris/paris_index.h"
+#include "scan/ucr_scan.h"
+
+namespace parisax {
+namespace {
+
+Dataset MakeData(size_t count, uint64_t seed) {
+  GeneratorOptions gen;
+  gen.count = count;
+  gen.length = 64;
+  gen.seed = seed;
+  return GenerateDataset(gen);
+}
+
+TEST(StressTest, RepeatedMessiBuildsIndexIdentically) {
+  const Dataset data = MakeData(2000, 901);
+  MessiBuildOptions build;
+  build.num_workers = 7;
+  build.chunk_series = 64;
+  build.tree.segments = 8;
+  build.tree.leaf_capacity = 16;
+  build.tree.series_length = 64;
+
+  std::vector<uint32_t> first_roots;
+  size_t first_entries = 0;
+  for (int round = 0; round < 15; ++round) {
+    ThreadPool pool(7);
+    auto index = MessiIndex::Build(&data, build, &pool);
+    ASSERT_TRUE(index.ok()) << "round " << round;
+    ASSERT_TRUE((*index)->tree().CheckInvariants().ok()) << "round "
+                                                         << round;
+    const TreeStats stats = (*index)->build_stats().tree;
+    ASSERT_EQ(stats.total_entries, data.count()) << "round " << round;
+    if (round == 0) {
+      first_roots = (*index)->tree().PresentRoots();
+      first_entries = stats.total_entries;
+    } else {
+      // Root population is interleaving-independent.
+      EXPECT_EQ((*index)->tree().PresentRoots(), first_roots);
+      EXPECT_EQ(stats.total_entries, first_entries);
+    }
+  }
+}
+
+TEST(StressTest, RepeatedParisPipelinesNeverLoseSeries) {
+  const Dataset data = MakeData(3000, 902);
+  for (int round = 0; round < 10; ++round) {
+    ParisBuildOptions build;
+    build.num_workers = 1 + round % 5;
+    build.plus_mode = round % 2 == 1;
+    build.batch_series = 64 + 37 * (round % 3);
+    build.batches_per_round = 1 + round % 4;
+    build.tree.segments = 8;
+    build.tree.leaf_capacity = 16;
+    build.tree.series_length = 64;
+    build.raw_profile = DiskProfile::Instant();
+    auto index = ParisIndex::BuildInMemory(&data, build);
+    ASSERT_TRUE(index.ok()) << "round " << round;
+    EXPECT_EQ((*index)->build_stats().tree.total_entries, data.count())
+        << "round " << round;
+    ASSERT_TRUE((*index)->tree().CheckInvariants().ok())
+        << "round " << round;
+  }
+}
+
+TEST(StressTest, QueryStormReturnsIdenticalDistances) {
+  const Dataset data = MakeData(4000, 903);
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 10, 64, 903);
+
+  EngineOptions options;
+  options.algorithm = Algorithm::kMessi;
+  options.num_threads = 6;
+  options.tree.segments = 8;
+  options.tree.leaf_capacity = 32;
+  auto engine = Engine::BuildInMemory(&data, options);
+  ASSERT_TRUE(engine.ok());
+
+  // Reference distances once, then many repetitions: parallel query
+  // answering must be exact every single time, not just on average.
+  std::vector<float> reference;
+  for (size_t q = 0; q < queries.count(); ++q) {
+    reference.push_back(
+        BruteForceNn(data, queries.series(q), KernelPolicy::kScalar)
+            .distance_sq);
+  }
+  for (int round = 0; round < 25; ++round) {
+    const size_t q = round % queries.count();
+    auto response = (*engine)->Search(queries.series(q), {});
+    ASSERT_TRUE(response.ok());
+    EXPECT_NEAR(response->neighbors[0].distance_sq, reference[q],
+                1e-3f * std::max(1.0f, reference[q]))
+        << "round " << round;
+  }
+}
+
+TEST(StressTest, ConcurrentEnginesDoNotInterfere) {
+  // Two engines over different datasets queried from different threads:
+  // no shared mutable state may leak between them.
+  const Dataset data_a = MakeData(1500, 904);
+  const Dataset data_b = MakeData(1500, 905);
+
+  EngineOptions options;
+  options.algorithm = Algorithm::kMessi;
+  options.num_threads = 2;
+  options.tree.segments = 8;
+  auto engine_a = Engine::BuildInMemory(&data_a, options);
+  auto engine_b = Engine::BuildInMemory(&data_b, options);
+  ASSERT_TRUE(engine_a.ok());
+  ASSERT_TRUE(engine_b.ok());
+
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 6, 64, 906);
+  std::vector<float> ref_a, ref_b;
+  for (size_t q = 0; q < queries.count(); ++q) {
+    ref_a.push_back(BruteForceNn(data_a, queries.series(q),
+                                 KernelPolicy::kScalar)
+                        .distance_sq);
+    ref_b.push_back(BruteForceNn(data_b, queries.series(q),
+                                 KernelPolicy::kScalar)
+                        .distance_sq);
+  }
+
+  std::atomic<bool> failed{false};
+  const auto storm = [&](Engine* engine, const std::vector<float>& ref) {
+    for (int round = 0; round < 12 && !failed.load(); ++round) {
+      const size_t q = round % queries.count();
+      auto response = engine->Search(queries.series(q), {});
+      if (!response.ok() ||
+          std::fabs(response->neighbors[0].distance_sq - ref[q]) >
+              1e-3f * std::max(1.0f, ref[q])) {
+        failed.store(true);
+      }
+    }
+  };
+  std::thread ta(storm, engine_a->get(), ref_a);
+  std::thread tb(storm, engine_b->get(), ref_b);
+  ta.join();
+  tb.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(StressTest, OversubscribedThreadCounts) {
+  // Way more workers than hardware threads (and than work): everything
+  // must still be exact.
+  const Dataset data = MakeData(500, 907);
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 3, 64, 907);
+  for (const int threads : {12, 16}) {
+    EngineOptions options;
+    options.algorithm = Algorithm::kMessi;
+    options.num_threads = threads;
+    options.tree.segments = 8;
+    options.chunk_series = 8;  // force many tiny work items
+    auto engine = Engine::BuildInMemory(&data, options);
+    ASSERT_TRUE(engine.ok());
+    for (size_t q = 0; q < queries.count(); ++q) {
+      const Neighbor oracle =
+          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+      auto response = (*engine)->Search(queries.series(q), {});
+      ASSERT_TRUE(response.ok());
+      EXPECT_NEAR(response->neighbors[0].distance_sq, oracle.distance_sq,
+                  1e-3f * std::max(1.0f, oracle.distance_sq))
+          << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parisax
