@@ -1,0 +1,153 @@
+#include "dist/dtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "dist/euclidean.h"  // kEarlyAbandonBlock
+#include "sax/paa.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+inline float SqDiff(float x, float y) {
+  const float d = x - y;
+  return d * d;
+}
+
+}  // namespace
+
+float DtwNaive(SeriesView a, SeriesView b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0f;
+  std::vector<float> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0f;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const float step = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = SqDiff(a[i - 1], b[j - 1]) + step;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+float DtwBand(SeriesView a, SeriesView b, size_t band, float bound) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0f;
+  // Rows are 1-based over `a`, columns over `b`; cell (i, j) is reachable
+  // iff |i - j| <= band. Cells outside the band stay +inf so the generic
+  // three-way min needs no special-casing at the window edges.
+  //
+  // Scratch rows are thread_local: this runs once per surviving candidate
+  // in the DTW refinement loops, and a per-call allocation would put the
+  // allocator in that hot path.
+  static thread_local std::vector<float> prev_buf, cur_buf;
+  std::vector<float>& prev = prev_buf;
+  std::vector<float>& cur = cur_buf;
+  prev.assign(m + 1, kInf);
+  cur.assign(m + 1, kInf);
+  prev[0] = 0.0f;
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo = i > band ? i - band : 1;
+    const size_t hi = std::min(m, i + band);
+    if (lo > hi) return kInf;  // band cannot reach column range (n >> m)
+    // Reset only the cells this row can read or expose to the next row:
+    // this iteration reads cur[lo-1 .. hi-1], the next one (window
+    // shifted by at most one column) reads this row at [lo-1 .. hi+1].
+    // Clearing the whole row would cost O(m) per row and erase the
+    // O(n*band) complexity the band buys.
+    std::fill(cur.begin() + (lo - 1),
+              cur.begin() + (std::min(m, hi + 1) + 1), kInf);
+    float row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      const float step = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      const float c = SqDiff(a[i - 1], b[j - 1]) + step;
+      cur[j] = c;
+      row_min = std::min(row_min, c);
+    }
+    // Cumulative early abandon: every continuation of this row can only
+    // grow, so once the cheapest reachable cell is >= bound, so is the
+    // final alignment cost.
+    if (row_min >= bound) return row_min;
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+void ComputeEnvelope(SeriesView series, size_t band,
+                     std::vector<Value>* lower, std::vector<Value>* upper) {
+  const size_t n = series.size();
+  lower->assign(n, 0.0f);
+  upper->assign(n, 0.0f);
+  if (n == 0) return;
+  // Monotonic deques of indices (Lemire's streaming min/max): front is
+  // the min/max of the current window [i - band, i + band] ∩ [0, n).
+  std::deque<size_t> min_q, max_q;
+  const auto push = [&](size_t j) {
+    while (!min_q.empty() && series[min_q.back()] >= series[j]) {
+      min_q.pop_back();
+    }
+    min_q.push_back(j);
+    while (!max_q.empty() && series[max_q.back()] <= series[j]) {
+      max_q.pop_back();
+    }
+    max_q.push_back(j);
+  };
+  for (size_t j = 0; j < n && j <= band; ++j) push(j);
+  for (size_t i = 0; i < n; ++i) {
+    (*lower)[i] = series[min_q.front()];
+    (*upper)[i] = series[max_q.front()];
+    if (i + band + 1 < n) push(i + band + 1);
+    if (i >= band) {  // index i - band leaves the window of i + 1
+      if (min_q.front() == i - band) min_q.pop_front();
+      if (max_q.front() == i - band) max_q.pop_front();
+    }
+  }
+}
+
+void ComputeEnvelopePaaMinMax(SeriesView lower, SeriesView upper, int w,
+                              float* lower_paa, float* upper_paa) {
+  const size_t n = lower.size();
+  // Same segment math as ComputePaa, same precondition: w > n would
+  // produce empty segments and out-of-bounds reads below.
+  assert(w >= 1 && static_cast<size_t>(w) <= n);
+  for (int s = 0; s < w; ++s) {
+    const size_t begin = PaaSegmentBegin(n, w, s);
+    const size_t end = PaaSegmentBegin(n, w, s + 1);
+    float lo = lower[begin], hi = upper[begin];
+    for (size_t j = begin + 1; j < end; ++j) {
+      lo = std::min(lo, lower[j]);
+      hi = std::max(hi, upper[j]);
+    }
+    lower_paa[s] = lo;
+    upper_paa[s] = hi;
+  }
+}
+
+float LbKeoghSq(SeriesView lower, SeriesView upper, SeriesView candidate,
+                float bound) {
+  const size_t n = candidate.size();
+  float sum = 0.0f;
+  size_t i = 0;
+  while (i < n) {
+    if (sum >= bound) return sum;  // abandoned: result is >= bound
+    const size_t end = std::min(n, i + kEarlyAbandonBlock);
+    for (; i < end; ++i) {
+      const float x = candidate[i];
+      if (x > upper[i]) {
+        sum += SqDiff(x, upper[i]);
+      } else if (x < lower[i]) {
+        sum += SqDiff(x, lower[i]);
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace parisax

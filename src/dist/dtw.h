@@ -1,0 +1,53 @@
+// Dynamic Time Warping under a Sakoe-Chiba band, with the envelope and
+// LB_Keogh machinery of the UCR Suite. This is the "current work" DTW
+// extension of the paper's engines: banded DTW refinement guarded by a
+// cascade of envelope-based lower bounds.
+//
+// Costs are *squared* point differences, so DTW values here are directly
+// comparable to the squared Euclidean distances used everywhere else
+// (with any band, the diagonal alignment is feasible: DTW <= ED^2).
+#ifndef PARISAX_DIST_DTW_H_
+#define PARISAX_DIST_DTW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace parisax {
+
+/// Unconstrained DTW by the full O(n*m) dynamic program. The reference
+/// implementation the banded kernel is tested against; not for hot paths.
+float DtwNaive(SeriesView a, SeriesView b);
+
+/// DTW restricted to the Sakoe-Chiba band |i - j| <= band, with
+/// cumulative-bound early abandoning: when every reachable cell of a DP
+/// row already costs >= `bound`, returns that row minimum (>= bound).
+/// Otherwise returns the exact banded-DTW value.
+///
+/// band == 0 degenerates to squared Euclidean (diagonal-only alignment);
+/// band >= max(len) is unconstrained DTW.
+float DtwBand(SeriesView a, SeriesView b, size_t band, float bound);
+
+/// Keogh envelope of `series` for a Sakoe-Chiba radius `band`:
+/// (*lower)[i] = min(series[i-band .. i+band]) clamped to the series,
+/// (*upper)[i] = max(series[i-band .. i+band]). O(n) via monotonic deques.
+void ComputeEnvelope(SeriesView series, size_t band,
+                     std::vector<Value>* lower, std::vector<Value>* upper);
+
+/// Per-PAA-segment min of the lower envelope and max of the upper
+/// envelope (segments as in sax/paa.h). This is the envelope summary the
+/// iSAX DTW lower bounds (sax/mindist.h) take as input.
+void ComputeEnvelopePaaMinMax(SeriesView lower, SeriesView upper, int w,
+                              float* lower_paa, float* upper_paa);
+
+/// LB_Keogh (squared): sum of squared exceedances of `candidate` outside
+/// the [lower, upper] envelope. Lower-bounds DtwBand for the envelope's
+/// band. Early-abandons once the partial sum reaches `bound` (the
+/// returned value is then >= bound but not the exact LB).
+float LbKeoghSq(SeriesView lower, SeriesView upper, SeriesView candidate,
+                float bound);
+
+}  // namespace parisax
+
+#endif  // PARISAX_DIST_DTW_H_

@@ -1,0 +1,50 @@
+#include "dist/znorm.h"
+
+#include <cmath>
+
+namespace parisax {
+
+namespace {
+
+/// Below this stddev a series is treated as constant: dividing by it
+/// would amplify rounding noise into meaningless shapes.
+constexpr double kConstantStddev = 1e-8;
+
+}  // namespace
+
+SeriesMoments ComputeMoments(SeriesView series) {
+  SeriesMoments m;
+  const size_t n = series.size();
+  if (n == 0) return m;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const float x : series) {
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  m.mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - m.mean * m.mean;
+  m.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  return m;
+}
+
+void ZNormalize(MutableSeriesView series) {
+  if (series.empty()) return;
+  const SeriesMoments m = ComputeMoments(series);
+  if (m.stddev < kConstantStddev) {
+    for (float& x : series) x = 0.0f;
+    return;
+  }
+  const float mean = static_cast<float>(m.mean);
+  const float inv = static_cast<float>(1.0 / m.stddev);
+  for (float& x : series) x = (x - mean) * inv;
+}
+
+bool IsZNormalized(SeriesView series, double tolerance) {
+  if (series.empty()) return true;
+  const SeriesMoments m = ComputeMoments(series);
+  if (std::abs(m.mean) > tolerance) return false;
+  // Constant-zero series (ZNormalize's image of constant input) pass.
+  return std::abs(m.stddev - 1.0) <= tolerance || m.stddev <= tolerance;
+}
+
+}  // namespace parisax

@@ -1,0 +1,35 @@
+// Z-normalization: the preprocessing step every similarity-search system
+// in this repository assumes. A z-normalized series has mean 0 and
+// standard deviation 1, which makes Euclidean distance shift/scale
+// invariant and is what the iSAX breakpoint table is calibrated for.
+#ifndef PARISAX_DIST_ZNORM_H_
+#define PARISAX_DIST_ZNORM_H_
+
+#include "core/types.h"
+
+namespace parisax {
+
+/// Mean and (population) standard deviation of a series. Accumulated in
+/// double so that long series do not lose precision in float sums.
+struct SeriesMoments {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes mean and population stddev. Empty series: both are 0.
+SeriesMoments ComputeMoments(SeriesView series);
+
+/// Z-normalizes `series` in place: x -> (x - mean) / stddev.
+/// Degenerate cases: an empty series is left untouched; a (numerically)
+/// constant series becomes all zeros, the convention used by the iSAX
+/// literature so that constant series map to the middle SAX region.
+void ZNormalize(MutableSeriesView series);
+
+/// True if the series already has mean ~0 and stddev ~1 within
+/// `tolerance`. All-zero (and empty) series count as z-normalized —
+/// they are the fixed point of ZNormalize on constant input.
+bool IsZNormalized(SeriesView series, double tolerance = 1e-3);
+
+}  // namespace parisax
+
+#endif  // PARISAX_DIST_ZNORM_H_

@@ -6,6 +6,7 @@
 #define PARISAX_INDEX_KNN_HEAP_H_
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <mutex>
 #include <vector>
@@ -19,14 +20,30 @@ class KnnHeap {
   explicit KnnHeap(size_t k) : k_(k) {}
 
   /// Current pruning bound: the k-th best squared distance seen, +inf if
-  /// fewer than k results exist. Thread-safe.
+  /// fewer than k results exist. Lock-free: reads the cached copy, which
+  /// is refreshed under the mutex after every insert. A concurrent reader
+  /// can observe a slightly stale (larger) bound, which only weakens
+  /// pruning, never correctness; single-threaded callers always see the
+  /// exact value.
   float Bound() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return BoundLocked();
+    return cached_bound_.load(std::memory_order_relaxed);
   }
 
   /// Inserts if the candidate improves the result set. Thread-safe.
+  ///
+  /// The common case under a converged bound is rejection, so it is
+  /// served lock-free from a cached copy of the bound: no mutex and no
+  /// O(k) duplicate scan. The comparison is strict (>) because a
+  /// candidate tying the k-th distance with a smaller id still wins
+  /// under Closer's id tie-break. The cache is only ever >= the true
+  /// bound (both shrink monotonically), so a stale read can only let a
+  /// doomed candidate through to the locked path, never reject a good
+  /// one.
   void Update(const Neighbor& candidate) {
+    if (candidate.distance_sq >
+        cached_bound_.load(std::memory_order_relaxed)) {
+      return;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (heap_.size() == k_ && !Closer(candidate, heap_.front())) return;
     // Refuse duplicates (the same id can reach the heap via the
@@ -40,6 +57,7 @@ class KnnHeap {
       std::pop_heap(heap_.begin(), heap_.end(), Closer);
       heap_.pop_back();
     }
+    cached_bound_.store(BoundLocked(), std::memory_order_relaxed);
   }
 
   /// Results sorted ascending by (distance, id). Thread-safe.
@@ -68,6 +86,9 @@ class KnnHeap {
   const size_t k_;
   mutable std::mutex mu_;
   std::vector<Neighbor> heap_;  // max-heap via Closer
+  /// Copy of BoundLocked() refreshed under mu_ after every insert; read
+  /// without the lock by Update's fast reject path.
+  std::atomic<float> cached_bound_{std::numeric_limits<float>::infinity()};
 };
 
 }  // namespace parisax

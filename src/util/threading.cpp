@@ -1,6 +1,8 @@
 #include "util/threading.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace parisax {
 
@@ -23,7 +25,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Run(const std::function<void(int)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
-  assert(task_ == nullptr && "ThreadPool::Run is not reentrant");
+  if (task_ != nullptr) {
+    // A Run from inside a parallel region (or a concurrent Run from a
+    // second thread) would data-race on task_ and deadlock the phase
+    // protocol. An assert would vanish in Release builds and leave a
+    // silent race, so fail loudly and unconditionally.
+    std::fprintf(stderr,
+                 "fatal: ThreadPool::Run is not reentrant (a parallel "
+                 "region is already executing)\n");
+    std::abort();
+  }
   task_ = &fn;
   active_ = num_threads_;
   ++generation_;

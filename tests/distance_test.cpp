@@ -45,6 +45,52 @@ INSTANTIATE_TEST_SUITE_P(Lengths, EuclideanLengths,
                          ::testing::Values(1, 3, 7, 8, 15, 16, 17, 31, 32,
                                            33, 64, 100, 128, 256, 1000));
 
+// The AVX2 kernel processes 8 floats per lane-step; every length that is
+// not a multiple of 8 exercises the scalar tail. Cover the boundary
+// explicitly for all dispatch policies, including kAvx2 on builds (or
+// CPUs) without AVX2, where it must fall back to scalar instead of
+// faulting.
+TEST(KernelBoundaryTest, TailLengthsAgreeAcrossAllPolicies) {
+  Rng rng(900);
+  for (const size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 16u, 25u,
+                         128u, 256u}) {
+    const auto a = RandomSeries(rng, n);
+    const auto b = RandomSeries(rng, n);
+    const float scalar = SquaredEuclideanScalar(a.data(), b.data(), n);
+    for (const KernelPolicy policy :
+         {KernelPolicy::kAuto, KernelPolicy::kScalar, KernelPolicy::kAvx2}) {
+      const float d = SquaredEuclidean(a.data(), b.data(), n, policy);
+      EXPECT_NEAR(d, scalar, 1e-3f * std::max(1.0f, scalar)) << "n=" << n;
+      const float ea = SquaredEuclideanEarlyAbandon(a.data(), b.data(), n,
+                                                    scalar * 2.0f + 1.0f,
+                                                    policy);
+      EXPECT_NEAR(ea, scalar, 1e-3f * std::max(1.0f, scalar)) << "n=" << n;
+    }
+  }
+}
+
+TEST(KernelBoundaryTest, ScalarPolicyIsExactlyTheScalarKernel) {
+  Rng rng(901);
+  const auto a = RandomSeries(rng, 100);
+  const auto b = RandomSeries(rng, 100);
+  EXPECT_FLOAT_EQ(
+      SquaredEuclidean(a.data(), b.data(), 100, KernelPolicy::kScalar),
+      SquaredEuclideanScalar(a.data(), b.data(), 100));
+}
+
+TEST(KernelBoundaryTest, DispatchIsConsistentWithSimdAvailability) {
+#ifdef PARISAX_HAVE_AVX2
+  // Compiled in: availability is the CPU's call, and kAuto must serve
+  // answers either way (checked by TailLengthsAgreeAcrossAllPolicies).
+  SUCCEED() << "AVX2 kernel compiled in, SimdAvailable()="
+            << SimdAvailable();
+#else
+  // Not compiled in: kAuto/kAvx2 have nothing to dispatch to and must
+  // report SIMD as unavailable (the scalar fallback path).
+  EXPECT_FALSE(SimdAvailable());
+#endif
+}
+
 TEST(EuclideanTest, ZeroForIdenticalSeries) {
   Rng rng(2);
   const auto a = RandomSeries(rng, 128);

@@ -124,6 +124,16 @@ INSTANTIATE_TEST_SUITE_P(
 class OnDiskEquivalence
     : public ::testing::TestWithParam<std::tuple<Algorithm, int>> {
  protected:
+  // One file set per parameter instance: ctest runs instances of this
+  // suite in parallel processes, and rewriting a shared file races with
+  // a concurrent reader.
+  std::string InstancePath(const char* extension) const {
+    const auto [algorithm, threads] = GetParam();
+    return ::testing::TempDir() + "/ondisk_equivalence_" +
+           std::to_string(static_cast<int>(algorithm)) + "_" +
+           std::to_string(threads) + extension;
+  }
+
   void SetUp() override {
     GeneratorOptions gen;
     gen.kind = DatasetKind::kRandomWalk;
@@ -131,7 +141,7 @@ class OnDiskEquivalence
     gen.length = kLength;
     gen.seed = 11;
     dataset_ = GenerateDataset(gen);
-    path_ = ::testing::TempDir() + "/ondisk_equivalence.psax";
+    path_ = InstancePath(".psax");
     ASSERT_TRUE(WriteDataset(dataset_, path_).ok());
   }
 
@@ -142,10 +152,7 @@ class OnDiskEquivalence
 TEST_P(OnDiskEquivalence, ExactMatchesBruteForce) {
   const auto [algorithm, threads] = GetParam();
   EngineOptions options = SmallTreeOptions(algorithm, threads);
-  options.leaf_storage_path =
-      ::testing::TempDir() + "/ondisk_equivalence_" +
-      std::to_string(static_cast<int>(algorithm)) + "_" +
-      std::to_string(threads) + ".leaves";
+  options.leaf_storage_path = InstancePath(".leaves");
 
   auto engine = Engine::BuildFromFile(path_, options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();

@@ -80,13 +80,16 @@ TEST_P(ParisBuildModes, InMemoryBuildIndexesEverySeries) {
 TEST_P(ParisBuildModes, OnDiskBuildMaterializesLeaves) {
   const auto [plus, workers] = GetParam();
   const Dataset data = MakeData(2500);
-  const std::string path = TempPath("paris_ondisk.psax");
+  // Unique per parameter instance: parallel ctest processes must not
+  // rewrite a dataset file another instance is reading.
+  const std::string base = TempPath(
+      std::string("paris_ondisk_") + (plus ? "plus" : "base") +
+      std::to_string(workers));
+  const std::string path = base + ".psax";
   ASSERT_TRUE(WriteDataset(data, path).ok());
 
   ParisBuildOptions options = SmallBuild(workers, plus);
-  options.leaf_storage_path = TempPath(
-      std::string("paris_ondisk_") + (plus ? "plus" : "base") +
-      std::to_string(workers) + ".leaves");
+  options.leaf_storage_path = base + ".leaves";
   auto index =
       ParisIndex::BuildFromFile(path, options, DiskProfile::Instant());
   ASSERT_TRUE(index.ok()) << index.status().ToString();

@@ -193,6 +193,46 @@ TEST(KnnHeapTest, RejectsDuplicateIds) {
   EXPECT_EQ(heap.Sorted().size(), 1u);
 }
 
+TEST(KnnHeapTest, DuplicateOfWorstIsRejectedWhenFull) {
+  KnnHeap heap(2);
+  heap.Update({1, 1.0f});
+  heap.Update({2, 2.0f});
+  // Same id and same distance as the current worst: ties the bound, so
+  // it passes the lock-free reject and must be caught by the duplicate
+  // scan, not evict its own twin.
+  heap.Update({2, 2.0f});
+  const auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 1u);
+  EXPECT_EQ(sorted[1].id, 2u);
+}
+
+TEST(KnnHeapTest, EqualDistanceSmallerIdStillReplacesWorst) {
+  // The lock-free reject compares with strict >: a candidate tying the
+  // k-th distance with a smaller id must still get through and win the
+  // (distance, id) tie-break.
+  KnnHeap heap(2);
+  heap.Update({1, 1.0f});
+  heap.Update({9, 2.0f});
+  heap.Update({4, 2.0f});
+  const auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[1].id, 4u);
+}
+
+TEST(KnnHeapTest, BoundStaysExactThroughFastRejects) {
+  KnnHeap heap(3);
+  heap.Update({1, 1.0f});
+  heap.Update({2, 2.0f});
+  heap.Update({3, 3.0f});
+  heap.Update({4, 10.0f});  // above the bound: fast-rejected
+  EXPECT_FLOAT_EQ(heap.Bound(), 3.0f);
+  heap.Update({5, 0.5f});  // improves: bound shrinks to the new k-th
+  EXPECT_FLOAT_EQ(heap.Bound(), 2.0f);
+  heap.Update({5, 0.1f});  // duplicate under the bound: still refused
+  EXPECT_FLOAT_EQ(heap.Bound(), 2.0f);
+}
+
 TEST(KnnHeapTest, ConcurrentUpdatesKeepGlobalKSmallest) {
   constexpr size_t kK = 16;
   KnnHeap heap(kK);

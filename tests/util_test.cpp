@@ -196,6 +196,20 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   for (auto& h : hits) ASSERT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolDeathTest, ReentrantRunAbortsEvenInRelease) {
+  // The guard must hold in Release builds too (an assert would not), so
+  // a nested Run has to abort rather than silently race on the task.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.Run([&](int worker) {
+          if (worker == 0) pool.Run([](int) {});
+        });
+      },
+      "not reentrant");
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   ThreadPool pool(1);
   int calls = 0;
