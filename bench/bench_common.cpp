@@ -22,7 +22,8 @@ namespace {
   std::cerr << "error: " << error << "\n"
             << "usage: " << argv0
             << " [--series N] [--queries N] [--length N]"
-            << " [--threads a,b,c] [--seed N] [--quick]\n";
+            << " [--threads a,b,c] [--seed N] [--quick]"
+            << " [--clients a,b,c] [--json PATH] [--check]\n";
   std::exit(2);
 }
 
@@ -59,6 +60,15 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (flag == "--quick") {
       args.quick = true;
+    } else if (flag == "--clients") {
+      args.clients = ParseThreadList(next());
+      if (args.clients.empty()) {
+        Usage(argv[0], "--clients needs positive entries");
+      }
+    } else if (flag == "--json") {
+      args.json_path = next();
+    } else if (flag == "--check") {
+      args.check = true;
     } else if (flag == "--help" || flag == "-h") {
       Usage(argv[0], "help requested");
     } else {

@@ -9,6 +9,8 @@
 //   --series N      collection size          --queries N   query count
 //   --length N      points per series        --seed N      generator seed
 //   --threads a,b,c worker-count sweep       --quick       tiny smoke run
+//   --clients a,b,c concurrent-client sweep  --json PATH   JSON output
+//   --check         exit non-zero when the bench's claim fails
 #ifndef PARISAX_BENCH_BENCH_COMMON_H_
 #define PARISAX_BENCH_BENCH_COMMON_H_
 
@@ -32,6 +34,13 @@ struct BenchArgs {
   std::vector<int> threads;
   uint64_t seed = 42;
   bool quick = false;
+  /// Concurrent-client sweep (serve benches); empty = bench default.
+  std::vector<int> clients;
+  /// Machine-readable JSON output path; empty = stdout tables only.
+  std::string json_path;
+  /// Exit non-zero when the bench's qualitative claim does not hold
+  /// (lets CI gate on the measurement instead of just recording it).
+  bool check = false;
 };
 
 /// Parses the common flags; exits with a usage message on error.

@@ -1,0 +1,201 @@
+// Serve-layer throughput: queries/sec vs. concurrent clients x
+// scheduling policy, over one shared MESSI engine.
+//
+// The baseline ("sequential") answers the workload with a plain loop of
+// Engine::Search calls -- the paper's one-query-at-a-time model, each
+// query fanned out over every worker. The service rows push the same
+// workload through QueryService::Submit from N concurrent client
+// threads under kThroughput / kLatency / kAuto scheduling.
+//
+// --json writes the measurements as machine-readable JSON (the CI
+// perf-smoke artifact that seeds the BENCH_*.json trajectory); --check
+// exits non-zero when batched kThroughput fails to beat the sequential
+// loop, so CI gates on the claim instead of just recording it.
+#include <algorithm>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/query_service.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace parisax;
+using namespace parisax::bench;
+
+struct Row {
+  std::string policy;
+  int clients = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+};
+
+/// One query at a time through the engine's intra-query parallel path.
+Row RunSequential(Engine* engine, const Dataset& queries) {
+  WallTimer timer;
+  for (size_t q = 0; q < queries.count(); ++q) {
+    auto response = engine->Search(queries.series(q));
+    if (!response.ok()) {
+      std::cerr << "query failed: " << response.status().ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  const double wall = timer.ElapsedSeconds();
+  return Row{"sequential", 1, wall,
+             static_cast<double>(queries.count()) / wall};
+}
+
+/// `num_clients` threads each submit a slice of the workload and wait.
+Row RunService(Engine* engine, const Dataset& queries, int num_clients,
+               SchedulingPolicy policy, int num_threads) {
+  QueryServiceOptions sopts;
+  sopts.num_threads = num_threads;
+  sopts.policy = policy;
+  auto service = QueryService::Create(engine, sopts);
+  if (!service.ok()) {
+    std::cerr << "service failed: " << service.status().ToString() << "\n";
+    std::exit(1);
+  }
+
+  WallTimer timer;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<Result<SearchResponse>>> futures;
+      for (size_t q = c; q < queries.count();
+           q += static_cast<size_t>(num_clients)) {
+        futures.push_back((*service)->Submit(queries.series(q)));
+      }
+      for (auto& future : futures) {
+        auto response = future.get();
+        if (!response.ok()) {
+          std::cerr << "query failed: " << response.status().ToString()
+                    << "\n";
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall = timer.ElapsedSeconds();
+  return Row{SchedulingPolicyName(policy), num_clients, wall,
+             static_cast<double>(queries.count()) / wall};
+}
+
+void WriteJson(size_t series, size_t length, size_t queries, int threads,
+               const std::vector<Row>& rows, std::ostream& out) {
+  out << "{\n"
+      << "  \"bench\": \"serve_throughput\",\n"
+      << "  \"algorithm\": \"messi\",\n"
+      << "  \"series\": " << series << ",\n"
+      << "  \"length\": " << length << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"policy\": \"" << r.policy << "\", \"clients\": "
+        << r.clients << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"qps\": " << r.qps << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const size_t series = SeriesOrDefault(args, 20000, 5000);
+  const size_t queries_count = QueriesOrDefault(args, 128, 64);
+  const size_t length = args.length != 0 ? args.length : 128;
+  // This bench sweeps *clients*, not worker counts: one service width.
+  const std::vector<int> thread_list = ThreadsOrDefault(args, {8});
+  const int threads = thread_list.front();
+  if (thread_list.size() > 1) {
+    std::cerr << "note: serve_throughput sweeps --clients, not "
+                 "--threads; using threads=" << threads << "\n";
+  }
+  std::vector<int> clients = args.clients;
+  if (clients.empty()) clients = args.quick ? std::vector<int>{1, 4}
+                                            : std::vector<int>{1, 2, 4, 8};
+
+  PrintFigureHeader("serve_throughput",
+                    "queries/sec vs concurrent clients x scheduling "
+                    "policy over one shared MESSI engine");
+  std::cout << series << " x " << length << " random-walk series, "
+            << queries_count << " queries, " << threads << " threads\n\n";
+
+  const Dataset dataset =
+      MakeDataset(DatasetKind::kRandomWalk, series, length, args.seed);
+  const Dataset queries = MakeQueryWorkload(DatasetKind::kRandomWalk,
+                                            queries_count, length,
+                                            args.seed, series);
+
+  EngineOptions eopts;
+  eopts.algorithm = Algorithm::kMessi;
+  eopts.num_threads = threads;
+  eopts.tree.segments = 8;
+  auto engine = Engine::BuildInMemory(&dataset, eopts);
+  if (!engine.ok()) {
+    std::cerr << "build failed: " << engine.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  rows.push_back(RunSequential(engine->get(), queries));
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kThroughput, SchedulingPolicy::kLatency,
+        SchedulingPolicy::kAuto}) {
+    for (const int num_clients : clients) {
+      rows.push_back(RunService(engine->get(), queries, num_clients,
+                                policy, threads));
+    }
+  }
+
+  Table table({"policy", "clients", "wall", "queries/sec"});
+  for (const Row& r : rows) {
+    table.AddRow({r.policy, std::to_string(r.clients),
+                  FmtSeconds(r.wall_seconds), FmtCount(static_cast<uint64_t>(
+                      r.qps))});
+  }
+  table.Print();
+
+  // The acceptance comparison: batched kThroughput vs the sequential
+  // per-query loop.
+  double best_throughput = 0.0;
+  for (const Row& r : rows) {
+    if (r.policy == "throughput") {
+      best_throughput = std::max(best_throughput, r.qps);
+    }
+  }
+  const double speedup = best_throughput / rows.front().qps;
+  const bool claim_holds = speedup > 1.0;
+  PrintPaperShape(
+      "inter-query concurrency (batched kThroughput scheduling) beats "
+      "the one-query-at-a-time loop the paper's engines assume",
+      "batched vs sequential: " + FmtRatio(speedup) + " queries/sec (" +
+          (claim_holds ? "holds" : "DOES NOT HOLD") + ")");
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << args.json_path << "\n";
+      return 1;
+    }
+    WriteJson(series, length, queries_count, threads, rows, out);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  if (args.check && !claim_holds) {
+    std::cerr << "check failed: kThroughput did not beat the sequential "
+                 "loop\n";
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "scan/ucr_scan.h"
+#include "serve/query_service.h"
 #include "util/timer.h"
 
 namespace parisax {
@@ -38,6 +39,25 @@ Result<Algorithm> ParseAlgorithm(const std::string& name) {
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
 
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kThroughput:
+      return "throughput";
+    case SchedulingPolicy::kLatency:
+      return "latency";
+    case SchedulingPolicy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name) {
+  if (name == "throughput") return SchedulingPolicy::kThroughput;
+  if (name == "latency") return SchedulingPolicy::kLatency;
+  if (name == "auto") return SchedulingPolicy::kAuto;
+  return Status::InvalidArgument("unknown scheduling policy: " + name);
+}
+
 namespace {
 
 Status ValidateOptions(const EngineOptions& options) {
@@ -62,12 +82,21 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
 }
 
+Engine::~Engine() {
+  // The service's workers reference the indexes and the pool, and some
+  // members (the wrapped indexes) are declared after service_ and would
+  // otherwise be destroyed first; stop the workers before any of them
+  // goes away.
+  service_.reset();
+}
+
 Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
     const Dataset* dataset, const EngineOptions& options) {
   PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
   auto engine = std::unique_ptr<Engine>(new Engine(options));
   engine->dataset_ = dataset;
   engine->series_length_ = dataset->length();
+  engine->series_count_ = dataset->count();
   EngineOptions& opts = engine->options_;
   if (opts.tree.series_length == 0) {
     opts.tree.series_length = dataset->length();
@@ -141,6 +170,7 @@ Result<std::unique_ptr<Engine>> Engine::BuildFromFile(
   DatasetFileInfo info;
   PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(dataset_path));
   engine->series_length_ = info.length;
+  engine->series_count_ = info.count;
   EngineOptions& opts = engine->options_;
   if (opts.tree.series_length == 0) opts.tree.series_length = info.length;
   if (opts.tree.series_length != info.length) {
@@ -215,8 +245,31 @@ Status Engine::CheckQuery(SeriesView query) const {
   return Status::OK();
 }
 
+bool Engine::UsesSharedPool(const SearchRequest& request) const {
+  if (request.approximate) return false;  // leaf probe, no fan-out
+  switch (options_.algorithm) {
+    case Algorithm::kUcrParallel:
+    case Algorithm::kParis:
+    case Algorithm::kParisPlus:
+    case Algorithm::kMessi:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Result<SearchResponse> Engine::Search(SeriesView query,
                                       const SearchRequest& request) {
+  if (!UsesSharedPool(request)) {
+    return Search(query, request, pool_.get());
+  }
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return Search(query, request, pool_.get());
+}
+
+Result<SearchResponse> Engine::Search(SeriesView query,
+                                      const SearchRequest& request,
+                                      Executor* exec) {
   PARISAX_RETURN_IF_ERROR(CheckQuery(query));
   if (request.k == 0) return Status::InvalidArgument("k must be positive");
 
@@ -229,6 +282,11 @@ Result<SearchResponse> Engine::Search(SeriesView query,
       algo != Algorithm::kMessi && algo != Algorithm::kUcrParallel) {
     return Status::NotSupported(
         "k > 1 requires brute force, ucr-p or MESSI");
+  }
+  // No engine implements k-NN under DTW; reject instead of silently
+  // answering 1-NN.
+  if (request.k > 1 && request.dtw) {
+    return Status::NotSupported("k > 1 DTW search is not implemented");
   }
   // DTW is implemented for the scans and MESSI.
   if (request.dtw &&
@@ -282,14 +340,13 @@ Result<SearchResponse> Engine::Search(SeriesView query,
       ScanStats scan;
       if (request.dtw) {
         response.neighbors.push_back(DtwScanParallel(
-            *dataset_, query, request.dtw_band, pool_.get(), &scan));
+            *dataset_, query, request.dtw_band, exec, &scan));
       } else if (request.k > 1) {
         response.neighbors = UcrKnnParallel(*dataset_, query, request.k,
-                                            pool_.get(), &scan,
-                                            options_.kernel);
+                                            exec, &scan, options_.kernel);
       } else {
         response.neighbors.push_back(UcrScanParallel(
-            *dataset_, query, pool_.get(), &scan, options_.kernel));
+            *dataset_, query, exec, &scan, options_.kernel));
       }
       response.stats.real_dist_calcs = scan.distance_calcs;
       break;
@@ -316,18 +373,17 @@ Result<SearchResponse> Engine::Search(SeriesView query,
             nn, paris_->SearchApproximate(query, &response.stats));
       } else {
         ParisQueryOptions qopts;
-        qopts.num_workers = options_.num_threads;
+        qopts.num_workers = exec->num_threads();
         qopts.kernel = options_.kernel;
         PARISAX_ASSIGN_OR_RETURN(
-            nn, paris_->SearchExact(query, qopts, pool_.get(),
-                                    &response.stats));
+            nn, paris_->SearchExact(query, qopts, exec, &response.stats));
       }
       response.neighbors.push_back(nn);
       break;
     }
     case Algorithm::kMessi: {
       MessiQueryOptions qopts;
-      qopts.num_workers = options_.num_threads;
+      qopts.num_workers = exec->num_threads();
       qopts.num_queues = options_.num_queues;
       qopts.kernel = options_.kernel;
       qopts.dtw_band = request.dtw_band;
@@ -339,18 +395,18 @@ Result<SearchResponse> Engine::Search(SeriesView query,
       } else if (request.dtw) {
         Neighbor nn;
         PARISAX_ASSIGN_OR_RETURN(
-            nn, messi_->SearchExactDtw(query, qopts, pool_.get(),
+            nn, messi_->SearchExactDtw(query, qopts, exec,
                                        &response.stats));
         response.neighbors.push_back(nn);
       } else if (request.k > 1) {
         PARISAX_ASSIGN_OR_RETURN(
             response.neighbors,
-            messi_->SearchKnn(query, request.k, qopts, pool_.get(),
+            messi_->SearchKnn(query, request.k, qopts, exec,
                               &response.stats));
       } else {
         Neighbor nn;
         PARISAX_ASSIGN_OR_RETURN(
-            nn, messi_->SearchExact(query, qopts, pool_.get(),
+            nn, messi_->SearchExact(query, qopts, exec,
                                     &response.stats));
         response.neighbors.push_back(nn);
       }
@@ -359,6 +415,29 @@ Result<SearchResponse> Engine::Search(SeriesView query,
   }
   response.stats.total_seconds = timer.ElapsedSeconds();
   return response;
+}
+
+QueryService* Engine::query_service() {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (service_ == nullptr) {
+    QueryServiceOptions sopts;
+    sopts.num_threads = options_.num_threads;
+    sopts.policy = SchedulingPolicy::kAuto;
+    // Engine options were validated at build time, so Create cannot
+    // fail here.
+    service_ = std::move(QueryService::Create(this, sopts).value());
+  }
+  return service_.get();
+}
+
+std::future<Result<SearchResponse>> Engine::Submit(
+    SeriesView query, const SearchRequest& request) {
+  return query_service()->Submit(query, request);
+}
+
+Result<std::vector<SearchResponse>> Engine::SearchBatch(
+    const std::vector<SeriesView>& queries, const SearchRequest& request) {
+  return query_service()->SearchBatch(queries, request);
 }
 
 }  // namespace parisax

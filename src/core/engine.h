@@ -15,7 +15,9 @@
 #ifndef PARISAX_CORE_ENGINE_H_
 #define PARISAX_CORE_ENGINE_H_
 
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,30 @@ const char* AlgorithmName(Algorithm algorithm);
 
 /// Parses a name produced by AlgorithmName.
 Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// How the serve layer schedules concurrent queries over the shared
+/// worker pool (see serve/query_service.h).
+enum class SchedulingPolicy {
+  /// Whole-query-per-worker: each query runs serially on one serve
+  /// worker, many queries in flight at once. Maximizes queries/sec.
+  kThroughput,
+  /// Every query fans out over the full thread pool (the paper's
+  /// intra-query parallelism); queries are serialized on the pool.
+  /// Minimizes single-query latency.
+  kLatency,
+  /// Per-query choice by a cost heuristic: expensive queries take the
+  /// parallel path when the service is otherwise idle, everything else
+  /// runs whole-query-per-worker.
+  kAuto,
+};
+
+/// Short lowercase name ("throughput", "latency", "auto").
+const char* SchedulingPolicyName(SchedulingPolicy policy);
+
+/// Parses a name produced by SchedulingPolicyName.
+Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name);
+
+class QueryService;
 
 struct EngineOptions {
   Algorithm algorithm = Algorithm::kMessi;
@@ -122,9 +148,38 @@ class Engine {
   static Result<std::unique_ptr<Engine>> BuildFromFile(
       const std::string& dataset_path, const EngineOptions& options);
 
-  /// Answers one similarity-search query.
+  ~Engine();
+
+  /// Answers one similarity-search query with the engine's own thread
+  /// pool. Thread-safe: concurrent calls serialize on the pool (use the
+  /// serve layer — Submit/SearchBatch — to actually overlap queries).
   Result<SearchResponse> Search(SeriesView query,
                                 const SearchRequest& request = {});
+
+  /// Answers one query on the given executor instead of the engine's
+  /// pool. Re-entrant: any number of calls may run concurrently as long
+  /// as each uses its own executor (e.g. per-thread InlineExecutors).
+  /// The caller is responsible for the executor's own concurrency rules.
+  Result<SearchResponse> Search(SeriesView query,
+                                const SearchRequest& request,
+                                Executor* exec);
+
+  /// Asynchronously answers one query through the engine's query
+  /// service (created on first use with the engine's options). The
+  /// query values are copied, so the view only needs to live until
+  /// Submit returns.
+  std::future<Result<SearchResponse>> Submit(
+      SeriesView query, const SearchRequest& request = {});
+
+  /// Answers a batch of queries concurrently through the query service;
+  /// responses are in query order. Fails on the first failing query.
+  Result<std::vector<SearchResponse>> SearchBatch(
+      const std::vector<SeriesView>& queries,
+      const SearchRequest& request = {});
+
+  /// The engine's query service, created on first use (num_threads
+  /// serve workers, kAuto scheduling). Never null.
+  QueryService* query_service();
 
   Algorithm algorithm() const { return options_.algorithm; }
   const EngineOptions& options() const { return options_; }
@@ -135,14 +190,29 @@ class Engine {
   const ParisIndex* paris_index() const { return paris_.get(); }
   const MessiIndex* messi_index() const { return messi_.get(); }
 
+  /// Points per series in the indexed collection.
+  size_t series_length() const { return series_length_; }
+  /// Series in the indexed collection (serve-layer cost heuristics).
+  size_t series_count() const { return series_count_; }
+
  private:
   explicit Engine(const EngineOptions& options);
 
   Status CheckQuery(SeriesView query) const;
 
+  /// True when this request's path fans out over the shared pool (and
+  /// must therefore hold pool_mu_ when run on it).
+  bool UsesSharedPool(const SearchRequest& request) const;
+
   EngineOptions options_;
   size_t series_length_ = 0;
+  size_t series_count_ = 0;
   std::unique_ptr<ThreadPool> pool_;
+  /// Serializes parallel regions on pool_: ThreadPool::Run is not
+  /// reentrant, so concurrent Search calls take turns on it.
+  std::mutex pool_mu_;
+  std::mutex service_mu_;
+  std::unique_ptr<QueryService> service_;  // lazily created
   BuildReport build_report_;
 
   const Dataset* dataset_ = nullptr;  // in-memory engines

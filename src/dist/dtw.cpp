@@ -38,18 +38,22 @@ float DtwNaive(SeriesView a, SeriesView b) {
 }
 
 float DtwBand(SeriesView a, SeriesView b, size_t band, float bound) {
+  // Per-thread fallback arena for callers without per-query scratch:
+  // this runs once per surviving candidate in the DTW refinement loops,
+  // and a per-call allocation would put the allocator in that hot path.
+  static thread_local DtwScratch scratch;
+  return DtwBand(a, b, band, bound, &scratch);
+}
+
+float DtwBand(SeriesView a, SeriesView b, size_t band, float bound,
+              DtwScratch* scratch) {
   const size_t n = a.size(), m = b.size();
   if (n == 0 || m == 0) return 0.0f;
   // Rows are 1-based over `a`, columns over `b`; cell (i, j) is reachable
   // iff |i - j| <= band. Cells outside the band stay +inf so the generic
   // three-way min needs no special-casing at the window edges.
-  //
-  // Scratch rows are thread_local: this runs once per surviving candidate
-  // in the DTW refinement loops, and a per-call allocation would put the
-  // allocator in that hot path.
-  static thread_local std::vector<float> prev_buf, cur_buf;
-  std::vector<float>& prev = prev_buf;
-  std::vector<float>& cur = cur_buf;
+  std::vector<float>& prev = scratch->prev;
+  std::vector<float>& cur = scratch->cur;
   prev.assign(m + 1, kInf);
   cur.assign(m + 1, kInf);
   prev[0] = 0.0f;

@@ -20,6 +20,15 @@ namespace parisax {
 /// implementation the banded kernel is tested against; not for hot paths.
 float DtwNaive(SeriesView a, SeriesView b);
 
+/// Reusable DP-row scratch for DtwBand. Callers that run many DTW
+/// refinements concurrently (the serve layer's per-query workers) own
+/// one arena per worker per query instead of sharing mutable
+/// thread_local state; the capacity sticks across calls so the allocator
+/// stays out of the refinement loop.
+struct DtwScratch {
+  std::vector<float> prev, cur;
+};
+
 /// DTW restricted to the Sakoe-Chiba band |i - j| <= band, with
 /// cumulative-bound early abandoning: when every reachable cell of a DP
 /// row already costs >= `bound`, returns that row minimum (>= bound).
@@ -27,6 +36,10 @@ float DtwNaive(SeriesView a, SeriesView b);
 ///
 /// band == 0 degenerates to squared Euclidean (diagonal-only alignment);
 /// band >= max(len) is unconstrained DTW.
+float DtwBand(SeriesView a, SeriesView b, size_t band, float bound,
+              DtwScratch* scratch);
+
+/// Convenience overload backed by a thread_local scratch arena.
 float DtwBand(SeriesView a, SeriesView b, size_t band, float bound);
 
 /// Keogh envelope of `series` for a Sakoe-Chiba radius `band`:

@@ -60,10 +60,13 @@ struct AtomicCounters {
 /// node/entry lower bounds and the entry refinement:
 ///   float Bound() const;
 ///   float NodeLb(const Node&) const;
-///   void ProcessEntry(const LeafEntry&, AtomicCounters*);
+///   void ProcessEntry(const LeafEntry&, AtomicCounters*, int worker);
+/// Everything mutable lives in the policy or on this stack frame, so any
+/// number of queued searches can run concurrently on different
+/// executors.
 template <typename Policy>
 void RunQueuedSearch(const SaxTree& tree, Policy* policy, int num_queues,
-                     ThreadPool* pool, AtomicCounters* counters) {
+                     Executor* exec, AtomicCounters* counters) {
   std::vector<SharedQueue> queues(num_queues);
   std::atomic<uint64_t> round_robin{0};
 
@@ -71,7 +74,7 @@ void RunQueuedSearch(const SaxTree& tree, Policy* policy, int num_queues,
   // load balance, as in the paper).
   const auto& roots = tree.PresentRoots();
   WorkCounter root_counter(roots.size());
-  pool->Run([&](int) {
+  exec->Run([&](int) {
     std::vector<Node*> stack;
     size_t item;
     while (root_counter.NextItem(&item)) {
@@ -100,7 +103,7 @@ void RunQueuedSearch(const SaxTree& tree, Policy* policy, int num_queues,
   // Stage 3b: workers consume the queues; a queue whose minimum exceeds
   // the BSF is abandoned wholesale (everything below it is farther).
   std::atomic<uint64_t> start_counter{0};
-  pool->Run([&](int) {
+  exec->Run([&](int worker) {
     const int k_queues = static_cast<int>(queues.size());
     const int start = static_cast<int>(
         start_counter.fetch_add(1, std::memory_order_relaxed) %
@@ -130,7 +133,7 @@ void RunQueuedSearch(const SaxTree& tree, Policy* policy, int num_queues,
           all_done = false;
           counters->leaves_inspected.fetch_add(1, std::memory_order_relaxed);
           for (const LeafEntry& e : item.leaf->entries()) {
-            policy->ProcessEntry(e, counters);
+            policy->ProcessEntry(e, counters, worker);
           }
         }
       }
@@ -174,7 +177,8 @@ struct EdNnPolicy {
     return MinDistPaaToWordSq(paa, node.word(), w, n);
   }
 
-  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters) {
+  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters,
+                    int /*worker*/) {
     counters->lb_checks.fetch_add(1, std::memory_order_relaxed);
     const float bound = Bound();
     if (MinDistPaaToSymbolsSq(paa, e.sax, w, n) >= bound) return;
@@ -201,7 +205,8 @@ struct EdKnnPolicy {
     return MinDistPaaToWordSq(paa, node.word(), w, n);
   }
 
-  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters) {
+  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters,
+                    int /*worker*/) {
     counters->lb_checks.fetch_add(1, std::memory_order_relaxed);
     const float bound = Bound();
     if (MinDistPaaToSymbolsSq(paa, e.sax, w, n) >= bound) return;
@@ -225,6 +230,9 @@ struct DtwNnPolicy {
   size_t band;
   SeriesView query;
   BestNeighbor* result;
+  /// Per-worker DP arenas owned by the query (one per executor worker),
+  /// so concurrent DTW queries never share scratch state.
+  std::vector<DtwScratch>* scratches;
 
   float Bound() const { return result->Bound(); }
 
@@ -233,7 +241,8 @@ struct DtwNnPolicy {
                                       node.word(), w, n);
   }
 
-  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters) {
+  void ProcessEntry(const LeafEntry& e, AtomicCounters* counters,
+                    int worker) {
     counters->lb_checks.fetch_add(1, std::memory_order_relaxed);
     float bound = Bound();
     if (MinDistEnvelopePaaToSymbolsSq(env_lower_paa, env_upper_paa, e.sax, w,
@@ -244,7 +253,8 @@ struct DtwNnPolicy {
     if (LbKeoghSq(*env_lower, *env_upper, candidate, bound) >= bound) return;
     counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
     bound = Bound();
-    const float d = DtwBand(query, candidate, band, bound);
+    const float d =
+        DtwBand(query, candidate, band, bound, &(*scratches)[worker]);
     if (d < bound) result->Offer(e.id, d);
   }
 };
@@ -348,7 +358,7 @@ Result<Neighbor> MessiIndex::SearchApproximate(SeriesView query,
 
 Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
                                          const MessiQueryOptions& options,
-                                         ThreadPool* pool,
+                                         Executor* exec,
                                          QueryStats* stats) const {
   if (query.size() != tree_.options().series_length) {
     return Status::InvalidArgument("query length does not match the index");
@@ -375,7 +385,7 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
-  RunQueuedSearch(tree_, &policy, num_queues, pool, &counters);
+  RunQueuedSearch(tree_, &policy, num_queues, exec, &counters);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
   return result.best;
@@ -383,7 +393,7 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
 
 Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
     SeriesView query, size_t k, const MessiQueryOptions& options,
-    ThreadPool* pool, QueryStats* stats) const {
+    Executor* exec, QueryStats* stats) const {
   if (query.size() != tree_.options().series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
@@ -412,7 +422,7 @@ Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
-  RunQueuedSearch(tree_, &policy, num_queues, pool, &counters);
+  RunQueuedSearch(tree_, &policy, num_queues, exec, &counters);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
   return heap.Sorted();
@@ -420,7 +430,7 @@ Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
 
 Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
                                             const MessiQueryOptions& options,
-                                            ThreadPool* pool,
+                                            Executor* exec,
                                             QueryStats* stats) const {
   if (query.size() != tree_.options().series_length) {
     return Status::InvalidArgument("query length does not match the index");
@@ -440,13 +450,19 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   SaxSymbols sax;
   SymbolsFromPaa(paa, w, &sax);
 
+  // Per-query DP arenas, one per executor worker: concurrent DTW
+  // queries each own their scratch instead of funneling through shared
+  // thread_local rows.
+  std::vector<DtwScratch> scratches(exec->num_threads());
+
   // Approximate phase: true DTW against the matching leaf's series.
   Neighbor seed{0, kInf};
   Node* leaf = tree_.ApproximateLeaf(sax, paa);
   if (leaf != nullptr) {
     for (const LeafEntry& e : leaf->entries()) {
       const float d = DtwBand(query, dataset_->series(e.id),
-                              options.dtw_band, seed.distance_sq);
+                              options.dtw_band, seed.distance_sq,
+                              &scratches[0]);
       if (stats != nullptr) stats->real_dist_calcs++;
       if (d < seed.distance_sq ||
           (d == seed.distance_sq && e.id < seed.id)) {
@@ -459,11 +475,11 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   DtwNnPolicy policy{dataset_,        env_lower_paa, env_upper_paa,
                      &env_lower,      &env_upper,    w,
                      n,               options.dtw_band, query,
-                     &result};
+                     &result,         &scratches};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
-  RunQueuedSearch(tree_, &policy, num_queues, pool, &counters);
+  RunQueuedSearch(tree_, &policy, num_queues, exec, &counters);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
   return result.best;

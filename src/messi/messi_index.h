@@ -69,23 +69,30 @@ class MessiIndex {
       const Dataset* dataset, const MessiBuildOptions& options,
       ThreadPool* pool);
 
+  // Query paths take an Executor rather than owning threads: pass a
+  // ThreadPool to fan one query out over every core (the paper's Stage
+  // 3), or an InlineExecutor to confine it to the calling thread so many
+  // queries can run concurrently (the serve layer's throughput mode).
+  // All per-query state is local to the call, so any number of searches
+  // may run at once as long as each executor supports it.
+
   /// Exact 1-NN under squared ED. `Neighbor{0, +inf}` if empty.
   Result<Neighbor> SearchExact(SeriesView query,
                                const MessiQueryOptions& options,
-                               ThreadPool* pool,
+                               Executor* exec,
                                QueryStats* stats = nullptr) const;
 
   /// Exact k-NN under squared ED, ascending (distance, id).
   Result<std::vector<Neighbor>> SearchKnn(SeriesView query, size_t k,
                                           const MessiQueryOptions& options,
-                                          ThreadPool* pool,
+                                          Executor* exec,
                                           QueryStats* stats = nullptr) const;
 
   /// Exact 1-NN under banded DTW (squared cost), through the unchanged
   /// index.
   Result<Neighbor> SearchExactDtw(SeriesView query,
                                   const MessiQueryOptions& options,
-                                  ThreadPool* pool,
+                                  Executor* exec,
                                   QueryStats* stats = nullptr) const;
 
   /// Approximate 1-NN: best real distance within the matching leaf.

@@ -475,7 +475,7 @@ Result<Neighbor> ParisIndex::SearchApproximate(SeriesView query,
 
 Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
                                          const ParisQueryOptions& options,
-                                         ThreadPool* pool,
+                                         Executor* exec,
                                          QueryStats* stats) const {
   if (query.size() != tree_.options().series_length) {
     return Status::InvalidArgument("query length does not match the index");
@@ -505,7 +505,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
   std::atomic<size_t> tail{0};
   {
     WorkCounter counter(cache_.count());
-    pool->Run([&](int) {
+    exec->Run([&](int) {
       size_t begin, end;
       while (counter.NextBatch(options.filter_grain, &begin, &end)) {
         for (SeriesId i = begin; i < end; ++i) {
@@ -546,7 +546,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
             candidates[base + c], chunk_values.data() + c * n));
       }
       WorkCounter counter(count);
-      pool->Run([&](int) {
+      exec->Run([&](int) {
         size_t c;
         while (counter.NextItem(&c)) {
           const float bound = bsf.Load();
@@ -567,7 +567,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     }
   } else {
     WorkCounter counter(num_candidates);
-    pool->Run([&](int) {
+    exec->Run([&](int) {
       std::vector<Value> buffer(source_->length());
       size_t begin, end;
       while (counter.NextBatch(options.refine_grain, &begin, &end)) {

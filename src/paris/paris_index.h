@@ -108,9 +108,13 @@ class ParisIndex {
       const Dataset* dataset, const ParisBuildOptions& options);
 
   /// Exact 1-NN (squared ED), parallel. `Neighbor{0, +inf}` if empty.
+  /// `exec` supplies the query's parallelism: a ThreadPool fans the
+  /// filter/refine phases out over every core, an InlineExecutor runs
+  /// the whole query on the calling thread so many queries can run
+  /// concurrently. All mutable state is per-call.
   Result<Neighbor> SearchExact(SeriesView query,
                                const ParisQueryOptions& options,
-                               ThreadPool* pool,
+                               Executor* exec,
                                QueryStats* stats = nullptr) const;
 
   /// Approximate 1-NN: real distances within the approximate leaf only.

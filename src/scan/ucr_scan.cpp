@@ -73,7 +73,7 @@ Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
 }
 
 Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
-                         ThreadPool* pool, ScanStats* stats,
+                         Executor* exec, ScanStats* stats,
                          KernelPolicy kernel) {
   WallTimer timer;
   AtomicMinFloat bsf(kInf);
@@ -83,7 +83,7 @@ Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
 
   constexpr size_t kGrain = 256;
   WorkCounter counter(dataset.count());
-  pool->Run([&](int) {
+  exec->Run([&](int) {
     uint64_t local_abandoned = 0;
     size_t begin, end;
     while (counter.NextBatch(kGrain, &begin, &end)) {
@@ -113,7 +113,7 @@ Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
 
 std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
                                      SeriesView query, size_t k,
-                                     ThreadPool* pool, ScanStats* stats,
+                                     Executor* exec, ScanStats* stats,
                                      KernelPolicy kernel) {
   WallTimer timer;
   KnnHeap heap(k);
@@ -121,7 +121,7 @@ std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
 
   constexpr size_t kGrain = 256;
   WorkCounter counter(dataset.count());
-  pool->Run([&](int) {
+  exec->Run([&](int) {
     uint64_t local_abandoned = 0;
     size_t begin, end;
     while (counter.NextBatch(kGrain, &begin, &end)) {
@@ -221,7 +221,7 @@ Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
 }
 
 Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
-                         size_t band, ThreadPool* pool, ScanStats* stats) {
+                         size_t band, Executor* exec, ScanStats* stats) {
   WallTimer timer;
   std::vector<Value> lower, upper;
   ComputeEnvelope(query, band, &lower, &upper);
@@ -233,7 +233,7 @@ Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
 
   constexpr size_t kGrain = 128;
   WorkCounter counter(dataset.count());
-  pool->Run([&](int) {
+  exec->Run([&](int) {
     uint64_t local_calcs = 0, local_abandoned = 0;
     size_t begin, end;
     while (counter.NextBatch(kGrain, &begin, &end)) {

@@ -42,15 +42,17 @@ Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
                        KernelPolicy kernel = KernelPolicy::kAuto);
 
 /// UCR Suite-p: parallel partitioned scan with a shared atomic BSF.
+/// `exec` supplies the scan's parallelism (a ThreadPool for one query
+/// over every core, an InlineExecutor to confine it to the caller).
 Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
-                         ThreadPool* pool, ScanStats* stats = nullptr,
+                         Executor* exec, ScanStats* stats = nullptr,
                          KernelPolicy kernel = KernelPolicy::kAuto);
 
 /// Parallel exact k-NN scan: the BSF generalizes to the k-th best
 /// distance (see index/knn_heap.h). Ascending (distance, id).
 std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
                                      SeriesView query, size_t k,
-                                     ThreadPool* pool,
+                                     Executor* exec,
                                      ScanStats* stats = nullptr,
                                      KernelPolicy kernel =
                                          KernelPolicy::kAuto);
@@ -77,7 +79,7 @@ Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
 
 /// Parallel UCR-DTW with a shared atomic BSF.
 Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
-                         size_t band, ThreadPool* pool,
+                         size_t band, Executor* exec,
                          ScanStats* stats = nullptr);
 
 }  // namespace parisax

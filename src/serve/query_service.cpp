@@ -1,0 +1,218 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parisax {
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    Engine* engine, const QueryServiceOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (options.parallel_cost_threshold <= 0.0) {
+    return Status::InvalidArgument(
+        "parallel_cost_threshold must be positive");
+  }
+  return std::unique_ptr<QueryService>(new QueryService(engine, options));
+}
+
+QueryService::QueryService(Engine* engine,
+                           const QueryServiceOptions& options)
+    : engine_(engine), options_(options), shards_(options.num_threads) {
+  workers_.reserve(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() {
+  // Finish accepted work first so no promise is left unfulfilled.
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::future<Result<SearchResponse>> QueryService::Submit(
+    SeriesView query, const SearchRequest& request,
+    std::optional<SchedulingPolicy> policy) {
+  Task task;
+  task.query.assign(query.begin(), query.end());
+  task.request = request;
+  task.policy = policy.value_or(options_.policy);
+  std::future<Result<SearchResponse>> future = task.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    if (stopping_) {
+      task.promise.set_value(
+          Status::Internal("query service is shutting down"));
+      return future;
+    }
+    // Registering inside the lock orders this submission before the
+    // destructor's Drain/stop sequence.
+    inflight_.Add();
+    // The count rises *before* the task becomes acquirable: a worker
+    // can only fetch_sub after popping the task, and the shard mutex
+    // orders that pop after this increment, so queued_ never wraps
+    // below zero. (Incrementing under wake_mu_ also means a worker
+    // between its wait predicate and its wait cannot miss this task.)
+    // The cost is a tiny window where a woken worker finds the deque
+    // still empty and re-checks.
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  const size_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard].mu);
+    shards_[shard].tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+  return future;
+}
+
+Result<std::vector<SearchResponse>> QueryService::SearchBatch(
+    const std::vector<SeriesView>& queries, const SearchRequest& request,
+    std::optional<SchedulingPolicy> policy) {
+  std::vector<std::future<Result<SearchResponse>>> futures;
+  futures.reserve(queries.size());
+  for (const SeriesView& query : queries) {
+    futures.push_back(Submit(query, request, policy));
+  }
+  // Help drain instead of blocking: the calling thread is one more
+  // serve lane while its batch is pending. It may also pick up other
+  // clients' tasks, which only speeds the service up.
+  Task task;
+  while (TryAcquire(0, &task)) Execute(std::move(task));
+
+  std::vector<SearchResponse> responses;
+  responses.reserve(queries.size());
+  for (auto& future : futures) {
+    Result<SearchResponse> response = future.get();
+    if (!response.ok()) return response.status();
+    responses.push_back(std::move(response).value());
+  }
+  return responses;
+}
+
+void QueryService::Drain() { inflight_.Wait(); }
+
+ServeStats QueryService::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.ran_inline = ran_inline_.load(std::memory_order_relaxed);
+  s.ran_parallel = ran_parallel_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void QueryService::WorkerLoop(int worker) {
+  for (;;) {
+    Task task;
+    if (TryAcquire(worker, &task)) {
+      Execute(std::move(task));
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stopping_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stopping_ && queued_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+bool QueryService::TryAcquire(int worker, Task* task) {
+  const int n = static_cast<int>(shards_.size());
+  // Own deque first (front: oldest, FIFO service order) ...
+  {
+    Shard& own = shards_[worker];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // ... then steal from a sibling's back, keeping contention off the
+  // owner's end of the deque.
+  for (int offset = 1; offset < n; ++offset) {
+    Shard& victim = shards_[(worker + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+double QueryService::EstimateCost(const SearchRequest& request) const {
+  if (request.approximate) return 0.0;  // one leaf probe, always cheap
+  const double count = static_cast<double>(engine_->series_count());
+  const double length = static_cast<double>(engine_->series_length());
+  double per_candidate = length;
+  if (request.dtw) {
+    // Banded DTW costs ~ (2*band+1) cells per point instead of 1.
+    const double band_width = std::min(
+        length, static_cast<double>(2 * request.dtw_band + 1));
+    per_candidate *= band_width;
+  }
+  return count * per_candidate;
+}
+
+void QueryService::Execute(Task task) {
+  bool parallel = false;
+  switch (task.policy) {
+    case SchedulingPolicy::kThroughput:
+      parallel = false;
+      break;
+    case SchedulingPolicy::kLatency:
+      parallel = true;
+      break;
+    case SchedulingPolicy::kAuto:
+      // Take the intra-query parallel path only for expensive queries
+      // when no other work is waiting: under load, whole-query-per-
+      // worker wins on throughput; idle, fan-out wins on latency.
+      parallel =
+          EstimateCost(task.request) >= options_.parallel_cost_threshold &&
+          queued_.load(std::memory_order_relaxed) == 0;
+      break;
+  }
+
+  const SeriesView view(task.query.data(), task.query.size());
+  // Exceptions must not escape: the promise and the inflight counter
+  // have to resolve even if the engine throws (e.g. bad_alloc), or the
+  // submitter's future breaks and Drain blocks forever.
+  Result<SearchResponse> response = [&]() -> Result<SearchResponse> {
+    try {
+      if (parallel) return engine_->Search(view, task.request);
+      InlineExecutor inline_exec;
+      return engine_->Search(view, task.request, &inline_exec);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("query threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("query threw an unknown exception");
+    }
+  }();
+  (parallel ? ran_parallel_ : ran_inline_)
+      .fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  task.promise.set_value(std::move(response));
+  inflight_.Done();
+}
+
+}  // namespace parisax

@@ -1,0 +1,157 @@
+// Concurrent query service: batched / streamed multi-query execution
+// over an already-built engine.
+//
+// ParIS+/MESSI parallelize *one* query at a time (intra-query worker
+// fan-out); a system serving heavy traffic also needs inter-query
+// concurrency. QueryService schedules many in-flight queries over one
+// set of serve workers with a work-stealing per-query task model:
+//
+//   kThroughput  every query runs whole-query-per-worker on a per-query
+//                InlineExecutor -- N workers answer N queries at once
+//                with zero cross-query synchronization. Maximizes
+//                queries/sec under load.
+//   kLatency     every query takes the paper's intra-query parallel
+//                path over the engine's full thread pool; queries
+//                serialize on the pool. Minimizes single-query latency.
+//   kAuto        per-query choice: a query whose estimated cost clears
+//                `parallel_cost_threshold` runs the parallel path when
+//                the service is otherwise idle; everything else runs
+//                whole-query-per-worker.
+//
+// Submitted tasks land in per-worker deques; an idle worker first drains
+// its own deque, then steals from its siblings, so bursty clients cannot
+// strand work behind a slow queue. A thread blocked in SearchBatch helps
+// execute its own batch instead of just waiting.
+#ifndef PARISAX_SERVE_QUERY_SERVICE_H_
+#define PARISAX_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+struct QueryServiceOptions {
+  /// Serve workers (concurrent whole-query lanes). The engine's own
+  /// pool additionally provides intra-query parallelism for the
+  /// kLatency path.
+  int num_threads = 4;
+  /// Default scheduling policy; Submit can override per query.
+  SchedulingPolicy policy = SchedulingPolicy::kAuto;
+  /// kAuto: a query whose estimated cost (point-pair kernel
+  /// evaluations) reaches this takes the intra-query parallel path when
+  /// the service is otherwise idle. The default (64M point pairs, ~a
+  /// 256K x 256 collection) keeps small queries in throughput mode.
+  double parallel_cost_threshold = 64.0 * 1024.0 * 1024.0;
+};
+
+/// Cumulative service counters (monotonic; read with stats()).
+struct ServeStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  /// Queries answered whole-query-per-worker (throughput path).
+  uint64_t ran_inline = 0;
+  /// Queries answered via the intra-query parallel path.
+  uint64_t ran_parallel = 0;
+  /// Tasks executed by a worker other than the one they were queued on.
+  uint64_t steals = 0;
+};
+
+class QueryService {
+ public:
+  /// Starts `options.num_threads` serve workers over `engine`, which
+  /// must outlive the service. While a service is attached, route
+  /// queries through it (or through the engine's thread-safe Search,
+  /// which serializes on the same pool the kLatency path uses).
+  static Result<std::unique_ptr<QueryService>> Create(
+      Engine* engine, const QueryServiceOptions& options);
+
+  /// Finishes every accepted query, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; the returned future yields its response. The
+  /// query values are copied, so the view only needs to live until
+  /// Submit returns. `policy` overrides the service default for this
+  /// query.
+  std::future<Result<SearchResponse>> Submit(
+      SeriesView query, const SearchRequest& request = {},
+      std::optional<SchedulingPolicy> policy = std::nullopt);
+
+  /// Answers a batch of queries concurrently; responses are in query
+  /// order. The calling thread helps execute pending tasks instead of
+  /// blocking. Fails on the first failing query.
+  Result<std::vector<SearchResponse>> SearchBatch(
+      const std::vector<SeriesView>& queries,
+      const SearchRequest& request = {},
+      std::optional<SchedulingPolicy> policy = std::nullopt);
+
+  /// Blocks until every query submitted so far has completed.
+  void Drain();
+
+  ServeStats stats() const;
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    std::vector<Value> query;
+    SearchRequest request;
+    SchedulingPolicy policy = SchedulingPolicy::kAuto;
+    std::promise<Result<SearchResponse>> promise;
+  };
+
+  /// One worker's deque; siblings steal from the back under `mu`.
+  struct Shard {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  QueryService(Engine* engine, const QueryServiceOptions& options);
+
+  void WorkerLoop(int worker);
+  /// Pops from shard `worker` or steals from a sibling; false when every
+  /// deque is empty.
+  bool TryAcquire(int worker, Task* task);
+  void Execute(Task task);
+  /// The kAuto cost heuristic: estimated point-pair kernel evaluations
+  /// for one query against the whole collection.
+  double EstimateCost(const SearchRequest& request) const;
+
+  Engine* const engine_;
+  const QueryServiceOptions options_;
+
+  std::vector<Shard> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> next_shard_{0};
+
+  /// Tasks sitting in deques (not yet acquired). Guards the sleep/wake
+  /// protocol together with wake_mu_.
+  std::atomic<size_t> queued_{0};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;  // guarded by wake_mu_
+
+  TaskGroup inflight_;  // submitted but not yet completed
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> ran_inline_{0};
+  std::atomic<uint64_t> ran_parallel_{0};
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_SERVE_QUERY_SERVICE_H_

@@ -43,7 +43,7 @@ void ThreadPool::Run(const std::function<void(int)>& fn) {
   task_ = nullptr;
 }
 
-void ThreadPool::ParallelFor(
+void Executor::ParallelFor(
     size_t total, size_t grain,
     const std::function<void(size_t, size_t, int)>& fn) {
   WorkCounter counter(total);

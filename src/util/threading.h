@@ -112,29 +112,94 @@ class SpinBarrier {
   std::atomic<uint64_t> generation_{0};
 };
 
-/// A pool of `num_threads` persistent workers executing parallel regions.
+/// Abstract parallel-region executor: the degree of parallelism a search
+/// phase runs with, decoupled from who owns the threads.
 ///
-/// Run(f) makes every worker execute f(worker_id) once and returns when all
-/// have finished. Workers are identified by 0..num_threads-1 so phases can
-/// use per-worker state (e.g. MESSI's per-thread iSAX buffer parts).
-class ThreadPool {
+/// Run(f) executes f(worker_id) for worker ids 0..num_threads()-1 and
+/// returns when all of them have finished. Query paths written against
+/// Executor run unchanged on a whole ThreadPool (one query fanned out
+/// over every core) or on an InlineExecutor (one query confined to the
+/// calling thread), which is what lets the serve layer run many queries
+/// concurrently: each query borrows an executor instead of owning the
+/// machine.
+class Executor {
  public:
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  virtual ~Executor() = default;
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  virtual int num_threads() const = 0;
 
-  int num_threads() const { return num_threads_; }
-
-  /// Executes `fn(worker_id)` on all workers; blocks until every worker
-  /// has returned from `fn`. Not reentrant.
-  void Run(const std::function<void(int)>& fn);
+  /// Executes `fn(worker_id)` on all workers; returns when every worker
+  /// has returned from `fn`.
+  virtual void Run(const std::function<void(int)>& fn) = 0;
 
   /// Convenience: splits [0, total) into batches of `grain` items claimed
   /// via Fetch&Inc and calls fn(begin, end, worker_id) for each batch.
   void ParallelFor(size_t total, size_t grain,
                    const std::function<void(size_t, size_t, int)>& fn);
+};
+
+/// Runs parallel regions serially on the calling thread (worker id 0).
+/// Fully re-entrant and shareable: any number of InlineExecutor regions
+/// may execute concurrently on different threads, so a query answered
+/// through one is safe to run alongside other queries.
+class InlineExecutor : public Executor {
+ public:
+  int num_threads() const override { return 1; }
+  void Run(const std::function<void(int)>& fn) override { fn(0); }
+};
+
+/// Completion counter for a group of asynchronous tasks: Add() announces
+/// work, Done() retires it, Wait() blocks until the outstanding count
+/// reaches zero. Reusable (a later Add() re-arms it).
+class TaskGroup {
+ public:
+  void Add(size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ += n;
+  }
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until every added task has called Done().
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+  size_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+};
+
+/// A pool of `num_threads` persistent workers executing parallel regions.
+///
+/// Run(f) makes every worker execute f(worker_id) once and returns when all
+/// have finished. Workers are identified by 0..num_threads-1 so phases can
+/// use per-worker state (e.g. MESSI's per-thread iSAX buffer parts).
+class ThreadPool : public Executor {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool() override;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const override { return num_threads_; }
+
+  /// Executes `fn(worker_id)` on all workers; blocks until every worker
+  /// has returned from `fn`. Not reentrant: at most one Run may be active
+  /// at a time (see util/threading.cpp), so concurrent queries must
+  /// either serialize their regions or use per-query InlineExecutors.
+  void Run(const std::function<void(int)>& fn) override;
 
  private:
   void WorkerLoop(int id);

@@ -220,6 +220,87 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   EXPECT_EQ(calls, 1);
 }
 
+// --- Executor / InlineExecutor ----------------------------------------------------
+
+TEST(InlineExecutorTest, RunsOnCallingThreadAsWorkerZero) {
+  InlineExecutor exec;
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  exec.Run([&](int worker) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(exec.num_threads(), 1);
+}
+
+TEST(InlineExecutorTest, ReentrantAndConcurrent) {
+  // Unlike ThreadPool::Run, inline regions may nest and may run
+  // concurrently on different threads: that is what lets N queries
+  // execute at once, one per serve worker.
+  InlineExecutor exec;
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 100; ++round) {
+        exec.Run([&](int) { exec.Run([&](int) { total.fetch_add(1); }); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(InlineExecutorTest, ParallelForCoversRangeThroughExecutorInterface) {
+  InlineExecutor exec;
+  Executor* as_executor = &exec;
+  std::vector<int> hits(1000, 0);
+  as_executor->ParallelFor(1000, 32, [&](size_t begin, size_t end, int) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+// --- TaskGroup --------------------------------------------------------------------
+
+TEST(TaskGroupTest, WaitReturnsImmediatelyWhenEmpty) {
+  TaskGroup group;
+  group.Wait();
+  EXPECT_EQ(group.outstanding(), 0u);
+}
+
+TEST(TaskGroupTest, WaitBlocksUntilAllDone) {
+  TaskGroup group;
+  constexpr int kTasks = 64;
+  group.Add(kTasks);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTasks / 4; ++i) {
+        finished.fetch_add(1);
+        group.Done();
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(finished.load(), kTasks);
+  for (auto& t : threads) t.join();
+}
+
+TEST(TaskGroupTest, ReArmsAfterDraining) {
+  TaskGroup group;
+  for (int round = 0; round < 3; ++round) {
+    group.Add();
+    EXPECT_EQ(group.outstanding(), 1u);
+    group.Done();
+    group.Wait();
+    EXPECT_EQ(group.outstanding(), 0u);
+  }
+}
+
 // --- timers / aligned -----------------------------------------------------------
 
 TEST(TimerTest, MeasuresElapsedTime) {
