@@ -37,7 +37,8 @@ int Run(const BenchArgs& args) {
   ThreadPool pool(workers);
   MessiBuildOptions build;
   build.num_workers = workers;
-  build.tree.segments = 8;  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+  build.tree.segments = 8;
   build.tree.leaf_capacity = 128;
   build.tree.series_length = length;
   auto index = MessiIndex::Build(&data, build, &pool);

@@ -149,6 +149,29 @@ std::string FmtRatio(double ratio) {
 
 std::string FmtCount(uint64_t n) { return std::to_string(n); }
 
+std::string GitSha() {
+  const char* env = std::getenv("GITHUB_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef PARISAX_GIT_SHA
+  return PARISAX_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string BuildTypeName() {
+#ifdef PARISAX_BUILD_TYPE
+  return PARISAX_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string JsonMetaFields() {
+  return "\"git_sha\": \"" + GitSha() + "\", \"build_type\": \"" +
+         BuildTypeName() + "\"";
+}
+
 void PrintFigureHeader(const std::string& figure_id,
                        const std::string& description) {
   std::cout << "\n=== " << figure_id << ": " << description << " ===\n";

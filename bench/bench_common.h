@@ -71,6 +71,18 @@ std::string FmtMillis(double seconds);
 std::string FmtRatio(double ratio);
 std::string FmtCount(uint64_t n);
 
+/// The git SHA this binary was built from: $GITHUB_SHA when set (CI), else
+/// the SHA baked in at configure time, else "unknown". Recorded in every
+/// bench JSON so baseline comparisons are attributable.
+std::string GitSha();
+
+/// CMAKE_BUILD_TYPE baked in at configure time ("Release", "Debug", ...).
+std::string BuildTypeName();
+
+/// The `"git_sha": ..., "build_type": ...` fragment (no surrounding
+/// braces, no trailing comma) every bench JSON writer embeds.
+std::string JsonMetaFields();
+
 /// Prints the figure banner.
 void PrintFigureHeader(const std::string& figure_id,
                        const std::string& description);

@@ -43,7 +43,8 @@ int Run(const BenchArgs& args) {
                "write", "summarize_cpu", "tree_cpu"});
 
   SaxTreeOptions tree;
-  tree.segments = 8;  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+  tree.segments = 8;
   tree.leaf_capacity = 128;
   tree.series_length = length;
 

@@ -40,7 +40,8 @@ int Run(const BenchArgs& args) {
     MessiBuildOptions build;
     build.num_workers = t;
     build.chunk_series = 4096;
-    build.tree.segments = 8;  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    build.tree.segments = 8;
     build.tree.leaf_capacity = 128;
     build.tree.series_length = length;
     auto index = MessiIndex::Build(&data, build, &pool);

@@ -44,7 +44,8 @@ int Run(const BenchArgs& args) {
       return 1;
     }
     SaxTreeOptions tree;
-    tree.segments = 8;  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    tree.segments = 8;
     tree.leaf_capacity = 128;
     tree.series_length = length;
 

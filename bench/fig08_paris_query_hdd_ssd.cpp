@@ -51,7 +51,8 @@ int Run(const BenchArgs& args) {
     build.num_workers = 4;
     build.plus_mode = true;
     build.batch_series = 4096;
-    build.tree.segments = 8;  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    build.tree.segments = 8;
     build.tree.leaf_capacity = 128;
     build.tree.series_length = length;
     build.raw_profile = DiskProfile::Instant();

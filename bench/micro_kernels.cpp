@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "bench_common.h"
 #include "dist/dtw.h"
 #include "dist/euclidean.h"
 #include "dist/znorm.h"
@@ -172,4 +173,15 @@ BENCHMARK(BM_ComputeEnvelope);
 }  // namespace
 }  // namespace parisax
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus attribution context: the JSON "context" block then
+// carries git_sha/build_type, which the CI bench-regression comparison
+// requires of every baseline artifact.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("git_sha", parisax::bench::GitSha());
+  benchmark::AddCustomContext("build_type", parisax::bench::BuildTypeName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

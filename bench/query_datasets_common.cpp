@@ -61,7 +61,8 @@ int RunQueryDatasets(const BenchArgs& args, const DiskProfile& profile,
     }
 
     SaxTreeOptions tree;
-    tree.segments = 8;  // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    // scale-consistent mapping of the paper's w=16 (see EXPERIMENTS.md)
+    tree.segments = 8;
     tree.leaf_capacity = 128;
     tree.series_length = length;
 

@@ -92,6 +92,7 @@ void WriteJson(size_t series, size_t length, size_t queries, int threads,
                const std::vector<Row>& rows, std::ostream& out) {
   out << "{\n"
       << "  \"bench\": \"serve_throughput\",\n"
+      << "  " << JsonMetaFields() << ",\n"
       << "  \"algorithm\": \"messi\",\n"
       << "  \"series\": " << series << ",\n"
       << "  \"length\": " << length << ",\n"

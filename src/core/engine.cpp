@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "io/mmap_source.h"
+#include "persist/snapshot.h"
 #include "scan/ucr_scan.h"
 #include "serve/query_service.h"
 #include "util/timer.h"
@@ -236,6 +238,74 @@ Result<std::unique_ptr<Engine>> Engine::BuildFromFile(
   engine->build_report_.wall_seconds = wall.ElapsedSeconds();
   engine->build_report_.details = details.str();
   return engine;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Open(
+    const std::string& snapshot_path, const std::string& data_path,
+    const EngineOptions& options) {
+  PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
+  SnapshotInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadSnapshotInfo(snapshot_path));
+
+  auto engine = std::unique_ptr<Engine>(new Engine(options));
+  engine->dataset_path_ = data_path;
+  engine->series_length_ = info.tree.series_length;
+  engine->series_count_ = info.series_count;
+  EngineOptions& opts = engine->options_;
+  opts.tree = info.tree;
+
+  std::unique_ptr<MmapSource> source;
+  PARISAX_ASSIGN_OR_RETURN(source, MmapSource::Open(data_path));
+
+  WallTimer wall;
+  std::ostringstream details;
+  switch (info.kind) {
+    case SnapshotKind::kMessi: {
+      opts.algorithm = Algorithm::kMessi;
+      PARISAX_ASSIGN_OR_RETURN(
+          engine->messi_,
+          LoadMessiIndex(snapshot_path, std::move(source),
+                         engine->pool_.get()));
+      engine->build_report_.tree = engine->messi_->build_stats().tree;
+      break;
+    }
+    case SnapshotKind::kParis: {
+      // The snapshot records whether ParIS or ParIS+ built it; the query
+      // machinery is identical, the label matters for reporting.
+      opts.algorithm =
+          info.algorithm == static_cast<uint8_t>(Algorithm::kParisPlus)
+              ? Algorithm::kParisPlus
+              : Algorithm::kParis;
+      PARISAX_ASSIGN_OR_RETURN(
+          engine->paris_,
+          LoadParisIndex(snapshot_path, std::move(source),
+                         engine->pool_.get()));
+      engine->build_report_.tree = engine->paris_->build_stats().tree;
+      break;
+    }
+  }
+  engine->build_report_.wall_seconds = wall.ElapsedSeconds();
+  details << AlgorithmName(opts.algorithm)
+          << " restored from snapshot, raw data mmap-ed from " << data_path;
+  engine->build_report_.details = details.str();
+  return engine;
+}
+
+Status Engine::Save(const std::string& snapshot_path) {
+  SnapshotSaveOptions sopts;
+  sopts.algorithm = static_cast<uint8_t>(options_.algorithm);
+  // Snapshot serialization fans out over the shared pool; take the same
+  // lock exact queries take so Save can run while the engine serves.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (messi_ != nullptr) {
+    return SaveIndex(*messi_, snapshot_path, pool_.get(), sopts);
+  }
+  if (paris_ != nullptr) {
+    return SaveIndex(*paris_, snapshot_path, pool_.get(), sopts);
+  }
+  return Status::NotSupported(
+      std::string(AlgorithmName(options_.algorithm)) +
+      " does not support snapshots (only MESSI and ParIS/ParIS+ do)");
 }
 
 Status Engine::CheckQuery(SeriesView query) const {

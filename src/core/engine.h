@@ -148,6 +148,22 @@ class Engine {
   static Result<std::unique_ptr<Engine>> BuildFromFile(
       const std::string& dataset_path, const EngineOptions& options);
 
+  /// Restores an engine from a snapshot written by Save. `data_path` is
+  /// the raw dataset file (WriteDataset format) the index was built
+  /// over; it is memory-mapped, so queries run straight against the page
+  /// cache instead of an in-RAM copy. The snapshot records which
+  /// algorithm it holds; `options.algorithm` is ignored. Supported:
+  /// kMessi, kParis, kParisPlus.
+  static Result<std::unique_ptr<Engine>> Open(
+      const std::string& snapshot_path, const std::string& data_path,
+      const EngineOptions& options = {});
+
+  /// Writes the engine's index to `snapshot_path` (atomically: a temp
+  /// file renamed into place). Requires an index-based algorithm with
+  /// snapshot support (kMessi, kParis, kParisPlus). Thread-safe against
+  /// concurrent Search calls.
+  Status Save(const std::string& snapshot_path);
+
   ~Engine();
 
   /// Answers one similarity-search query with the engine's own thread

@@ -32,6 +32,13 @@ class RawSeriesSource {
     return SeriesView();
   }
 
+  /// Base pointer of the contiguous row-major value block backing this
+  /// source (series `i` at `base + i * length()`), or nullptr when series
+  /// are not directly addressable (e.g. a simulated seek-per-read
+  /// device). In-memory engines build a RawDataView from this and bypass
+  /// the virtual per-series calls entirely.
+  virtual const Value* ContiguousData() const { return nullptr; }
+
   /// True when the backing device serves one request at a time and
   /// rewards position-ordered access (a spinning disk). Parallel readers
   /// should then funnel their reads through one ordered stream instead of
@@ -51,9 +58,23 @@ class InMemorySource : public RawSeriesSource {
   SeriesView TryView(SeriesId id) const override {
     return dataset_->series(id);
   }
+  const Value* ContiguousData() const override { return dataset_->raw(); }
 
  private:
   const Dataset* dataset_;
+};
+
+/// Non-owning view of a contiguous row-major raw-series block. The hot
+/// query paths (MESSI's real-distance phase) address series through this
+/// instead of a virtual RawSeriesSource call; it works identically over
+/// an in-RAM Dataset and an mmap-ed file.
+struct RawDataView {
+  const Value* base = nullptr;
+  size_t length = 0;
+
+  SeriesView series(SeriesId id) const {
+    return SeriesView(base + static_cast<size_t>(id) * length, length);
+  }
 };
 
 /// Reads series from a dataset file through a SimulatedDisk (each fetch

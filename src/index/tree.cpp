@@ -175,8 +175,9 @@ Status CheckNode(const Node* node, InvariantContext* ctx, size_t depth) {
     }
     for (const LeafEntry& e : all) {
       if (!WordContains(node->word(), e.sax, ctx->options->segments)) {
-        return Status::Corruption("leaf contains entry outside its region: " +
-                                  node->word().ToString(ctx->options->segments));
+        return Status::Corruption(
+            "leaf contains entry outside its region: " +
+            node->word().ToString(ctx->options->segments));
       }
     }
     ctx->stats.total_entries += all.size();

@@ -1,0 +1,44 @@
+// Read-only memory mapping of a whole file.
+//
+// MmapFile is the zero-copy substrate under MmapSource (raw data served
+// straight from the page cache) and the snapshot loader (parallel
+// deserialization reads subtree sections in place instead of copying the
+// file into a buffer first).
+#ifndef PARISAX_IO_MMAP_FILE_H_
+#define PARISAX_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace parisax {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to {nullptr, 0}.
+  static Result<std::unique_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapFile(const uint8_t* data, size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  const uint8_t* data_;
+  size_t size_;
+  std::string path_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_IO_MMAP_FILE_H_

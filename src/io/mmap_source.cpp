@@ -1,0 +1,32 @@
+#include "io/mmap_source.h"
+
+#include <cstring>
+
+namespace parisax {
+
+Result<std::unique_ptr<MmapSource>> MmapSource::Open(
+    const std::string& path) {
+  // ReadDatasetInfo validates magic, header fields and the exact file
+  // size, so the mapping below is known to cover every series.
+  DatasetFileInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(path));
+  std::unique_ptr<MmapFile> file;
+  PARISAX_ASSIGN_OR_RETURN(file, MmapFile::Open(path));
+  if (file->size() != info.FileBytes()) {
+    return Status::Corruption("dataset file changed size during open: " +
+                              path);
+  }
+  return std::unique_ptr<MmapSource>(
+      new MmapSource(std::move(file), info));
+}
+
+Status MmapSource::GetSeries(SeriesId id, Value* out) const {
+  if (id >= info_.count) {
+    return Status::InvalidArgument("series id out of range");
+  }
+  std::memcpy(out, values_ + static_cast<size_t>(id) * info_.length,
+              static_cast<size_t>(info_.length) * sizeof(Value));
+  return Status::OK();
+}
+
+}  // namespace parisax

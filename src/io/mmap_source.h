@@ -1,0 +1,57 @@
+// Memory-mapped raw series source.
+//
+// Maps a dataset file (io/format.h layout) and serves series as zero-copy
+// views into the mapping. This generalizes MESSI's "raw data resides in
+// memory" assumption to larger-than-RAM collections: the kernel pages
+// series in on demand and evicts cold ones, while query code sees plain
+// contiguous floats. Restored snapshots (src/persist/) answer queries
+// against an MmapSource instead of requiring a full in-RAM copy of the
+// collection.
+#ifndef PARISAX_IO_MMAP_SOURCE_H_
+#define PARISAX_IO_MMAP_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/raw_source.h"
+#include "io/format.h"
+#include "io/mmap_file.h"
+
+namespace parisax {
+
+class MmapSource : public RawSeriesSource {
+ public:
+  /// Validates the dataset header, then maps the whole file.
+  static Result<std::unique_ptr<MmapSource>> Open(const std::string& path);
+
+  size_t count() const override { return info_.count; }
+  size_t length() const override { return info_.length; }
+
+  Status GetSeries(SeriesId id, Value* out) const override;
+
+  SeriesView TryView(SeriesId id) const override {
+    if (id >= info_.count) return SeriesView();
+    return SeriesView(values_ + static_cast<size_t>(id) * info_.length,
+                      info_.length);
+  }
+
+  const Value* ContiguousData() const override { return values_; }
+
+  const DatasetFileInfo& info() const { return info_; }
+  const std::string& path() const { return file_->path(); }
+
+ private:
+  MmapSource(std::unique_ptr<MmapFile> file, DatasetFileInfo info)
+      : file_(std::move(file)),
+        info_(info),
+        values_(reinterpret_cast<const Value*>(file_->data() +
+                                               kDatasetHeaderBytes)) {}
+
+  std::unique_ptr<MmapFile> file_;
+  DatasetFileInfo info_;
+  const Value* values_;
+};
+
+}  // namespace parisax
+
+#endif  // PARISAX_IO_MMAP_SOURCE_H_

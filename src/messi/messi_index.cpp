@@ -163,7 +163,7 @@ struct BestNeighbor {
 
 /// Exact-ED 1-NN policy.
 struct EdNnPolicy {
-  const Dataset* dataset;
+  RawDataView raw;
   const float* paa;
   int w;
   size_t n;
@@ -183,7 +183,7 @@ struct EdNnPolicy {
     const float bound = Bound();
     if (MinDistPaaToSymbolsSq(paa, e.sax, w, n) >= bound) return;
     counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
-    const float d = SquaredEuclideanEarlyAbandon(query, dataset->series(e.id),
+    const float d = SquaredEuclideanEarlyAbandon(query, raw.series(e.id),
                                                  bound, kernel);
     if (d < bound) result->Offer(e.id, d);
   }
@@ -191,7 +191,7 @@ struct EdNnPolicy {
 
 /// Exact-ED kNN policy: the bound is the k-th best distance.
 struct EdKnnPolicy {
-  const Dataset* dataset;
+  RawDataView raw;
   const float* paa;
   int w;
   size_t n;
@@ -211,7 +211,7 @@ struct EdKnnPolicy {
     const float bound = Bound();
     if (MinDistPaaToSymbolsSq(paa, e.sax, w, n) >= bound) return;
     counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
-    const float d = SquaredEuclideanEarlyAbandon(query, dataset->series(e.id),
+    const float d = SquaredEuclideanEarlyAbandon(query, raw.series(e.id),
                                                  bound, kernel);
     if (d < bound) heap->Update(Neighbor{e.id, d});
   }
@@ -220,7 +220,7 @@ struct EdKnnPolicy {
 /// Exact-DTW 1-NN policy: envelope-based lower bounds cascade into
 /// LB_Keogh and finally early-abandoning banded DTW.
 struct DtwNnPolicy {
-  const Dataset* dataset;
+  RawDataView raw;
   const float* env_lower_paa;
   const float* env_upper_paa;
   const std::vector<Value>* env_lower;
@@ -249,7 +249,7 @@ struct DtwNnPolicy {
                                       n) >= bound) {
       return;
     }
-    const SeriesView candidate = dataset->series(e.id);
+    const SeriesView candidate = raw.series(e.id);
     if (LbKeoghSq(*env_lower, *env_upper, candidate, bound) >= bound) return;
     counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
     bound = Bound();
@@ -260,6 +260,22 @@ struct DtwNnPolicy {
 };
 
 }  // namespace
+
+Status MessiIndex::AttachSource(std::unique_ptr<RawSeriesSource> source) {
+  if (source->length() != tree_.options().series_length) {
+    return Status::InvalidArgument(
+        "raw source length does not match the index");
+  }
+  const Value* base = source->ContiguousData();
+  if (base == nullptr) {
+    return Status::NotSupported(
+        "MESSI requires a directly addressable raw source (in-memory or "
+        "mmap)");
+  }
+  source_ = std::move(source);
+  raw_ = RawDataView{base, source_->length()};
+  return Status::OK();
+}
 
 Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
     const Dataset* dataset, const MessiBuildOptions& options,
@@ -273,8 +289,9 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
         "thread pool is smaller than num_workers");
   }
   WallTimer wall;
-  auto index = std::unique_ptr<MessiIndex>(
-      new MessiIndex(dataset, options.tree));
+  auto index = std::unique_ptr<MessiIndex>(new MessiIndex(options.tree));
+  PARISAX_RETURN_IF_ERROR(
+      index->AttachSource(std::make_unique<InMemorySource>(dataset)));
   const int w = options.tree.segments;
 
   IsaxBufferSet buffers(w, pool->num_threads(), options.locked_buffers);
@@ -350,7 +367,7 @@ Result<Neighbor> MessiIndex::SearchApproximate(SeriesView query,
   ComputePaa(query, w, paa);
   SaxSymbols sax;
   SymbolsFromPaa(paa, w, &sax);
-  auto result = ApproximateLeafSearch(tree_, nullptr, source_, query, paa,
+  auto result = ApproximateLeafSearch(tree_, nullptr, *source_, query, paa,
                                       sax, KernelPolicy::kAuto, stats);
   if (stats != nullptr) stats->total_seconds = timer.ElapsedSeconds();
   return result;
@@ -374,14 +391,14 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
   WallTimer approx_timer;
   Neighbor seed;
   PARISAX_ASSIGN_OR_RETURN(
-      seed, ApproximateLeafSearch(tree_, nullptr, source_, query, paa, sax,
+      seed, ApproximateLeafSearch(tree_, nullptr, *source_, query, paa, sax,
                                   options.kernel, stats));
   if (stats != nullptr) {
     stats->approx_phase_seconds = approx_timer.ElapsedSeconds();
   }
 
   BestNeighbor result(seed);
-  EdNnPolicy policy{dataset_, paa, w, n, options.kernel, query, &result};
+  EdNnPolicy policy{raw_, paa, w, n, options.kernel, query, &result};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
@@ -411,14 +428,14 @@ Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
   Node* leaf = tree_.ApproximateLeaf(sax, paa);
   if (leaf != nullptr) {
     for (const LeafEntry& e : leaf->entries()) {
-      const float d = SquaredEuclidean(query, dataset_->series(e.id),
+      const float d = SquaredEuclidean(query, raw_.series(e.id),
                                        options.kernel);
       if (stats != nullptr) stats->real_dist_calcs++;
       heap.Update(Neighbor{e.id, d});
     }
   }
 
-  EdKnnPolicy policy{dataset_, paa, w, n, options.kernel, query, &heap};
+  EdKnnPolicy policy{raw_, paa, w, n, options.kernel, query, &heap};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
@@ -460,7 +477,7 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   Node* leaf = tree_.ApproximateLeaf(sax, paa);
   if (leaf != nullptr) {
     for (const LeafEntry& e : leaf->entries()) {
-      const float d = DtwBand(query, dataset_->series(e.id),
+      const float d = DtwBand(query, raw_.series(e.id),
                               options.dtw_band, seed.distance_sq,
                               &scratches[0]);
       if (stats != nullptr) stats->real_dist_calcs++;
@@ -472,7 +489,7 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   }
 
   BestNeighbor result(seed);
-  DtwNnPolicy policy{dataset_,        env_lower_paa, env_upper_paa,
+  DtwNnPolicy policy{raw_,            env_lower_paa, env_upper_paa,
                      &env_lower,      &env_upper,    w,
                      n,               options.dtw_band, query,
                      &result,         &scratches};

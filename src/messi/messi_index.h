@@ -62,6 +62,8 @@ struct MessiQueryOptions {
   size_t dtw_band = 12;
 };
 
+class SnapshotReader;
+
 class MessiIndex {
  public:
   /// Builds over an in-memory dataset, which must outlive the index.
@@ -101,16 +103,29 @@ class MessiIndex {
 
   const SaxTree& tree() const { return tree_; }
   const MessiBuildStats& build_stats() const { return build_stats_; }
-  const Dataset& dataset() const { return *dataset_; }
+  /// The raw series the index answers queries against: an InMemorySource
+  /// over the build-time dataset, or the source (e.g. an MmapSource)
+  /// attached when the index was restored from a snapshot.
+  const RawSeriesSource& source() const { return *source_; }
+  /// Series in the indexed collection.
+  size_t series_count() const { return source_->count(); }
 
  private:
-  explicit MessiIndex(const Dataset* dataset,
-                      const SaxTreeOptions& tree_options)
-      : dataset_(dataset), tree_(tree_options), source_(dataset) {}
+  /// Snapshot restore (src/persist/) reconstructs the tree in place.
+  friend class SnapshotReader;
 
-  const Dataset* dataset_;
+  explicit MessiIndex(const SaxTreeOptions& tree_options)
+      : tree_(tree_options) {}
+
+  /// Takes ownership of `source` and points the hot-path view at its
+  /// contiguous block; fails if the source is not directly addressable
+  /// (MESSI computes real distances on raw values in memory).
+  Status AttachSource(std::unique_ptr<RawSeriesSource> source);
+
   SaxTree tree_;
-  InMemorySource source_;
+  std::unique_ptr<RawSeriesSource> source_;
+  /// Hot-path view over source_'s contiguous block (in-RAM or mmap).
+  RawDataView raw_;
   MessiBuildStats build_stats_;
 };
 

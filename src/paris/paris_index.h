@@ -45,6 +45,8 @@
 
 namespace parisax {
 
+class SnapshotReader;
+
 struct ParisBuildOptions {
   /// IndexBulkLoading (and construction) worker count.
   int num_workers = 4;
@@ -132,6 +134,9 @@ class ParisIndex {
       : tree_(tree_options) {}
 
   friend class ParisBuilder;
+  /// Snapshot restore (src/persist/) rebuilds tree_/cache_/source_ in
+  /// place.
+  friend class SnapshotReader;
 
   SaxTree tree_;
   FlatSaxCache cache_;

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum snapshot
+// headers and bodies. Table-driven, no hardware requirements; snapshots
+// are dominated by memcpy anyway, so a few hundred MB/s of CRC never
+// shows up next to index reconstruction.
+#ifndef PARISAX_PERSIST_CHECKSUM_H_
+#define PARISAX_PERSIST_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parisax {
+
+/// CRC-32 of `bytes[0, size)`. Pass a previous result as `seed` to
+/// checksum a byte stream incrementally:
+///   crc = Crc32(a, na);
+///   crc = Crc32(b, nb, crc);  // == Crc32(a+b)
+uint32_t Crc32(const void* bytes, size_t size, uint32_t seed = 0);
+
+}  // namespace parisax
+
+#endif  // PARISAX_PERSIST_CHECKSUM_H_

@@ -1,0 +1,617 @@
+#include "persist/snapshot.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/leaf_storage.h"
+#include "io/mmap_file.h"
+#include "persist/checksum.h"
+#include "sax/word.h"
+
+namespace parisax {
+
+namespace {
+
+// The format serializes SaxSymbols and header integers by memcpy; both
+// assume the usual packed little-endian layout.
+static_assert(sizeof(SaxSymbols) == 16, "snapshot layout change");
+static_assert(std::endian::native == std::endian::little,
+              "snapshot format is little-endian");
+
+constexpr char kSnapshotMagic[8] = {'P', 'S', 'A', 'X', 'S', 'N', '0', '1'};
+
+/// Bytes per serialized leaf entry: 16-byte SAX symbols + 8-byte id.
+constexpr uint64_t kEntryBytes = 24;
+/// Bytes per subtree directory record.
+constexpr uint64_t kDirRecordBytes = 40;
+/// Trailing body-CRC bytes.
+constexpr uint64_t kTrailerBytes = 4;
+/// Topology node tags.
+constexpr uint8_t kTagInner = 0;
+constexpr uint8_t kTagLeaf = 1;
+
+// --- little helpers ---------------------------------------------------
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T LoadPod(const uint8_t* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+/// Bounds-checked forward reader over a byte range.
+struct Cursor {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+
+  template <typename T>
+  bool Read(T* out) {
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, p, sizeof(T));
+    p += sizeof(T);
+    return true;
+  }
+};
+
+/// One subtree directory record.
+struct DirRecord {
+  uint32_t key = 0;
+  uint64_t entry_count = 0;
+  uint64_t topo_offset = 0;
+  uint64_t topo_bytes = 0;
+  uint64_t payload_offset = 0;
+};
+
+void AppendDirRecord(std::string* out, const DirRecord& r) {
+  AppendPod(out, r.key);
+  AppendPod(out, uint32_t{0});  // reserved
+  AppendPod(out, r.entry_count);
+  AppendPod(out, r.topo_offset);
+  AppendPod(out, r.topo_bytes);
+  AppendPod(out, r.payload_offset);
+}
+
+DirRecord LoadDirRecord(const uint8_t* p) {
+  DirRecord r;
+  r.key = LoadPod<uint32_t>(p);
+  r.entry_count = LoadPod<uint64_t>(p + 8);
+  r.topo_offset = LoadPod<uint64_t>(p + 16);
+  r.topo_bytes = LoadPod<uint64_t>(p + 24);
+  r.payload_offset = LoadPod<uint64_t>(p + 32);
+  return r;
+}
+
+// --- header -----------------------------------------------------------
+
+std::string EncodeHeader(const SnapshotInfo& info) {
+  std::string h;
+  h.reserve(kSnapshotHeaderBytes);
+  h.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendPod(&h, info.version);
+  AppendPod(&h, static_cast<uint8_t>(info.kind));
+  AppendPod(&h, info.algorithm);
+  AppendPod(&h, static_cast<uint16_t>(info.tree.segments));
+  AppendPod(&h, static_cast<uint32_t>(info.tree.series_length));
+  AppendPod(&h, static_cast<uint64_t>(info.tree.leaf_capacity));
+  AppendPod(&h, info.series_count);
+  AppendPod(&h, info.subtree_count);
+  AppendPod(&h, info.total_entries);
+  AppendPod(&h, info.file_bytes);
+  AppendPod(&h, Crc32(h.data(), h.size()));
+  return h;
+}
+
+Status DecodeHeader(const uint8_t* bytes, size_t size,
+                    const std::string& path, SnapshotInfo* info) {
+  if (size < kSnapshotHeaderBytes) {
+    return Status::Corruption("snapshot file too short for header: " + path);
+  }
+  if (std::memcmp(bytes, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Corruption("bad magic in snapshot file: " + path);
+  }
+  const uint32_t stored_crc = LoadPod<uint32_t>(bytes + 60);
+  if (Crc32(bytes, 60) != stored_crc) {
+    return Status::Corruption("snapshot header checksum mismatch: " + path);
+  }
+  info->version = LoadPod<uint32_t>(bytes + 8);
+  if (info->version != kSnapshotVersion) {
+    return Status::NotSupported(
+        "snapshot version " + std::to_string(info->version) +
+        " is not supported (reader version " +
+        std::to_string(kSnapshotVersion) + "): " + path);
+  }
+  const uint8_t kind = bytes[12];
+  if (kind != static_cast<uint8_t>(SnapshotKind::kMessi) &&
+      kind != static_cast<uint8_t>(SnapshotKind::kParis)) {
+    return Status::Corruption("unknown snapshot kind: " + path);
+  }
+  info->kind = static_cast<SnapshotKind>(kind);
+  info->algorithm = bytes[13];
+  info->tree.segments = LoadPod<uint16_t>(bytes + 14);
+  info->tree.series_length = LoadPod<uint32_t>(bytes + 16);
+  info->tree.leaf_capacity =
+      static_cast<size_t>(LoadPod<uint64_t>(bytes + 20));
+  info->series_count = LoadPod<uint64_t>(bytes + 28);
+  info->subtree_count = LoadPod<uint64_t>(bytes + 36);
+  info->total_entries = LoadPod<uint64_t>(bytes + 44);
+  info->file_bytes = LoadPod<uint64_t>(bytes + 52);
+  if (info->tree.segments < 1 || info->tree.segments > kMaxSegments) {
+    return Status::Corruption("snapshot declares invalid segments: " + path);
+  }
+  if (info->tree.series_length == 0 || info->tree.leaf_capacity == 0) {
+    return Status::Corruption("snapshot declares empty tree shape: " + path);
+  }
+  if (info->subtree_count > (uint64_t{1} << info->tree.segments)) {
+    return Status::Corruption("snapshot declares too many subtrees: " + path);
+  }
+  if (info->file_bytes < kSnapshotHeaderBytes + kTrailerBytes) {
+    return Status::Corruption("snapshot declares impossible size: " + path);
+  }
+  return Status::OK();
+}
+
+// --- save -------------------------------------------------------------
+
+/// One serialized root subtree: a pre-order topology stream plus this
+/// subtree's slice of the leaf payload. Built independently per worker.
+struct SubtreeBlob {
+  uint32_t key = 0;
+  std::string topo;
+  std::string payload;
+  uint64_t entries = 0;
+  Status status;
+};
+
+Status SerializeNode(const Node& node, LeafStorage* storage,
+                     SubtreeBlob* out, std::vector<LeafEntry>* scratch) {
+  if (node.IsLeaf()) {
+    AppendPod(&out->topo, kTagLeaf);
+    scratch->clear();
+    PARISAX_RETURN_IF_ERROR(CollectLeafEntries(node, storage, scratch));
+    AppendPod(&out->topo, out->entries);  // first entry in subtree slice
+    AppendPod(&out->topo, static_cast<uint64_t>(scratch->size()));
+    for (const LeafEntry& e : *scratch) {
+      out->payload.append(reinterpret_cast<const char*>(e.sax.symbols),
+                          sizeof(e.sax.symbols));
+      AppendPod(&out->payload, static_cast<uint64_t>(e.id));
+    }
+    out->entries += scratch->size();
+    return Status::OK();
+  }
+  AppendPod(&out->topo, kTagInner);
+  AppendPod(&out->topo, static_cast<uint8_t>(node.split_segment()));
+  PARISAX_RETURN_IF_ERROR(
+      SerializeNode(*node.child(0), storage, out, scratch));
+  return SerializeNode(*node.child(1), storage, out, scratch);
+}
+
+/// Appends `bytes` to the file, folding them into the running body CRC.
+struct CrcFileWriter {
+  std::FILE* f = nullptr;
+  uint32_t crc = 0;
+
+  Status Write(const void* bytes, size_t size, const std::string& path) {
+    if (std::fwrite(bytes, 1, size, f) != size) {
+      return Status::IOError("short write of snapshot: " + path);
+    }
+    crc = Crc32(bytes, size, crc);
+    return Status::OK();
+  }
+};
+
+Status WriteSnapshotFile(const SnapshotInfo& info,
+                         const FlatSaxCache* sax,
+                         const std::vector<SubtreeBlob>& blobs,
+                         const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create snapshot file: " + tmp_path);
+  }
+  const auto fail = [&](Status status) {
+    std::fclose(f);
+    std::remove(tmp_path.c_str());
+    return status;
+  };
+
+  const std::string header = EncodeHeader(info);
+  if (std::fwrite(header.data(), 1, header.size(), f) != header.size()) {
+    return fail(Status::IOError("short write of snapshot header: " + path));
+  }
+
+  CrcFileWriter body{f, 0};
+  if (sax != nullptr && sax->count() > 0) {
+    const Status st =
+        body.Write(&sax->At(0), sax->count() * sizeof(SaxSymbols), path);
+    if (!st.ok()) return fail(st);
+  }
+
+  // Directory, then the topology and payload blobs in the same order.
+  uint64_t offset = kSnapshotHeaderBytes +
+                    (sax != nullptr
+                         ? info.series_count * sizeof(SaxSymbols)
+                         : 0) +
+                    blobs.size() * kDirRecordBytes;
+  std::string directory;
+  directory.reserve(blobs.size() * kDirRecordBytes);
+  std::vector<uint64_t> topo_offsets(blobs.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    topo_offsets[i] = offset;
+    offset += blobs[i].topo.size();
+  }
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    DirRecord r;
+    r.key = blobs[i].key;
+    r.entry_count = blobs[i].entries;
+    r.topo_offset = topo_offsets[i];
+    r.topo_bytes = blobs[i].topo.size();
+    r.payload_offset = offset;
+    offset += blobs[i].payload.size();
+    AppendDirRecord(&directory, r);
+  }
+  {
+    const Status st = body.Write(directory.data(), directory.size(), path);
+    if (!st.ok()) return fail(st);
+  }
+  for (const SubtreeBlob& blob : blobs) {
+    const Status st = body.Write(blob.topo.data(), blob.topo.size(), path);
+    if (!st.ok()) return fail(st);
+  }
+  for (const SubtreeBlob& blob : blobs) {
+    const Status st =
+        body.Write(blob.payload.data(), blob.payload.size(), path);
+    if (!st.ok()) return fail(st);
+  }
+  const uint32_t body_crc = body.crc;
+  if (std::fwrite(&body_crc, 1, sizeof(body_crc), f) != sizeof(body_crc)) {
+    return fail(Status::IOError("short write of snapshot trailer: " + path));
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("close failed: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename snapshot into place: " + path);
+  }
+  return Status::OK();
+}
+
+Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
+                    const SaxTree& tree, const FlatSaxCache* sax,
+                    LeafStorage* storage, uint64_t series_count,
+                    const std::string& path, Executor* exec) {
+  // Serialize each root subtree independently (the same per-subtree
+  // parallelism the builders use; no synchronization inside a subtree).
+  const std::vector<uint32_t>& keys = tree.PresentRoots();
+  std::vector<SubtreeBlob> blobs(keys.size());
+  WorkCounter counter(keys.size());
+  exec->Run([&](int) {
+    std::vector<LeafEntry> scratch;
+    size_t i;
+    while (counter.NextItem(&i)) {
+      blobs[i].key = keys[i];
+      blobs[i].status = SerializeNode(*tree.RootAt(keys[i]), storage,
+                                      &blobs[i], &scratch);
+    }
+  });
+  uint64_t total_entries = 0;
+  uint64_t topo_bytes = 0;
+  uint64_t payload_bytes = 0;
+  for (const SubtreeBlob& blob : blobs) {
+    PARISAX_RETURN_IF_ERROR(blob.status);
+    total_entries += blob.entries;
+    topo_bytes += blob.topo.size();
+    payload_bytes += blob.payload.size();
+  }
+
+  SnapshotInfo info;
+  info.version = kSnapshotVersion;
+  info.kind = kind;
+  info.algorithm = algorithm;
+  info.tree = tree.options();
+  info.series_count = series_count;
+  info.subtree_count = keys.size();
+  info.total_entries = total_entries;
+  info.file_bytes =
+      kSnapshotHeaderBytes +
+      (sax != nullptr ? series_count * sizeof(SaxSymbols) : 0) +
+      keys.size() * kDirRecordBytes + topo_bytes + payload_bytes +
+      kTrailerBytes;
+  return WriteSnapshotFile(info, sax, blobs, path);
+}
+
+// --- load -------------------------------------------------------------
+
+/// A verified snapshot: mapped file, parsed header, section pointers.
+struct VerifiedSnapshot {
+  std::unique_ptr<MmapFile> file;
+  SnapshotInfo info;
+  const uint8_t* sax = nullptr;        // null unless kind == kParis
+  const uint8_t* directory = nullptr;  // subtree_count records
+};
+
+Result<VerifiedSnapshot> OpenAndVerify(const std::string& path) {
+  VerifiedSnapshot snap;
+  PARISAX_ASSIGN_OR_RETURN(snap.file, MmapFile::Open(path));
+  const uint8_t* data = snap.file->data();
+  const uint64_t size = snap.file->size();
+  PARISAX_RETURN_IF_ERROR(DecodeHeader(data, size, path, &snap.info));
+  if (snap.info.file_bytes != size) {
+    return Status::Corruption("snapshot truncated or oversized: " + path +
+                              " (header declares " +
+                              std::to_string(snap.info.file_bytes) +
+                              " bytes, file has " + std::to_string(size) +
+                              ")");
+  }
+  const uint64_t body_begin = kSnapshotHeaderBytes;
+  const uint64_t body_end = size - kTrailerBytes;  // size >= 68 by header
+  const uint32_t stored_crc = LoadPod<uint32_t>(data + body_end);
+  if (Crc32(data + body_begin, body_end - body_begin) != stored_crc) {
+    return Status::Corruption("snapshot body checksum mismatch: " + path);
+  }
+
+  // Section bounds (every arithmetic step guarded against overflow).
+  uint64_t offset = body_begin;
+  const uint64_t body_bytes = body_end - body_begin;
+  if (snap.info.kind == SnapshotKind::kParis) {
+    if (snap.info.series_count > body_bytes / sizeof(SaxSymbols)) {
+      return Status::Corruption("snapshot SAX section out of bounds: " +
+                                path);
+    }
+    snap.sax = data + offset;
+    offset += snap.info.series_count * sizeof(SaxSymbols);
+  }
+  if (snap.info.subtree_count > (body_end - offset) / kDirRecordBytes) {
+    return Status::Corruption("snapshot directory out of bounds: " + path);
+  }
+  snap.directory = data + offset;
+  offset += snap.info.subtree_count * kDirRecordBytes;
+
+  // Directory sanity: keys valid and strictly ascending (distinct keys
+  // are what make the parallel restore race-free), blob ranges inside
+  // the body.
+  const uint64_t max_key = uint64_t{1} << snap.info.tree.segments;
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < snap.info.subtree_count; ++i) {
+    const DirRecord r = LoadDirRecord(snap.directory + i * kDirRecordBytes);
+    if (r.key >= max_key || (i > 0 && r.key <= prev_key)) {
+      return Status::Corruption("snapshot directory keys invalid: " + path);
+    }
+    prev_key = r.key;
+    if (r.topo_offset < offset || r.topo_offset > body_end ||
+        r.topo_bytes > body_end - r.topo_offset) {
+      return Status::Corruption("snapshot topology out of bounds: " + path);
+    }
+    if (r.payload_offset < offset || r.payload_offset > body_end ||
+        r.entry_count > (body_end - r.payload_offset) / kEntryBytes) {
+      return Status::Corruption("snapshot payload out of bounds: " + path);
+    }
+  }
+  return snap;
+}
+
+Status ParseNode(Node* node, Cursor* cursor, const uint8_t* payload,
+                 uint64_t payload_entries, int segments,
+                 uint64_t series_count, const std::string& path) {
+  uint8_t tag;
+  if (!cursor->Read(&tag)) {
+    return Status::Corruption("snapshot topology truncated: " + path);
+  }
+  if (tag == kTagInner) {
+    uint8_t segment;
+    if (!cursor->Read(&segment)) {
+      return Status::Corruption("snapshot topology truncated: " + path);
+    }
+    if (static_cast<int>(segment) >= segments) {
+      return Status::Corruption("snapshot split segment out of range: " +
+                                path);
+    }
+    if (node->word().bits[segment] >= kMaxCardBits) {
+      return Status::Corruption(
+          "snapshot split exceeds maximum cardinality: " + path);
+    }
+    node->MakeInner(segment);
+    PARISAX_RETURN_IF_ERROR(ParseNode(node->child(0), cursor, payload,
+                                      payload_entries, segments,
+                                      series_count, path));
+    return ParseNode(node->child(1), cursor, payload, payload_entries,
+                     segments, series_count, path);
+  }
+  if (tag != kTagLeaf) {
+    return Status::Corruption("snapshot topology has unknown node tag: " +
+                              path);
+  }
+  uint64_t first, count;
+  if (!cursor->Read(&first) || !cursor->Read(&count)) {
+    return Status::Corruption("snapshot topology truncated: " + path);
+  }
+  if (first > payload_entries || count > payload_entries - first) {
+    return Status::Corruption("snapshot leaf range out of bounds: " + path);
+  }
+  std::vector<LeafEntry>& entries = node->entries();
+  entries.resize(count);
+  const uint8_t* p = payload + first * kEntryBytes;
+  for (uint64_t i = 0; i < count; ++i, p += kEntryBytes) {
+    LeafEntry& e = entries[i];
+    std::memcpy(e.sax.symbols, p, sizeof(e.sax.symbols));
+    e.id = LoadPod<uint64_t>(p + sizeof(e.sax.symbols));
+    if (e.id >= series_count) {
+      return Status::Corruption("snapshot entry id out of range: " + path);
+    }
+    if (!WordContains(node->word(), e.sax, segments)) {
+      return Status::Corruption(
+          "snapshot entry does not belong to its leaf: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status RestoreTree(const VerifiedSnapshot& snap, SaxTree* tree,
+                   Executor* exec) {
+  const uint8_t* data = snap.file->data();
+  const std::string& path = snap.file->path();
+  const int segments = snap.info.tree.segments;
+
+  std::mutex error_mu;
+  Status first_error;
+  WorkCounter counter(snap.info.subtree_count);
+  exec->Run([&](int) {
+    size_t i;
+    while (counter.NextItem(&i)) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error.ok()) return;
+      }
+      const DirRecord r =
+          LoadDirRecord(snap.directory + i * kDirRecordBytes);
+      // Keys are validated distinct, so each worker owns its root.
+      Node* root = tree->GetOrCreateRoot(r.key);
+      Cursor cursor{data + r.topo_offset, data + r.topo_offset +
+                                              r.topo_bytes};
+      Status st = ParseNode(root, &cursor, data + r.payload_offset,
+                            r.entry_count, segments,
+                            snap.info.series_count, path);
+      if (st.ok() && cursor.remaining() != 0) {
+        st = Status::Corruption(
+            "snapshot topology has trailing garbage: " + path);
+      }
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+    }
+  });
+  PARISAX_RETURN_IF_ERROR(first_error);
+  tree->SealRoots();
+  return Status::OK();
+}
+
+Status CheckSourceShape(const SnapshotInfo& info,
+                        const RawSeriesSource& source) {
+  if (source.count() != info.series_count ||
+      source.length() != info.tree.series_length) {
+    return Status::InvalidArgument(
+        "raw source does not match the snapshot (snapshot indexes " +
+        std::to_string(info.series_count) + " x " +
+        std::to_string(info.tree.series_length) + ", source holds " +
+        std::to_string(source.count()) + " x " +
+        std::to_string(source.length()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Grants src/persist access to the private constructors and members of
+/// the index classes; all restore logic funnels through here.
+class SnapshotReader {
+ public:
+  static Result<std::unique_ptr<MessiIndex>> LoadMessi(
+      const std::string& path, std::unique_ptr<RawSeriesSource> source,
+      Executor* exec) {
+    VerifiedSnapshot snap;
+    PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(path));
+    if (snap.info.kind != SnapshotKind::kMessi) {
+      return Status::InvalidArgument(
+          "snapshot does not hold a MESSI index: " + path);
+    }
+    PARISAX_RETURN_IF_ERROR(CheckSourceShape(snap.info, *source));
+    auto index =
+        std::unique_ptr<MessiIndex>(new MessiIndex(snap.info.tree));
+    PARISAX_RETURN_IF_ERROR(index->AttachSource(std::move(source)));
+    PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
+    index->build_stats_.tree = index->tree_.Collect();
+    if (index->build_stats_.tree.total_entries !=
+        snap.info.total_entries) {
+      return Status::Corruption(
+          "restored MESSI tree lost entries: " + path);
+    }
+    return index;
+  }
+
+  static Result<std::unique_ptr<ParisIndex>> LoadParis(
+      const std::string& path, std::unique_ptr<RawSeriesSource> source,
+      Executor* exec) {
+    VerifiedSnapshot snap;
+    PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(path));
+    if (snap.info.kind != SnapshotKind::kParis) {
+      return Status::InvalidArgument(
+          "snapshot does not hold a ParIS index: " + path);
+    }
+    PARISAX_RETURN_IF_ERROR(CheckSourceShape(snap.info, *source));
+    auto index =
+        std::unique_ptr<ParisIndex>(new ParisIndex(snap.info.tree));
+    index->cache_ = FlatSaxCache(snap.info.series_count);
+    if (snap.info.series_count > 0) {
+      std::memcpy(index->cache_.MutableAt(0), snap.sax,
+                  snap.info.series_count * sizeof(SaxSymbols));
+    }
+    index->source_ = std::move(source);
+    // Leaves were inlined at save time; the restored index never needs a
+    // LeafStorage.
+    PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
+    index->build_stats_.tree = index->tree_.Collect();
+    if (index->build_stats_.tree.total_entries !=
+        snap.info.total_entries) {
+      return Status::Corruption(
+          "restored ParIS tree lost entries: " + path);
+    }
+    return index;
+  }
+};
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open snapshot file: " + path);
+  }
+  uint8_t header[kSnapshotHeaderBytes];
+  const size_t got = std::fread(header, 1, sizeof(header), f);
+  std::fclose(f);
+  SnapshotInfo info;
+  PARISAX_RETURN_IF_ERROR(DecodeHeader(header, got, path, &info));
+  return info;
+}
+
+Status SaveIndex(const MessiIndex& index, const std::string& path,
+                 Executor* exec, const SnapshotSaveOptions& options) {
+  return SaveSnapshot(SnapshotKind::kMessi, options.algorithm,
+                      index.tree(), /*sax=*/nullptr, /*storage=*/nullptr,
+                      index.series_count(), path, exec);
+}
+
+Status SaveIndex(const ParisIndex& index, const std::string& path,
+                 Executor* exec, const SnapshotSaveOptions& options) {
+  return SaveSnapshot(SnapshotKind::kParis, options.algorithm,
+                      index.tree(), &index.cache(), index.leaf_storage(),
+                      index.cache().count(), path, exec);
+}
+
+Result<std::unique_ptr<MessiIndex>> LoadMessiIndex(
+    const std::string& path, std::unique_ptr<RawSeriesSource> source,
+    Executor* exec) {
+  return SnapshotReader::LoadMessi(path, std::move(source), exec);
+}
+
+Result<std::unique_ptr<ParisIndex>> LoadParisIndex(
+    const std::string& path, std::unique_ptr<RawSeriesSource> source,
+    Executor* exec) {
+  return SnapshotReader::LoadParis(path, std::move(source), exec);
+}
+
+}  // namespace parisax

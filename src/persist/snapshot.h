@@ -1,0 +1,114 @@
+// Versioned, checksummed binary snapshots of the iSAX indexes.
+//
+// The paper's systems amortize index construction over many queries;
+// snapshots extend that across process lifetimes: build once, SaveIndex,
+// then LoadIndex at startup and serve immediately (typically against an
+// MmapSource over the raw dataset file, so nothing is recomputed and the
+// raw values need no in-RAM copy).
+//
+// File layout (little-endian; see README.md for the diagram):
+//
+//   header       64 bytes: magic "PSAXSN01", version, kind, saved
+//                algorithm, tree shape, collection shape, subtree count,
+//                total entries, total file size, header CRC-32
+//   flat SAX     (ParIS only) series_count x 16-byte SaxSymbols, the
+//                query-time filter array
+//   directory    one 40-byte record per root subtree: root key, entry
+//                count, topology offset/bytes, payload offset
+//   topology     per-subtree node streams (pre-order). Nodes carry only
+//                their split segment; words are re-derived on load from
+//                the root word plus the split chain, which is exact
+//                because MakeInner extends words deterministically.
+//   payload      per-subtree leaf-entry arrays (24 bytes per entry:
+//                16-byte SAX symbols + 8-byte series id). Leaves in the
+//                topology stream reference [first_entry, count) ranges of
+//                their subtree's slice.
+//   trailer      CRC-32 of everything between header and trailer
+//
+// Save and load both fan out per root subtree over an Executor (the same
+// no-synchronization-inside-a-subtree discipline the builders use).
+// Corrupted, truncated or version-mismatched files fail with typed
+// Status errors (kCorruption / kNotSupported); every offset is bounds-
+// checked before it is dereferenced, so hostile input cannot fault.
+#ifndef PARISAX_PERSIST_SNAPSHOT_H_
+#define PARISAX_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "index/raw_source.h"
+#include "index/tree.h"
+#include "messi/messi_index.h"
+#include "paris/paris_index.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+/// Current snapshot format version. Readers reject other versions with
+/// kNotSupported (the versioning policy is: bump on any layout change,
+/// no in-place migration).
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Fixed header size in bytes; sections start immediately after.
+inline constexpr uint64_t kSnapshotHeaderBytes = 64;
+
+/// Index family stored in a snapshot.
+enum class SnapshotKind : uint8_t {
+  kMessi = 1,
+  kParis = 2,
+};
+
+/// Parsed, validated snapshot header.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  SnapshotKind kind = SnapshotKind::kMessi;
+  /// The Algorithm enum value recorded by the saver (Engine::Save stores
+  /// its own algorithm so Engine::Open can restore kParis vs kParisPlus);
+  /// purely informational at this layer.
+  uint8_t algorithm = 0;
+  SaxTreeOptions tree;
+  uint64_t series_count = 0;
+  uint64_t subtree_count = 0;
+  uint64_t total_entries = 0;
+  uint64_t file_bytes = 0;
+};
+
+struct SnapshotSaveOptions {
+  /// Recorded verbatim in the header (see SnapshotInfo::algorithm).
+  uint8_t algorithm = 0;
+};
+
+/// Validates and parses a snapshot header (magic, version, header CRC,
+/// field sanity). Does not verify the body checksum.
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+/// Serializes a MESSI index to `path`, replacing any existing file.
+/// Subtrees are serialized in parallel on `exec`.
+Status SaveIndex(const MessiIndex& index, const std::string& path,
+                 Executor* exec, const SnapshotSaveOptions& options = {});
+
+/// Serializes a ParIS/ParIS+ index (tree + flat SAX array). Leaves with
+/// chunks materialized in LeafStorage are inlined, so the snapshot is
+/// self-contained and the restored index never touches the .leaves file.
+Status SaveIndex(const ParisIndex& index, const std::string& path,
+                 Executor* exec, const SnapshotSaveOptions& options = {});
+
+/// Restores a MESSI index from `path`. `source` supplies the raw series
+/// (it must match the snapshot's collection shape and be directly
+/// addressable — an InMemorySource or MmapSource); the index takes
+/// ownership. Subtrees are deserialized in parallel on `exec`.
+Result<std::unique_ptr<MessiIndex>> LoadMessiIndex(
+    const std::string& path, std::unique_ptr<RawSeriesSource> source,
+    Executor* exec);
+
+/// Restores a ParIS/ParIS+ index from `path`. Any RawSeriesSource works
+/// (mmap, in-memory, or a simulated disk); the index takes ownership.
+Result<std::unique_ptr<ParisIndex>> LoadParisIndex(
+    const std::string& path, std::unique_ptr<RawSeriesSource> source,
+    Executor* exec);
+
+}  // namespace parisax
+
+#endif  // PARISAX_PERSIST_SNAPSHOT_H_

@@ -93,7 +93,7 @@ INSTANTIATE_TEST_SUITE_P(
         ShapeCase{Algorithm::kAdsPlus, 16, 512}),
     ShapeName);
 
-// --- kNN consistency ----------------------------------------------------------
+// --- kNN consistency ---------------------------------------------------------
 
 class KnnSweep : public ::testing::TestWithParam<std::tuple<Algorithm,
                                                             size_t>> {};
@@ -148,7 +148,7 @@ INSTANTIATE_TEST_SUITE_P(
       return algo + "_k" + std::to_string(std::get<1>(info.param));
     });
 
-// --- DTW band monotonicity ------------------------------------------------------
+// --- DTW band monotonicity ---------------------------------------------------
 
 class DtwBandSweep : public ::testing::TestWithParam<size_t> {};
 
@@ -206,7 +206,7 @@ TEST(DtwBandProperty, BestDistanceShrinksAsBandGrows) {
   }
 }
 
-// --- approximate quality ---------------------------------------------------------
+// --- approximate quality -----------------------------------------------------
 
 TEST(ApproximateProperty, ApproximateAnswerIsUsuallyCompetitive) {
   // Statistical sanity: over many queries, the approximate answer's
@@ -241,7 +241,7 @@ TEST(ApproximateProperty, ApproximateAnswerIsUsuallyCompetitive) {
          "half the queries";
 }
 
-// --- cross-engine agreement on identical workloads -------------------------------
+// --- cross-engine agreement on identical workloads ---------------------------
 
 TEST(CrossEngineProperty, AllEnginesAgreeOnPlantedNeighbors) {
   // Plant near-duplicates so the true 1-NN is unambiguous, then demand

@@ -104,7 +104,7 @@ TEST(AtomicMinFloatTest, ConcurrentUpdatesConvergeToMinimum) {
   EXPECT_EQ(bsf.Load(), 0.5f);
 }
 
-// --- WorkCounter --------------------------------------------------------------
+// --- WorkCounter -------------------------------------------------------------
 
 TEST(WorkCounterTest, CoversRangeExactlyOnce) {
   WorkCounter counter(1000);
@@ -143,7 +143,7 @@ TEST(WorkCounterTest, NextItemExhausts) {
   EXPECT_EQ(n, 5u);
 }
 
-// --- SpinBarrier ----------------------------------------------------------------
+// --- SpinBarrier -------------------------------------------------------------
 
 TEST(SpinBarrierTest, RoundsStayInLockstep) {
   constexpr int kThreads = 4, kRounds = 50;
@@ -167,7 +167,7 @@ TEST(SpinBarrierTest, RoundsStayInLockstep) {
   EXPECT_EQ(counter.load(), kThreads * kRounds);
 }
 
-// --- ThreadPool -------------------------------------------------------------------
+// --- ThreadPool --------------------------------------------------------------
 
 TEST(ThreadPoolTest, RunExecutesOnAllWorkers) {
   ThreadPool pool(5);
@@ -220,7 +220,7 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   EXPECT_EQ(calls, 1);
 }
 
-// --- Executor / InlineExecutor ----------------------------------------------------
+// --- Executor / InlineExecutor -----------------------------------------------
 
 TEST(InlineExecutorTest, RunsOnCallingThreadAsWorkerZero) {
   InlineExecutor exec;
@@ -263,7 +263,7 @@ TEST(InlineExecutorTest, ParallelForCoversRangeThroughExecutorInterface) {
   for (int h : hits) ASSERT_EQ(h, 1);
 }
 
-// --- TaskGroup --------------------------------------------------------------------
+// --- TaskGroup ---------------------------------------------------------------
 
 TEST(TaskGroupTest, WaitReturnsImmediatelyWhenEmpty) {
   TaskGroup group;
@@ -301,7 +301,7 @@ TEST(TaskGroupTest, ReArmsAfterDraining) {
   }
 }
 
-// --- timers / aligned -----------------------------------------------------------
+// --- timers / aligned --------------------------------------------------------
 
 TEST(TimerTest, MeasuresElapsedTime) {
   WallTimer timer;
