@@ -232,6 +232,22 @@ Dataset MakeQueryWorkload(DatasetKind kind, size_t count, size_t length,
   return GeneratePerturbedQueries(kind, count, length, seed, dataset_count);
 }
 
+std::unique_ptr<InMemorySource> MemSource(const Dataset& data) {
+  return std::make_unique<InMemorySource>(&data);
+}
+
+std::unique_ptr<FileSource> MustOpenFileSource(const std::string& path,
+                                               DiskProfile random_profile,
+                                               DiskProfile stream_profile) {
+  auto source = FileSource::Open(path, random_profile, stream_profile);
+  if (!source.ok()) {
+    std::cerr << "open " << path << ": " << source.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+  return std::move(*source);
+}
+
 Result<QueryRunResult> RunQueries(Engine* engine, const Dataset& queries,
                                   const SearchRequest& request) {
   QueryRunResult result;

@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "index/raw_source.h"
 #include "io/dataset.h"
 #include "io/generator.h"
 #include "util/status.h"
@@ -113,6 +115,16 @@ Dataset MakeQueryWorkload(DatasetKind kind, size_t count, size_t length,
 
 /// The directory bench files (datasets, leaf storage) live in.
 std::string BenchDataDir();
+
+/// Wraps a caller-owned dataset for the source-based build APIs.
+std::unique_ptr<InMemorySource> MemSource(const Dataset& data);
+
+/// Opens the streaming file source the on-disk pipelines consume
+/// (random: query-time fetches, stream: build-time sequential passes);
+/// prints the error and exits on failure.
+std::unique_ptr<FileSource> MustOpenFileSource(const std::string& path,
+                                               DiskProfile random_profile,
+                                               DiskProfile stream_profile);
 
 /// Mean wall seconds per query over the workload for one engine.
 struct QueryRunResult {

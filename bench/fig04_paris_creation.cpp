@@ -53,11 +53,12 @@ int Run(const BenchArgs& args) {
   {
     AdsBuildOptions build;
     build.tree = tree;
-    build.raw_profile = DiskProfile::Hdd();
     build.leaf_storage_path = BenchDataDir() + "/fig04_ads.leaves";
     build.leaf_write_mbps = DiskProfile::Hdd().seq_read_mbps;
-    auto index = AdsIndex::BuildFromFile(*path, build,
-                                         DiskProfile::Instant());
+    auto index = AdsIndex::Build(
+        MustOpenFileSource(*path, DiskProfile::Instant(),
+                           DiskProfile::Hdd()),
+        build);
     if (!index.ok()) {
       std::cerr << index.status().ToString() << "\n";
       return 1;
@@ -79,13 +80,14 @@ int Run(const BenchArgs& args) {
       build.batch_series = 4096;
       build.batches_per_round = 4;
       build.tree = tree;
-      build.raw_profile = DiskProfile::Hdd();
       build.leaf_storage_path =
           BenchDataDir() + "/fig04_" + (plus ? "plus" : "paris") +
           std::to_string(t) + ".leaves";
       build.leaf_write_mbps = DiskProfile::Hdd().seq_read_mbps;
-      auto index = ParisIndex::BuildFromFile(*path, build,
-                                             DiskProfile::Instant());
+      auto index = ParisIndex::Build(
+          MustOpenFileSource(*path, DiskProfile::Instant(),
+                             DiskProfile::Hdd()),
+          build);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;

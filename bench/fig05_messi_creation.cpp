@@ -44,7 +44,7 @@ int Run(const BenchArgs& args) {
     build.tree.segments = 8;
     build.tree.leaf_capacity = 128;
     build.tree.series_length = length;
-    auto index = MessiIndex::Build(&data, build, &pool);
+    auto index = MessiIndex::Build(MemSource(data), build, &pool);
     if (!index.ok()) {
       std::cerr << index.status().ToString() << "\n";
       return 1;

@@ -53,11 +53,12 @@ int Run(const BenchArgs& args) {
     {
       AdsBuildOptions build;
       build.tree = tree;
-      build.raw_profile = DiskProfile::Hdd();
       build.leaf_storage_path = BenchDataDir() + "/fig06_ads.leaves";
       build.leaf_write_mbps = DiskProfile::Hdd().seq_read_mbps;
-      auto index = AdsIndex::BuildFromFile(*path, build,
-                                           DiskProfile::Instant());
+      auto index = AdsIndex::Build(
+          MustOpenFileSource(*path, DiskProfile::Instant(),
+                             DiskProfile::Hdd()),
+          build);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;
@@ -72,11 +73,12 @@ int Run(const BenchArgs& args) {
       build.plus_mode = plus;
       build.batch_series = 4096;
       build.tree = tree;
-      build.raw_profile = DiskProfile::Hdd();
       build.leaf_storage_path = BenchDataDir() + "/fig06_paris.leaves";
       build.leaf_write_mbps = DiskProfile::Hdd().seq_read_mbps;
-      auto index = ParisIndex::BuildFromFile(*path, build,
-                                             DiskProfile::Instant());
+      auto index = ParisIndex::Build(
+          MustOpenFileSource(*path, DiskProfile::Instant(),
+                             DiskProfile::Hdd()),
+          build);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;

@@ -51,8 +51,7 @@ int Run(const BenchArgs& args) {
       build.batch_series = 4096;
       build.batches_per_round = 4;
       build.tree = tree;
-      build.raw_profile = DiskProfile::Instant();
-      auto index = ParisIndex::BuildInMemory(&data, build);
+      auto index = ParisIndex::Build(MemSource(data), build);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;
@@ -67,7 +66,7 @@ int Run(const BenchArgs& args) {
       build.num_workers = workers;
       build.chunk_series = 4096;
       build.tree = tree;
-      auto index = MessiIndex::Build(&data, build, &pool);
+      auto index = MessiIndex::Build(MemSource(data), build, &pool);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;

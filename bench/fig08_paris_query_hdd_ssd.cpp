@@ -55,10 +55,11 @@ int Run(const BenchArgs& args) {
     build.tree.segments = 8;
     build.tree.leaf_capacity = 128;
     build.tree.series_length = length;
-    build.raw_profile = DiskProfile::Instant();
     build.leaf_storage_path =
         BenchDataDir() + "/fig08_" + profile.name + ".leaves";
-    auto index = ParisIndex::BuildFromFile(*path, build, profile);
+    auto index = ParisIndex::Build(
+        MustOpenFileSource(*path, profile, DiskProfile::Instant()),
+        build);
     if (!index.ok()) {
       std::cerr << index.status().ToString() << "\n";
       return 1;

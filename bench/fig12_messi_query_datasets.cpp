@@ -59,15 +59,14 @@ int Run(const BenchArgs& args) {
 
     WallTimer ucr_timer;
     for (SeriesId q = 0; q < queries.count(); ++q) {
-      UcrScanParallel(data, queries.series(q), &pool);
+      UcrScanParallel(InMemorySource(&data), queries.series(q), &pool);
     }
     const double ucr = ucr_timer.ElapsedSeconds() / queries.count();
 
     ParisBuildOptions paris_build;
     paris_build.num_workers = workers;
     paris_build.tree = tree;
-    paris_build.raw_profile = DiskProfile::Instant();
-    auto paris = ParisIndex::BuildInMemory(&data, paris_build);
+    auto paris = ParisIndex::Build(MemSource(data), paris_build);
     if (!paris.ok()) {
       std::cerr << paris.status().ToString() << "\n";
       return 1;
@@ -89,7 +88,7 @@ int Run(const BenchArgs& args) {
     MessiBuildOptions messi_build;
     messi_build.num_workers = workers;
     messi_build.tree = tree;
-    auto messi = MessiIndex::Build(&data, messi_build, &pool);
+    auto messi = MessiIndex::Build(MemSource(data), messi_build, &pool);
     if (!messi.ok()) {
       std::cerr << messi.status().ToString() << "\n";
       return 1;

@@ -73,11 +73,13 @@ Row RunRoundtrip(Algorithm algorithm, const std::string& data_path,
   eopts.num_threads = threads;
   eopts.tree.segments = 8;
 
-  // Rebuild path: raw file -> RAM -> full parallel construction.
+  // Rebuild path: raw file -> RAM -> full parallel construction. The
+  // engine adopts the loaded dataset (owned SeriesSource).
   WallTimer rebuild_timer;
   auto dataset = LoadDataset(data_path);
   if (!dataset.ok()) Die("load dataset", dataset.status());
-  auto built = Engine::BuildInMemory(&dataset.value(), eopts);
+  auto built = Engine::Build(
+      SourceSpec::InMemory(std::move(dataset.value())), eopts);
   if (!built.ok()) Die("build", built.status());
   row.rebuild_seconds = rebuild_timer.ElapsedSeconds();
 

@@ -49,9 +49,11 @@ int RunQueryDatasets(const BenchArgs& args, const DiskProfile& profile,
     // UCR Suite: streams the raw file for every query.
     double ucr_mean = 0.0;
     {
+      const auto ucr_source =
+          MustOpenFileSource(*path, profile, profile);
       WallTimer timer;
       for (SeriesId q = 0; q < queries.count(); ++q) {
-        auto nn = UcrScanDisk(*path, profile, queries.series(q), 4096);
+        auto nn = UcrScanStream(*ucr_source, queries.series(q), 4096);
         if (!nn.ok()) {
           std::cerr << nn.status().ToString() << "\n";
           return 1;
@@ -72,9 +74,10 @@ int RunQueryDatasets(const BenchArgs& args, const DiskProfile& profile,
     {
       AdsBuildOptions build;
       build.tree = tree;
-      build.raw_profile = DiskProfile::Instant();
       build.leaf_storage_path = BenchDataDir() + "/figq_ads.leaves";
-      auto index = AdsIndex::BuildFromFile(*path, build, profile);
+      auto index = AdsIndex::Build(
+          MustOpenFileSource(*path, profile, DiskProfile::Instant()),
+          build);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;
@@ -97,9 +100,10 @@ int RunQueryDatasets(const BenchArgs& args, const DiskProfile& profile,
       build.num_workers = workers;
       build.plus_mode = true;
       build.tree = tree;
-      build.raw_profile = DiskProfile::Instant();
       build.leaf_storage_path = BenchDataDir() + "/figq_paris.leaves";
-      auto index = ParisIndex::BuildFromFile(*path, build, profile);
+      auto index = ParisIndex::Build(
+          MustOpenFileSource(*path, profile, DiskProfile::Instant()),
+          build);
       if (!index.ok()) {
         std::cerr << index.status().ToString() << "\n";
         return 1;

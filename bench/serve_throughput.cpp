@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
   eopts.algorithm = Algorithm::kMessi;
   eopts.num_threads = threads;
   eopts.tree.segments = 8;
-  auto engine = Engine::BuildInMemory(&dataset, eopts);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&dataset), eopts);
   if (!engine.ok()) {
     std::cerr << "build failed: " << engine.status().ToString() << "\n";
     return 1;

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -35,13 +36,15 @@ int main(int argc, char** argv) {
   gen.count = reference_count;
   gen.length = length;
   gen.seed = 77;
-  const Dataset reference = GenerateDataset(gen);
+  Dataset reference = GenerateDataset(gen);
 
   EngineOptions options;
   options.algorithm = Algorithm::kMessi;
   options.num_threads = 4;
   options.tree.segments = 8;
-  auto engine = Engine::BuildInMemory(&reference, options);
+  // The engine adopts the reference collection and owns it from here on.
+  auto engine =
+      Engine::Build(SourceSpec::InMemory(std::move(reference)), options);
   if (!engine.ok()) {
     std::cerr << engine.status().ToString() << "\n";
     return 1;

@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   options.algorithm = Algorithm::kMessi;
   options.num_threads = 4;
   options.tree.segments = 8;
-  auto engine = Engine::BuildInMemory(&dataset, options);
+  // Borrow the dataset (we keep using it below to craft the query);
+  // `dataset` must outlive the engine.
+  auto engine = Engine::Build(SourceSpec::Borrowed(&dataset), options);
   if (!engine.ok()) {
     std::cerr << engine.status().ToString() << "\n";
     return 1;

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   options.build_profile = DiskProfile::Ssd();
   options.query_profile = DiskProfile::Ssd();
   WallTimer build_timer;
-  auto engine = Engine::BuildFromFile(path, options);
+  auto engine = Engine::Build(SourceSpec::File(path), options);
   if (!engine.ok()) {
     std::cerr << engine.status().ToString() << "\n";
     return 1;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "core/engine.h"
 #include "io/generator.h"
@@ -26,9 +27,10 @@ int main(int argc, char** argv) {
   gen.count = series;
   gen.length = length;
   gen.seed = 2020;
-  const Dataset dataset = GenerateDataset(gen);
+  Dataset dataset = GenerateDataset(gen);
 
-  // Build the in-memory MESSI index.
+  // Build the in-memory MESSI index. The engine adopts the dataset
+  // (SourceSpec::InMemory), so no lifetime management is needed.
   EngineOptions options;
   options.algorithm = Algorithm::kMessi;
   options.num_threads = 4;
@@ -36,7 +38,8 @@ int main(int argc, char** argv) {
   options.tree.leaf_capacity = 128;
 
   WallTimer build_timer;
-  auto engine = Engine::BuildInMemory(&dataset, options);
+  auto engine =
+      Engine::Build(SourceSpec::InMemory(std::move(dataset)), options);
   if (!engine.ok()) {
     std::cerr << "build failed: " << engine.status().ToString() << "\n";
     return 1;

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include <cstdint>
 #include <sstream>
+#include <utility>
 
 #include "io/mmap_source.h"
 #include "persist/snapshot.h"
@@ -41,6 +43,46 @@ Result<Algorithm> ParseAlgorithm(const std::string& name) {
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
 
+const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm) {
+  // The single source of truth for what each engine family supports.
+  // Engine::capabilities() narrows it by source residency; CheckQuery,
+  // Save and Build reject from it with typed kNotSupported errors.
+  static constexpr EngineCapabilities kBruteForce{
+      .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
+      .approximate = false, .snapshot = false, .streaming_build = false};
+  static constexpr EngineCapabilities kUcrSerial{
+      .max_k = 1, .dtw = true, .dtw_knn = false,
+      .approximate = false, .snapshot = false, .streaming_build = true};
+  static constexpr EngineCapabilities kUcrParallel{
+      .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
+      .approximate = false, .snapshot = false, .streaming_build = false};
+  static constexpr EngineCapabilities kAdsPlus{
+      .max_k = 1, .dtw = false, .dtw_knn = false,
+      .approximate = true, .snapshot = false, .streaming_build = true};
+  static constexpr EngineCapabilities kParis{
+      .max_k = 1, .dtw = false, .dtw_knn = false,
+      .approximate = true, .snapshot = true, .streaming_build = true};
+  static constexpr EngineCapabilities kMessi{
+      .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
+      .approximate = true, .snapshot = true, .streaming_build = false};
+  switch (algorithm) {
+    case Algorithm::kBruteForce:
+      return kBruteForce;
+    case Algorithm::kUcrSerial:
+      return kUcrSerial;
+    case Algorithm::kUcrParallel:
+      return kUcrParallel;
+    case Algorithm::kAdsPlus:
+      return kAdsPlus;
+    case Algorithm::kParis:
+    case Algorithm::kParisPlus:
+      return kParis;
+    case Algorithm::kMessi:
+      return kMessi;
+  }
+  return kBruteForce;
+}
+
 const char* SchedulingPolicyName(SchedulingPolicy policy) {
   switch (policy) {
     case SchedulingPolicy::kThroughput:
@@ -58,6 +100,43 @@ Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name) {
   if (name == "latency") return SchedulingPolicy::kLatency;
   if (name == "auto") return SchedulingPolicy::kAuto;
   return Status::InvalidArgument("unknown scheduling policy: " + name);
+}
+
+// --- SourceSpec -------------------------------------------------------------
+
+SourceSpec SourceSpec::InMemory(Dataset dataset) {
+  SourceSpec spec;
+  spec.kind_ = Kind::kInMemory;
+  spec.dataset_ = std::make_unique<Dataset>(std::move(dataset));
+  return spec;
+}
+
+SourceSpec SourceSpec::Borrowed(const Dataset* dataset) {
+  SourceSpec spec;
+  spec.kind_ = Kind::kBorrowed;
+  spec.borrowed_ = dataset;
+  return spec;
+}
+
+SourceSpec SourceSpec::Mmap(std::string path) {
+  SourceSpec spec;
+  spec.kind_ = Kind::kMmap;
+  spec.path_ = std::move(path);
+  return spec;
+}
+
+SourceSpec SourceSpec::File(std::string path) {
+  SourceSpec spec;
+  spec.kind_ = Kind::kFile;
+  spec.path_ = std::move(path);
+  return spec;
+}
+
+SourceSpec SourceSpec::Custom(std::unique_ptr<RawSeriesSource> source) {
+  SourceSpec spec;
+  spec.kind_ = Kind::kCustom;
+  spec.custom_ = std::move(source);
+  return spec;
 }
 
 namespace {
@@ -78,6 +157,12 @@ Status ValidateOptions(const EngineOptions& options) {
   return Status::OK();
 }
 
+const char* SpecDescription(bool addressable, bool borrowed, bool mmap) {
+  if (mmap) return "mmap";
+  if (!addressable) return "streamed file";
+  return borrowed ? "borrowed in-memory" : "in-memory";
+}
+
 }  // namespace
 
 Engine::Engine(const EngineOptions& options) : options_(options) {
@@ -92,21 +177,81 @@ Engine::~Engine() {
   service_.reset();
 }
 
-Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
-    const Dataset* dataset, const EngineOptions& options) {
+Result<std::unique_ptr<Engine>> Engine::Build(SourceSpec spec,
+                                              const EngineOptions& options) {
   PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
   auto engine = std::unique_ptr<Engine>(new Engine(options));
-  engine->dataset_ = dataset;
-  engine->series_length_ = dataset->length();
-  engine->series_count_ = dataset->count();
   EngineOptions& opts = engine->options_;
+
+  // Materialize the spec into the engine-owned source.
+  std::unique_ptr<RawSeriesSource> source;
+  switch (spec.kind_) {
+    case SourceSpec::Kind::kInMemory:
+      source = std::make_unique<InMemorySource>(std::move(*spec.dataset_));
+      break;
+    case SourceSpec::Kind::kBorrowed:
+      if (spec.borrowed_ == nullptr) {
+        return Status::InvalidArgument("borrowed dataset must not be null");
+      }
+      source = std::make_unique<InMemorySource>(spec.borrowed_);
+      break;
+    case SourceSpec::Kind::kMmap: {
+      std::unique_ptr<MmapSource> mmap;
+      PARISAX_ASSIGN_OR_RETURN(mmap, MmapSource::Open(spec.path_));
+      source = std::move(mmap);
+      break;
+    }
+    case SourceSpec::Kind::kFile: {
+      // Index engines stream only while building (build_profile); the
+      // serial scan engine streams on every query (query_profile).
+      const DiskProfile stream_profile =
+          opts.algorithm == Algorithm::kUcrSerial ? opts.query_profile
+                                                  : opts.build_profile;
+      std::unique_ptr<FileSource> file;
+      PARISAX_ASSIGN_OR_RETURN(
+          file,
+          FileSource::Open(spec.path_, opts.query_profile, stream_profile));
+      source = std::move(file);
+      break;
+    }
+    case SourceSpec::Kind::kCustom:
+      if (spec.custom_ == nullptr) {
+        return Status::InvalidArgument("custom source must not be null");
+      }
+      source = std::move(spec.custom_);
+      break;
+  }
+
+  const bool addressable = source->addressable();
+  const EngineCapabilities& caps = AlgorithmCapabilities(opts.algorithm);
+  if (!addressable && !caps.streaming_build) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(opts.algorithm)) +
+        " requires an addressable (in-memory or mmap) source; it cannot "
+        "build from a streamed file");
+  }
+
+  engine->addressable_source_ = addressable;
+  engine->series_length_ = source->length();
+  engine->series_count_ = source->count();
   if (opts.tree.series_length == 0) {
-    opts.tree.series_length = dataset->length();
+    opts.tree.series_length = source->length();
   }
-  if (opts.tree.series_length != dataset->length()) {
+  if (opts.tree.series_length != source->length()) {
     return Status::InvalidArgument(
-        "tree.series_length does not match the dataset");
+        "tree.series_length does not match the source");
   }
+  // Streamed index builds materialize leaves; default the store next to
+  // the dataset file.
+  if (!addressable && opts.leaf_storage_path.empty() &&
+      !spec.path_.empty()) {
+    opts.leaf_storage_path = spec.path_ + ".leaves";
+  }
+
+  const char* source_desc =
+      SpecDescription(addressable,
+                      spec.kind_ == SourceSpec::Kind::kBorrowed,
+                      spec.kind_ == SourceSpec::Kind::kMmap);
 
   WallTimer wall;
   std::ostringstream details;
@@ -114,16 +259,30 @@ Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
     case Algorithm::kBruteForce:
     case Algorithm::kUcrSerial:
     case Algorithm::kUcrParallel:
+      engine->source_ = std::move(source);
+      engine->query_source_ = engine->source_.get();
       details << "scan engine, no index";
       break;
     case Algorithm::kAdsPlus: {
       AdsBuildOptions build;
       build.tree = opts.tree;
+      build.batch_series = opts.batch_series;
+      // Streamed builds got a default path above; an explicitly set one
+      // enables leaf materialization over any residency.
+      build.leaf_storage_path = opts.leaf_storage_path;
+      build.leaf_write_mbps = opts.leaf_write_mbps;
       PARISAX_ASSIGN_OR_RETURN(engine->ads_,
-                               AdsIndex::BuildInMemory(dataset, build));
-      engine->build_report_.tree = engine->ads_->build_stats().tree;
-      details << "ads+ serial build, cpu="
-              << engine->ads_->build_stats().cpu_seconds << "s";
+                               AdsIndex::Build(std::move(source), build));
+      engine->query_source_ = engine->ads_->raw_source();
+      const AdsBuildStats& bs = engine->ads_->build_stats();
+      engine->build_report_.tree = bs.tree;
+      if (addressable) {
+        details << "ads+ serial build, cpu=" << bs.cpu_seconds << "s";
+      } else {
+        details << "ads+ on-disk build, read=" << bs.read_seconds
+                << "s cpu=" << bs.cpu_seconds
+                << "s write=" << bs.write_seconds << "s";
+      }
       break;
     }
     case Algorithm::kParis:
@@ -134,13 +293,22 @@ Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
       build.batch_series = opts.batch_series;
       build.batches_per_round = opts.batches_per_round;
       build.tree = opts.tree;
+      build.leaf_storage_path = opts.leaf_storage_path;
+      build.leaf_write_mbps = opts.leaf_write_mbps;
       PARISAX_ASSIGN_OR_RETURN(engine->paris_,
-                               ParisIndex::BuildInMemory(dataset, build));
+                               ParisIndex::Build(std::move(source), build));
+      engine->query_source_ = engine->paris_->raw_source();
       const ParisBuildStats& bs = engine->paris_->build_stats();
       engine->build_report_.tree = bs.tree;
-      details << "paris in-memory build, stage3=" << bs.stage3_wall_seconds
-              << "s summarize_cpu=" << bs.summarize_cpu_seconds
-              << "s tree_cpu=" << bs.tree_cpu_seconds << "s";
+      if (addressable) {
+        details << "paris in-memory build, stage3=" << bs.stage3_wall_seconds
+                << "s summarize_cpu=" << bs.summarize_cpu_seconds
+                << "s tree_cpu=" << bs.tree_cpu_seconds << "s";
+      } else {
+        details << "paris on-disk build, read=" << bs.read_wall_seconds
+                << "s stage3=" << bs.stage3_wall_seconds
+                << "s final_flush=" << bs.final_flush_wall_seconds << "s";
+      }
       break;
     }
     case Algorithm::kMessi: {
@@ -151,7 +319,8 @@ Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
       build.tree = opts.tree;
       PARISAX_ASSIGN_OR_RETURN(
           engine->messi_,
-          MessiIndex::Build(dataset, build, engine->pool_.get()));
+          MessiIndex::Build(std::move(source), build, engine->pool_.get()));
+      engine->query_source_ = &engine->messi_->source();
       const MessiBuildStats& bs = engine->messi_->build_stats();
       engine->build_report_.tree = bs.tree;
       details << "messi build, summarize=" << bs.summarize_wall_seconds
@@ -160,126 +329,85 @@ Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
     }
   }
   engine->build_report_.wall_seconds = wall.ElapsedSeconds();
+  details << ", source=" << source_desc;
   engine->build_report_.details = details.str();
   return engine;
 }
 
+Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
+    const Dataset* dataset, const EngineOptions& options) {
+  return Build(SourceSpec::Borrowed(dataset), options);
+}
+
 Result<std::unique_ptr<Engine>> Engine::BuildFromFile(
     const std::string& dataset_path, const EngineOptions& options) {
-  PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
-  auto engine = std::unique_ptr<Engine>(new Engine(options));
-  engine->dataset_path_ = dataset_path;
-  DatasetFileInfo info;
-  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(dataset_path));
-  engine->series_length_ = info.length;
-  engine->series_count_ = info.count;
-  EngineOptions& opts = engine->options_;
-  if (opts.tree.series_length == 0) opts.tree.series_length = info.length;
-  if (opts.tree.series_length != info.length) {
-    return Status::InvalidArgument(
-        "tree.series_length does not match the dataset file");
-  }
-  if (opts.leaf_storage_path.empty()) {
-    opts.leaf_storage_path = dataset_path + ".leaves";
-  }
+  return Build(SourceSpec::File(dataset_path), options);
+}
 
-  WallTimer wall;
-  std::ostringstream details;
-  switch (opts.algorithm) {
-    case Algorithm::kBruteForce:
-    case Algorithm::kUcrParallel:
-    case Algorithm::kMessi:
-      return Status::NotSupported(
-          std::string(AlgorithmName(opts.algorithm)) +
-          " is an in-memory engine; use BuildInMemory");
-    case Algorithm::kUcrSerial:
-      details << "on-disk scan engine, no index";
-      break;
-    case Algorithm::kAdsPlus: {
-      AdsBuildOptions build;
-      build.tree = opts.tree;
-      build.batch_series = opts.batch_series;
-      build.raw_profile = opts.build_profile;
-      build.leaf_storage_path = opts.leaf_storage_path;
-      build.leaf_write_mbps = opts.leaf_write_mbps;
-      PARISAX_ASSIGN_OR_RETURN(
-          engine->ads_,
-          AdsIndex::BuildFromFile(dataset_path, build, opts.query_profile));
-      const AdsBuildStats& bs = engine->ads_->build_stats();
-      engine->build_report_.tree = bs.tree;
-      details << "ads+ on-disk build, read=" << bs.read_seconds
-              << "s cpu=" << bs.cpu_seconds << "s write=" << bs.write_seconds
-              << "s";
-      break;
-    }
-    case Algorithm::kParis:
-    case Algorithm::kParisPlus: {
-      ParisBuildOptions build;
-      build.num_workers = opts.num_threads;
-      build.plus_mode = opts.algorithm == Algorithm::kParisPlus;
-      build.batch_series = opts.batch_series;
-      build.batches_per_round = opts.batches_per_round;
-      build.tree = opts.tree;
-      build.raw_profile = opts.build_profile;
-      build.leaf_storage_path = opts.leaf_storage_path;
-      build.leaf_write_mbps = opts.leaf_write_mbps;
-      PARISAX_ASSIGN_OR_RETURN(
-          engine->paris_,
-          ParisIndex::BuildFromFile(dataset_path, build,
-                                    opts.query_profile));
-      const ParisBuildStats& bs = engine->paris_->build_stats();
-      engine->build_report_.tree = bs.tree;
-      details << "paris on-disk build, read=" << bs.read_wall_seconds
-              << "s stage3=" << bs.stage3_wall_seconds
-              << "s final_flush=" << bs.final_flush_wall_seconds << "s";
-      break;
-    }
-  }
-  engine->build_report_.wall_seconds = wall.ElapsedSeconds();
-  engine->build_report_.details = details.str();
-  return engine;
+Result<std::unique_ptr<Engine>> Engine::Open(
+    const std::string& snapshot_path, const std::string& data_path) {
+  return OpenInternal(snapshot_path, data_path, EngineOptions(), false);
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(
     const std::string& snapshot_path, const std::string& data_path,
     const EngineOptions& options) {
+  return OpenInternal(snapshot_path, data_path, options, true);
+}
+
+Result<std::unique_ptr<Engine>> Engine::OpenInternal(
+    const std::string& snapshot_path, const std::string& data_path,
+    const EngineOptions& options, bool enforce_algorithm) {
   PARISAX_RETURN_IF_ERROR(ValidateOptions(options));
   SnapshotInfo info;
   PARISAX_ASSIGN_OR_RETURN(info, ReadSnapshotInfo(snapshot_path));
 
+  // The snapshot records what it holds (ParIS and ParIS+ share the
+  // query machinery; the label matters for reporting).
+  Algorithm restored = Algorithm::kMessi;
+  if (info.kind == SnapshotKind::kParis) {
+    restored = info.algorithm == static_cast<uint8_t>(Algorithm::kParisPlus)
+                   ? Algorithm::kParisPlus
+                   : Algorithm::kParis;
+  }
+  if (enforce_algorithm && options.algorithm != restored) {
+    return Status::InvalidArgument(
+        std::string("snapshot records ") + AlgorithmName(restored) +
+        " but options.algorithm asks for " +
+        AlgorithmName(options.algorithm) +
+        "; drop options.algorithm (two-argument Open) to accept whatever "
+        "the snapshot holds");
+  }
+
   auto engine = std::unique_ptr<Engine>(new Engine(options));
-  engine->dataset_path_ = data_path;
   engine->series_length_ = info.tree.series_length;
   engine->series_count_ = info.series_count;
   EngineOptions& opts = engine->options_;
+  opts.algorithm = restored;
   opts.tree = info.tree;
 
   std::unique_ptr<MmapSource> source;
   PARISAX_ASSIGN_OR_RETURN(source, MmapSource::Open(data_path));
+  engine->addressable_source_ = true;
 
   WallTimer wall;
   std::ostringstream details;
   switch (info.kind) {
     case SnapshotKind::kMessi: {
-      opts.algorithm = Algorithm::kMessi;
       PARISAX_ASSIGN_OR_RETURN(
           engine->messi_,
           LoadMessiIndex(snapshot_path, std::move(source),
                          engine->pool_.get()));
+      engine->query_source_ = &engine->messi_->source();
       engine->build_report_.tree = engine->messi_->build_stats().tree;
       break;
     }
     case SnapshotKind::kParis: {
-      // The snapshot records whether ParIS or ParIS+ built it; the query
-      // machinery is identical, the label matters for reporting.
-      opts.algorithm =
-          info.algorithm == static_cast<uint8_t>(Algorithm::kParisPlus)
-              ? Algorithm::kParisPlus
-              : Algorithm::kParis;
       PARISAX_ASSIGN_OR_RETURN(
           engine->paris_,
           LoadParisIndex(snapshot_path, std::move(source),
                          engine->pool_.get()));
+      engine->query_source_ = engine->paris_->raw_source();
       engine->build_report_.tree = engine->paris_->build_stats().tree;
       break;
     }
@@ -292,6 +420,11 @@ Result<std::unique_ptr<Engine>> Engine::Open(
 }
 
 Status Engine::Save(const std::string& snapshot_path) {
+  if (!capabilities().snapshot) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " does not support snapshots (capabilities().snapshot is false)");
+  }
   SnapshotSaveOptions sopts;
   sopts.algorithm = static_cast<uint8_t>(options_.algorithm);
   // Snapshot serialization fans out over the shared pool; take the same
@@ -300,17 +433,49 @@ Status Engine::Save(const std::string& snapshot_path) {
   if (messi_ != nullptr) {
     return SaveIndex(*messi_, snapshot_path, pool_.get(), sopts);
   }
-  if (paris_ != nullptr) {
-    return SaveIndex(*paris_, snapshot_path, pool_.get(), sopts);
-  }
-  return Status::NotSupported(
-      std::string(AlgorithmName(options_.algorithm)) +
-      " does not support snapshots (only MESSI and ParIS/ParIS+ do)");
+  return SaveIndex(*paris_, snapshot_path, pool_.get(), sopts);
 }
 
-Status Engine::CheckQuery(SeriesView query) const {
+EngineCapabilities Engine::capabilities() const {
+  EngineCapabilities caps = AlgorithmCapabilities(options_.algorithm);
+  if (!addressable_source_) {
+    // The streamed serial scan has no DTW path (on-disk DTW is not
+    // implemented), so a non-addressable source narrows the table.
+    caps.dtw = false;
+  }
+  return caps;
+}
+
+Status Engine::CheckQuery(SeriesView query,
+                          const SearchRequest& request) const {
   if (query.size() != series_length_) {
     return Status::InvalidArgument("query length does not match the data");
+  }
+  if (request.k == 0) return Status::InvalidArgument("k must be positive");
+
+  const EngineCapabilities caps = capabilities();
+  if (request.k > 1 && request.dtw && !caps.dtw_knn) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " does not support k > 1 under DTW");
+  }
+  if (request.k > caps.max_k) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " supports k <= " + std::to_string(caps.max_k) +
+        " (capabilities().max_k)");
+  }
+  if (request.dtw && !caps.dtw) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " does not support DTW search over this source "
+        "(capabilities().dtw is false)");
+  }
+  if (request.approximate && !caps.approximate) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " does not support approximate search (capabilities().approximate "
+        "is false)");
   }
   return Status::OK();
 }
@@ -340,83 +505,55 @@ Result<SearchResponse> Engine::Search(SeriesView query,
 Result<SearchResponse> Engine::Search(SeriesView query,
                                       const SearchRequest& request,
                                       Executor* exec) {
-  PARISAX_RETURN_IF_ERROR(CheckQuery(query));
-  if (request.k == 0) return Status::InvalidArgument("k must be positive");
+  PARISAX_RETURN_IF_ERROR(CheckQuery(query, request));
 
   SearchResponse response;
   WallTimer timer;
   const Algorithm algo = options_.algorithm;
-
-  // kNN beyond 1 is implemented for brute force, UCR-p and MESSI.
-  if (request.k > 1 && algo != Algorithm::kBruteForce &&
-      algo != Algorithm::kMessi && algo != Algorithm::kUcrParallel) {
-    return Status::NotSupported(
-        "k > 1 requires brute force, ucr-p or MESSI");
-  }
-  // No engine implements k-NN under DTW; reject instead of silently
-  // answering 1-NN.
-  if (request.k > 1 && request.dtw) {
-    return Status::NotSupported("k > 1 DTW search is not implemented");
-  }
-  // DTW is implemented for the scans and MESSI.
-  if (request.dtw &&
-      (algo == Algorithm::kAdsPlus || algo == Algorithm::kParis ||
-       algo == Algorithm::kParisPlus)) {
-    return Status::NotSupported("DTW search requires a scan or MESSI");
-  }
-  if (request.approximate && (algo == Algorithm::kBruteForce ||
-                              algo == Algorithm::kUcrSerial ||
-                              algo == Algorithm::kUcrParallel)) {
-    return Status::NotSupported("approximate search requires an index");
-  }
+  const RawSeriesSource& source = *query_source_;
 
   switch (algo) {
     case Algorithm::kBruteForce: {
       if (request.dtw) {
         response.neighbors.push_back(
-            BruteForceDtwNn(*dataset_, query, request.dtw_band));
+            BruteForceDtwNn(source, query, request.dtw_band));
       } else if (request.k > 1) {
         response.neighbors =
-            BruteForceKnn(*dataset_, query, request.k, options_.kernel);
+            BruteForceKnn(source, query, request.k, options_.kernel);
       } else {
         response.neighbors.push_back(
-            BruteForceNn(*dataset_, query, options_.kernel));
+            BruteForceNn(source, query, options_.kernel));
       }
       break;
     }
     case Algorithm::kUcrSerial: {
-      if (dataset_ != nullptr) {
-        ScanStats scan;
+      ScanStats scan;
+      if (addressable_source_) {
         response.neighbors.push_back(
             request.dtw
-                ? DtwScanSerial(*dataset_, query, request.dtw_band, &scan)
-                : UcrScanSerial(*dataset_, query, &scan, options_.kernel));
-        response.stats.real_dist_calcs = scan.distance_calcs;
+                ? DtwScanSerial(source, query, request.dtw_band, &scan)
+                : UcrScanSerial(source, query, &scan, options_.kernel));
       } else {
-        if (request.dtw) {
-          return Status::NotSupported("on-disk DTW scan is not implemented");
-        }
-        ScanStats scan;
         Neighbor nn;
         PARISAX_ASSIGN_OR_RETURN(
-            nn, UcrScanDisk(dataset_path_, options_.query_profile, query,
-                            options_.batch_series, &scan, options_.kernel));
+            nn, UcrScanStream(source, query, options_.batch_series, &scan,
+                              options_.kernel));
         response.neighbors.push_back(nn);
-        response.stats.real_dist_calcs = scan.distance_calcs;
       }
+      response.stats.real_dist_calcs = scan.distance_calcs;
       break;
     }
     case Algorithm::kUcrParallel: {
       ScanStats scan;
       if (request.dtw) {
         response.neighbors.push_back(DtwScanParallel(
-            *dataset_, query, request.dtw_band, exec, &scan));
+            source, query, request.dtw_band, exec, &scan));
       } else if (request.k > 1) {
-        response.neighbors = UcrKnnParallel(*dataset_, query, request.k,
+        response.neighbors = UcrKnnParallel(source, query, request.k,
                                             exec, &scan, options_.kernel);
       } else {
         response.neighbors.push_back(UcrScanParallel(
-            *dataset_, query, exec, &scan, options_.kernel));
+            source, query, exec, &scan, options_.kernel));
       }
       response.stats.real_dist_calcs = scan.distance_calcs;
       break;

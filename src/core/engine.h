@@ -3,13 +3,22 @@
 // Engine wraps every similarity-search strategy in the repository --
 // brute force, the UCR Suite scans, ADS+, ParIS, ParIS+ and MESSI --
 // behind a single build/search API so applications (and the examples/)
-// can switch algorithms with one option. See DESIGN.md for the system
-// inventory and the paper each engine reproduces.
+// can switch algorithms with one option.
+//
+// The data plane is described by a SourceSpec: where the raw series
+// live (adopted in memory, borrowed, memory-mapped, or streamed through
+// a simulated device). The engine *owns* the materialized source, so
+// there is no dataset-lifetime footgun unless the caller explicitly
+// borrows. What an engine can do (max k, DTW, approximate probes,
+// snapshots, streamed builds) is a queryable EngineCapabilities value
+// derived from one table -- every unsupported-request rejection comes
+// from it.
 //
 // Typical use:
 //   parisax::EngineOptions options;
 //   options.algorithm = parisax::Algorithm::kMessi;
-//   auto engine = parisax::Engine::BuildInMemory(&dataset, options);
+//   auto engine = parisax::Engine::Build(
+//       parisax::SourceSpec::InMemory(std::move(dataset)), options);
 //   auto response = (*engine)->Search(query, {});
 //   // response->neighbors[0] is the exact nearest neighbor.
 #ifndef PARISAX_CORE_ENGINE_H_
@@ -25,6 +34,7 @@
 #include "dist/euclidean.h"
 #include "index/ads_index.h"
 #include "index/query_stats.h"
+#include "index/raw_source.h"
 #include "index/tree.h"
 #include "io/dataset.h"
 #include "io/sim_disk.h"
@@ -51,6 +61,31 @@ const char* AlgorithmName(Algorithm algorithm);
 
 /// Parses a name produced by AlgorithmName.
 Result<Algorithm> ParseAlgorithm(const std::string& name);
+
+/// What an engine can do. One static table per algorithm (see
+/// AlgorithmCapabilities), narrowed per engine instance by the source it
+/// was built over (Engine::capabilities). CheckQuery, Save and Build
+/// derive every typed kNotSupported rejection from this struct -- there
+/// are no per-call-site whitelists.
+struct EngineCapabilities {
+  /// Largest supported k for exact kNN searches (1: only 1-NN).
+  size_t max_k = 1;
+  /// Exact search under banded DTW.
+  bool dtw = false;
+  /// k > 1 under DTW (currently unimplemented everywhere).
+  bool dtw_knn = false;
+  /// Approximate (leaf-probe) search.
+  bool approximate = false;
+  /// Engine::Save / Engine::Open snapshot support.
+  bool snapshot = false;
+  /// Can build from a streamed, non-addressable source (the paper's
+  /// on-disk pipeline). Every algorithm builds over addressable
+  /// (in-memory or mmap) sources.
+  bool streaming_build = false;
+};
+
+/// The per-algorithm capability table (source-independent limits).
+const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm);
 
 /// How the serve layer schedules concurrent queries over the shared
 /// worker pool (see serve/query_service.h).
@@ -84,16 +119,18 @@ struct EngineOptions {
   /// means "take it from the data".
   SaxTreeOptions tree = {.segments = 16, .leaf_capacity = 128,
                          .series_length = 0};
-  /// Device model while building from a file.
+  /// Device model for build-time sequential reads of a SourceSpec::File
+  /// source.
   DiskProfile build_profile = DiskProfile::Instant();
-  /// Device model for query-time raw-data reads (on-disk engines).
+  /// Device model for query-time raw-data reads of a SourceSpec::File
+  /// source.
   DiskProfile query_profile = DiskProfile::Instant();
-  /// Leaf materialization file for on-disk index builds; defaults to
-  /// "<dataset path>.leaves".
+  /// Leaf materialization file for streamed (on-disk) index builds;
+  /// defaults to "<dataset path>.leaves".
   std::string leaf_storage_path;
   /// Metered leaf-write throughput (<= 0: unmetered).
   double leaf_write_mbps = 0.0;
-  /// Raw-data-buffer capacity in series (on-disk pipelines).
+  /// Raw-data-buffer capacity in series (streamed pipelines).
   size_t batch_series = 8192;
   /// ParIS "memory full" trigger, in batches.
   size_t batches_per_round = 4;
@@ -108,13 +145,55 @@ struct EngineOptions {
   KernelPolicy kernel = KernelPolicy::kAuto;
 };
 
+/// Describes where an engine's raw series live. Engine::Build
+/// materializes the spec into an owned RawSeriesSource.
+class SourceSpec {
+ public:
+  /// Adopts an in-memory collection: the engine owns the moved-in data.
+  static SourceSpec InMemory(Dataset dataset);
+
+  /// Borrows a caller-owned collection; `dataset` must outlive the
+  /// engine. Prefer InMemory or Mmap, which cannot dangle.
+  static SourceSpec Borrowed(const Dataset* dataset);
+
+  /// Memory-maps a dataset file (io/format.h layout): builds and queries
+  /// run straight off the page cache, with no in-RAM copy of the
+  /// collection. Addressable, so even MESSI builds over it.
+  static SourceSpec Mmap(std::string path);
+
+  /// Streams a dataset file through a simulated storage device (the
+  /// paper's on-disk pipelines). Sequential passes are metered with
+  /// EngineOptions::build_profile (query_profile for the scan engines,
+  /// which stream at query time); random query-time fetches with
+  /// EngineOptions::query_profile.
+  static SourceSpec File(std::string path);
+
+  /// Adopts a caller-built source (custom residency).
+  static SourceSpec Custom(std::unique_ptr<RawSeriesSource> source);
+
+  SourceSpec(SourceSpec&&) = default;
+  SourceSpec& operator=(SourceSpec&&) = default;
+
+ private:
+  friend class Engine;
+  enum class Kind { kInMemory, kBorrowed, kMmap, kFile, kCustom };
+
+  SourceSpec() = default;
+
+  Kind kind_ = Kind::kBorrowed;
+  std::unique_ptr<Dataset> dataset_;         // kInMemory
+  const Dataset* borrowed_ = nullptr;        // kBorrowed
+  std::string path_;                         // kMmap / kFile
+  std::unique_ptr<RawSeriesSource> custom_;  // kCustom
+};
+
 struct SearchRequest {
-  /// Number of nearest neighbors (k > 1 requires kMessi or kBruteForce).
+  /// Number of nearest neighbors (bounded by capabilities().max_k).
   size_t k = 1;
   /// Return the approximate answer (index engines only): the best match
   /// within the query's approximate-match leaf.
   bool approximate = false;
-  /// Search under banded DTW instead of ED (kMessi, kUcr*, kBruteForce).
+  /// Search under banded DTW instead of ED (capabilities().dtw).
   bool dtw = false;
   /// Sakoe-Chiba radius in points for DTW searches.
   size_t dtw_band = 12;
@@ -137,14 +216,19 @@ struct BuildReport {
 
 class Engine {
  public:
-  /// Builds a search engine over an in-memory collection. `dataset` must
-  /// outlive the engine.
+  /// Builds a search engine over the described source. The engine owns
+  /// the materialized source for its whole lifetime. Returns
+  /// kNotSupported when the algorithm cannot build over the source's
+  /// residency (see AlgorithmCapabilities().streaming_build).
+  static Result<std::unique_ptr<Engine>> Build(SourceSpec spec,
+                                               const EngineOptions& options);
+
+  /// Deprecated shim: Build(SourceSpec::Borrowed(dataset), options).
+  /// `dataset` must outlive the engine.
   static Result<std::unique_ptr<Engine>> BuildInMemory(
       const Dataset* dataset, const EngineOptions& options);
 
-  /// Builds a search engine over an on-disk collection (a file written by
-  /// WriteDataset). Supported algorithms: kUcrSerial, kAdsPlus, kParis,
-  /// kParisPlus.
+  /// Deprecated shim: Build(SourceSpec::File(dataset_path), options).
   static Result<std::unique_ptr<Engine>> BuildFromFile(
       const std::string& dataset_path, const EngineOptions& options);
 
@@ -152,16 +236,20 @@ class Engine {
   /// the raw dataset file (WriteDataset format) the index was built
   /// over; it is memory-mapped, so queries run straight against the page
   /// cache instead of an in-RAM copy. The snapshot records which
-  /// algorithm it holds; `options.algorithm` is ignored. Supported:
-  /// kMessi, kParis, kParisPlus.
+  /// algorithm it holds and this overload accepts whatever is recorded.
+  static Result<std::unique_ptr<Engine>> Open(
+      const std::string& snapshot_path, const std::string& data_path);
+
+  /// As above, with explicit options. `options.algorithm` is binding: if
+  /// it does not match the snapshot's recorded algorithm, Open returns
+  /// kInvalidArgument instead of silently proceeding.
   static Result<std::unique_ptr<Engine>> Open(
       const std::string& snapshot_path, const std::string& data_path,
-      const EngineOptions& options = {});
+      const EngineOptions& options);
 
   /// Writes the engine's index to `snapshot_path` (atomically: a temp
-  /// file renamed into place). Requires an index-based algorithm with
-  /// snapshot support (kMessi, kParis, kParisPlus). Thread-safe against
-  /// concurrent Search calls.
+  /// file renamed into place). Requires capabilities().snapshot.
+  /// Thread-safe against concurrent Search calls.
   Status Save(const std::string& snapshot_path);
 
   ~Engine();
@@ -197,6 +285,12 @@ class Engine {
   /// serve workers, kAuto scheduling). Never null.
   QueryService* query_service();
 
+  /// What this engine supports: the algorithm's table narrowed by the
+  /// source it was built over (e.g. DTW is unavailable when the source
+  /// is streamed). Every kNotSupported this engine returns is derived
+  /// from this value.
+  EngineCapabilities capabilities() const;
+
   Algorithm algorithm() const { return options_.algorithm; }
   const EngineOptions& options() const { return options_; }
   const BuildReport& build_report() const { return build_report_; }
@@ -206,6 +300,10 @@ class Engine {
   const ParisIndex* paris_index() const { return paris_.get(); }
   const MessiIndex* messi_index() const { return messi_.get(); }
 
+  /// The raw series the engine answers queries against (owned by the
+  /// engine, directly or through its index).
+  const RawSeriesSource& source() const { return *query_source_; }
+
   /// Points per series in the indexed collection.
   size_t series_length() const { return series_length_; }
   /// Series in the indexed collection (serve-layer cost heuristics).
@@ -214,7 +312,11 @@ class Engine {
  private:
   explicit Engine(const EngineOptions& options);
 
-  Status CheckQuery(SeriesView query) const;
+  static Result<std::unique_ptr<Engine>> OpenInternal(
+      const std::string& snapshot_path, const std::string& data_path,
+      const EngineOptions& options, bool enforce_algorithm);
+
+  Status CheckQuery(SeriesView query, const SearchRequest& request) const;
 
   /// True when this request's path fans out over the shared pool (and
   /// must therefore hold pool_mu_ when run on it).
@@ -231,8 +333,11 @@ class Engine {
   std::unique_ptr<QueryService> service_;  // lazily created
   BuildReport build_report_;
 
-  const Dataset* dataset_ = nullptr;  // in-memory engines
-  std::string dataset_path_;          // on-disk engines
+  /// Scan engines own their source directly; index engines own it
+  /// through the index. query_source_ always points at the live one.
+  std::unique_ptr<RawSeriesSource> source_;
+  const RawSeriesSource* query_source_ = nullptr;
+  bool addressable_source_ = true;
 
   std::unique_ptr<AdsIndex> ads_;
   std::unique_ptr<ParisIndex> paris_;

@@ -4,7 +4,6 @@
 #include <limits>
 #include <vector>
 
-#include "io/reader.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
 #include "util/timer.h"
@@ -17,89 +16,80 @@ constexpr float kInf = std::numeric_limits<float>::infinity();
 
 }  // namespace
 
-Result<std::unique_ptr<AdsIndex>> AdsIndex::BuildInMemory(
-    const Dataset* dataset, const AdsBuildOptions& options) {
-  if (dataset->length() != options.tree.series_length) {
+Result<std::unique_ptr<AdsIndex>> AdsIndex::Build(
+    std::unique_ptr<RawSeriesSource> source,
+    const AdsBuildOptions& options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  if (source->length() != options.tree.series_length) {
     return Status::InvalidArgument(
-        "tree.series_length does not match the dataset");
+        "tree.series_length does not match the source");
+  }
+  if (!source->addressable() && options.leaf_storage_path.empty()) {
+    return Status::InvalidArgument(
+        "streamed (on-disk) ADS+ build requires leaf_storage_path");
   }
   WallTimer wall;
   auto index = std::unique_ptr<AdsIndex>(new AdsIndex(options.tree));
-  index->cache_ = FlatSaxCache(dataset->count());
-  index->source_ = std::make_unique<InMemorySource>(dataset);
-
-  const int w = options.tree.segments;
-  WallTimer cpu;
-  float paa[kMaxSegments];
-  for (SeriesId i = 0; i < dataset->count(); ++i) {
-    ComputePaa(dataset->series(i), w, paa);
-    LeafEntry entry;
-    entry.id = i;
-    SymbolsFromPaa(paa, w, &entry.sax);
-    *index->cache_.MutableAt(i) = entry.sax;
-    PARISAX_RETURN_IF_ERROR(index->tree_.Insert(entry, nullptr));
+  if (!options.leaf_storage_path.empty()) {
+    PARISAX_ASSIGN_OR_RETURN(
+        index->leaf_storage_,
+        LeafStorage::Create(options.leaf_storage_path,
+                            options.leaf_write_mbps));
   }
-  index->build_stats_.cpu_seconds = cpu.ElapsedSeconds();
-
-  index->tree_.SealRoots();
-  index->build_stats_.tree = index->tree_.Collect();
-  index->build_stats_.wall_seconds = wall.ElapsedSeconds();
-  return index;
-}
-
-Result<std::unique_ptr<AdsIndex>> AdsIndex::BuildFromFile(
-    const std::string& dataset_path, const AdsBuildOptions& options,
-    DiskProfile query_profile) {
-  if (options.leaf_storage_path.empty()) {
-    return Status::InvalidArgument(
-        "on-disk ADS+ build requires leaf_storage_path");
-  }
-  WallTimer wall;
-  auto index = std::unique_ptr<AdsIndex>(new AdsIndex(options.tree));
-  PARISAX_ASSIGN_OR_RETURN(
-      index->leaf_storage_,
-      LeafStorage::Create(options.leaf_storage_path, options.leaf_write_mbps));
-
-  std::unique_ptr<BufferedSeriesReader> reader;
-  PARISAX_ASSIGN_OR_RETURN(
-      reader, BufferedSeriesReader::Open(dataset_path, options.raw_profile,
-                                         options.batch_series));
-  if (reader->info().length != options.tree.series_length) {
-    return Status::InvalidArgument(
-        "tree.series_length does not match the dataset file");
-  }
-  index->cache_ = FlatSaxCache(reader->info().count);
+  index->cache_ = FlatSaxCache(source->count());
+  LeafStorage* storage = index->leaf_storage_.get();
 
   const int w = options.tree.segments;
   float paa[kMaxSegments];
-  for (;;) {
-    SeriesBatch batch;
-    {
-      WallTimer read;
-      PARISAX_RETURN_IF_ERROR(reader->NextBatch(&batch));
-      index->build_stats_.read_seconds += read.ElapsedSeconds();
-    }
-    if (batch.empty()) break;
+  if (source->addressable()) {
+    // Summarize in place: works identically over an in-RAM Dataset and
+    // an mmap-ed file (no copy either way).
+    const RawDataView raw{source->ContiguousData(), source->length()};
     WallTimer cpu;
-    for (size_t i = 0; i < batch.count; ++i) {
-      ComputePaa(batch.series(i), w, paa);
+    for (SeriesId i = 0; i < source->count(); ++i) {
+      ComputePaa(raw.series(i), w, paa);
       LeafEntry entry;
-      entry.id = batch.first_id + i;
+      entry.id = i;
       SymbolsFromPaa(paa, w, &entry.sax);
-      *index->cache_.MutableAt(entry.id) = entry.sax;
-      PARISAX_RETURN_IF_ERROR(
-          index->tree_.Insert(entry, index->leaf_storage_.get()));
+      *index->cache_.MutableAt(i) = entry.sax;
+      PARISAX_RETURN_IF_ERROR(index->tree_.Insert(entry, storage));
     }
-    index->build_stats_.cpu_seconds += cpu.ElapsedSeconds();
+    index->build_stats_.cpu_seconds = cpu.ElapsedSeconds();
+  } else {
+    std::unique_ptr<SeriesStream> stream;
+    PARISAX_ASSIGN_OR_RETURN(stream,
+                             source->OpenStream(options.batch_series));
+    for (;;) {
+      SeriesBatch batch;
+      {
+        WallTimer read;
+        PARISAX_RETURN_IF_ERROR(stream->NextBatch(&batch));
+        index->build_stats_.read_seconds += read.ElapsedSeconds();
+      }
+      if (batch.empty()) break;
+      WallTimer cpu;
+      for (size_t i = 0; i < batch.count; ++i) {
+        ComputePaa(batch.series(i), w, paa);
+        LeafEntry entry;
+        entry.id = batch.first_id + i;
+        SymbolsFromPaa(paa, w, &entry.sax);
+        *index->cache_.MutableAt(entry.id) = entry.sax;
+        PARISAX_RETURN_IF_ERROR(index->tree_.Insert(entry, storage));
+      }
+      index->build_stats_.cpu_seconds += cpu.ElapsedSeconds();
+    }
   }
 
-  // Materialize every leaf (ADS+ is an on-disk index).
-  {
+  // Materialize every leaf when a leaf store is configured (ADS+ is an
+  // on-disk index in the paper's pipeline).
+  if (storage != nullptr) {
     WallTimer write;
     Status flush_status = Status::OK();
     index->tree_.VisitLeaves(nullptr, [&](Node* leaf) {
       if (!flush_status.ok() || leaf->entries().empty()) return;
-      auto ref = index->leaf_storage_->AppendChunk(leaf->entries());
+      auto ref = storage->AppendChunk(leaf->entries());
       if (!ref.ok()) {
         flush_status = ref.status();
         return;
@@ -112,11 +102,7 @@ Result<std::unique_ptr<AdsIndex>> AdsIndex::BuildFromFile(
     index->build_stats_.write_seconds = write.ElapsedSeconds();
   }
 
-  std::unique_ptr<DiskSource> source;
-  PARISAX_ASSIGN_OR_RETURN(source,
-                           DiskSource::Open(dataset_path, query_profile));
   index->source_ = std::move(source);
-
   index->tree_.SealRoots();
   index->build_stats_.tree = index->tree_.Collect();
   index->build_stats_.wall_seconds = wall.ElapsedSeconds();

@@ -20,19 +20,19 @@
 #include "index/query_stats.h"
 #include "index/raw_source.h"
 #include "index/tree.h"
-#include "io/dataset.h"
-#include "io/sim_disk.h"
 #include "util/status.h"
 
 namespace parisax {
 
 struct AdsBuildOptions {
   SaxTreeOptions tree;
-  /// Raw-data-buffer capacity (series per read batch) in on-disk mode.
+  /// Raw-data-buffer capacity (series per read batch) for streamed
+  /// sources.
   size_t batch_series = 8192;
-  /// Device model for reading the raw dataset file (on-disk mode).
-  DiskProfile raw_profile = DiskProfile::Instant();
-  /// Leaf materialization file; required in on-disk mode.
+  /// Leaf materialization file. Non-empty enables leaf flushing;
+  /// required when the source is not addressable (on-disk mode). The
+  /// build-time device model lives in the source (FileSource's stream
+  /// profile).
   std::string leaf_storage_path;
   /// Metered leaf-write throughput; <= 0 disables metering.
   double leaf_write_mbps = 0.0;
@@ -52,15 +52,13 @@ struct AdsQueryOptions {
 
 class AdsIndex {
  public:
-  /// Builds over an in-memory dataset (which must outlive the index).
-  static Result<std::unique_ptr<AdsIndex>> BuildInMemory(
-      const Dataset* dataset, const AdsBuildOptions& options);
-
-  /// Builds over a dataset file read through `options.raw_profile`;
-  /// query-time raw accesses use `query_profile`.
-  static Result<std::unique_ptr<AdsIndex>> BuildFromFile(
-      const std::string& dataset_path, const AdsBuildOptions& options,
-      DiskProfile query_profile);
+  /// Builds over an owned raw-series source; the index takes ownership.
+  /// Addressable sources (in-RAM, mmap) are summarized in place with no
+  /// copy; streamed sources (FileSource) are read batch-by-batch through
+  /// the device model and require `options.leaf_storage_path`.
+  static Result<std::unique_ptr<AdsIndex>> Build(
+      std::unique_ptr<RawSeriesSource> source,
+      const AdsBuildOptions& options);
 
   /// Exact 1-NN by SIMS (serial). Returns the neighbor with the smallest
   /// squared ED; `Neighbor{0, +inf}` for an empty collection.

@@ -1,6 +1,16 @@
-// Uniform access to raw series values, whether the collection lives in
-// memory (MESSI, in-memory ParIS) or on (simulated) disk (ParIS/ParIS+,
-// ADS+). Real-distance phases fetch raw series through this interface.
+// The data plane: uniform access to raw series values, whether the
+// collection lives in memory (MESSI, in-memory ParIS), is memory-mapped
+// from a dataset file (restored snapshots, zero-copy builds), or streams
+// through a (simulated) storage device (ParIS/ParIS+, ADS+ on disk).
+//
+// Every build path in the repository consumes a RawSeriesSource instead
+// of a concrete container: random fetches go through GetSeries/TryView,
+// hot paths address a contiguous block directly (ContiguousData /
+// RawDataView), and the on-disk pipelines stream batches sequentially
+// through OpenStream. Sources are *owned*: an index (and the Engine
+// facade above it) takes its source by unique_ptr, so there is no
+// "dataset must outlive the engine" footgun unless the caller explicitly
+// opts into borrowing.
 #ifndef PARISAX_INDEX_RAW_SOURCE_H_
 #define PARISAX_INDEX_RAW_SOURCE_H_
 
@@ -10,10 +20,22 @@
 #include "core/types.h"
 #include "io/dataset.h"
 #include "io/format.h"
+#include "io/reader.h"
 #include "io/sim_disk.h"
 #include "util/status.h"
 
 namespace parisax {
+
+/// One batched sequential pass over a source's series, in id order (the
+/// build pipelines' Stage-1 feed). Not thread-safe; one reader at a time.
+class SeriesStream {
+ public:
+  virtual ~SeriesStream() = default;
+
+  /// Reads the next batch; `batch->count == 0` signals the end. Views
+  /// stay valid until the next call.
+  virtual Status NextBatch(SeriesBatch* batch) = 0;
+};
 
 class RawSeriesSource {
  public:
@@ -39,6 +61,21 @@ class RawSeriesSource {
   /// the virtual per-series calls entirely.
   virtual const Value* ContiguousData() const { return nullptr; }
 
+  /// A source is addressable when builds and queries can run straight
+  /// over its contiguous block with no copy. Empty sources are trivially
+  /// addressable (there is nothing to address).
+  bool addressable() const {
+    return count() == 0 || ContiguousData() != nullptr;
+  }
+
+  /// Opens a batched sequential pass over all series (`batch_series` per
+  /// NextBatch). The default serves zero-copy batches over
+  /// ContiguousData when the source is addressable and falls back to
+  /// per-series GetSeries copies otherwise; metered file sources override
+  /// it to stream through their device model instead.
+  virtual Result<std::unique_ptr<SeriesStream>> OpenStream(
+      size_t batch_series) const;
+
   /// True when the backing device serves one request at a time and
   /// rewards position-ordered access (a spinning disk). Parallel readers
   /// should then funnel their reads through one ordered stream instead of
@@ -46,10 +83,18 @@ class RawSeriesSource {
   virtual bool PrefersSequentialAccess() const { return false; }
 };
 
-/// Wraps a Dataset the caller keeps alive.
+/// The in-RAM source. Either *adopts* a Dataset (the source owns the
+/// values — the default for the Engine facade) or *borrows* one the
+/// caller keeps alive (zero-cost wrapping for tests and benches).
 class InMemorySource : public RawSeriesSource {
  public:
+  /// Borrows: `dataset` must outlive the source.
   explicit InMemorySource(const Dataset* dataset) : dataset_(dataset) {}
+
+  /// Adopts: the source owns the moved-in collection.
+  explicit InMemorySource(Dataset dataset)
+      : owned_(std::make_unique<Dataset>(std::move(dataset))),
+        dataset_(owned_.get()) {}
 
   size_t count() const override { return dataset_->count(); }
   size_t length() const override { return dataset_->length(); }
@@ -60,14 +105,18 @@ class InMemorySource : public RawSeriesSource {
   }
   const Value* ContiguousData() const override { return dataset_->raw(); }
 
+  const Dataset& dataset() const { return *dataset_; }
+
  private:
+  std::unique_ptr<Dataset> owned_;  // null when borrowing
   const Dataset* dataset_;
 };
 
 /// Non-owning view of a contiguous row-major raw-series block. The hot
-/// query paths (MESSI's real-distance phase) address series through this
-/// instead of a virtual RawSeriesSource call; it works identically over
-/// an in-RAM Dataset and an mmap-ed file.
+/// paths (index construction Stage 1, MESSI's real-distance phase, the
+/// in-memory scans) address series through this instead of a virtual
+/// RawSeriesSource call; it works identically over an in-RAM Dataset and
+/// an mmap-ed file.
 struct RawDataView {
   const Value* base = nullptr;
   size_t length = 0;
@@ -77,17 +126,30 @@ struct RawDataView {
   }
 };
 
-/// Reads series from a dataset file through a SimulatedDisk (each fetch
-/// pays the device model's random-access cost).
-class DiskSource : public RawSeriesSource {
+/// The streaming file source for the on-disk pipelines: a dataset file
+/// behind a SimulatedDisk. Query-time random fetches (GetSeries) are
+/// metered with `random_profile`; sequential passes (OpenStream — the
+/// coordinator's Stage-1 reads, the on-disk UCR scan) are metered with
+/// `stream_profile`.
+class FileSource : public RawSeriesSource {
  public:
-  static Result<std::unique_ptr<DiskSource>> Open(const std::string& path,
-                                                  DiskProfile profile);
+  static Result<std::unique_ptr<FileSource>> Open(const std::string& path,
+                                                  DiskProfile random_profile,
+                                                  DiskProfile stream_profile);
+
+  /// One profile for both access patterns.
+  static Result<std::unique_ptr<FileSource>> Open(const std::string& path,
+                                                  DiskProfile profile) {
+    return Open(path, profile, profile);
+  }
 
   size_t count() const override { return info_.count; }
   size_t length() const override { return info_.length; }
 
   Status GetSeries(SeriesId id, Value* out) const override;
+
+  Result<std::unique_ptr<SeriesStream>> OpenStream(
+      size_t batch_series) const override;
 
   bool PrefersSequentialAccess() const override {
     return disk_->profile().metered() && disk_->profile().channels <= 1;
@@ -95,12 +157,19 @@ class DiskSource : public RawSeriesSource {
 
   SimulatedDisk* disk() { return disk_.get(); }
   const DatasetFileInfo& info() const { return info_; }
+  const std::string& path() const { return path_; }
 
  private:
-  DiskSource(std::unique_ptr<SimulatedDisk> disk, DatasetFileInfo info)
-      : disk_(std::move(disk)), info_(info) {}
+  FileSource(std::string path, std::unique_ptr<SimulatedDisk> disk,
+             DiskProfile stream_profile, DatasetFileInfo info)
+      : path_(std::move(path)),
+        disk_(std::move(disk)),
+        stream_profile_(stream_profile),
+        info_(info) {}
 
-  std::unique_ptr<SimulatedDisk> disk_;
+  const std::string path_;
+  std::unique_ptr<SimulatedDisk> disk_;  // random (query-time) accesses
+  const DiskProfile stream_profile_;     // sequential (build-time) passes
   DatasetFileInfo info_;
 };
 

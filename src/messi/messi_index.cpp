@@ -267,7 +267,7 @@ Status MessiIndex::AttachSource(std::unique_ptr<RawSeriesSource> source) {
         "raw source length does not match the index");
   }
   const Value* base = source->ContiguousData();
-  if (base == nullptr) {
+  if (base == nullptr && source->count() > 0) {
     return Status::NotSupported(
         "MESSI requires a directly addressable raw source (in-memory or "
         "mmap)");
@@ -278,11 +278,14 @@ Status MessiIndex::AttachSource(std::unique_ptr<RawSeriesSource> source) {
 }
 
 Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
-    const Dataset* dataset, const MessiBuildOptions& options,
-    ThreadPool* pool) {
-  if (dataset->length() != options.tree.series_length) {
+    std::unique_ptr<RawSeriesSource> source,
+    const MessiBuildOptions& options, ThreadPool* pool) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  if (source->length() != options.tree.series_length) {
     return Status::InvalidArgument(
-        "tree.series_length does not match the dataset");
+        "tree.series_length does not match the source");
   }
   if (pool->num_threads() < options.num_workers) {
     return Status::InvalidArgument(
@@ -290,8 +293,11 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
   }
   WallTimer wall;
   auto index = std::unique_ptr<MessiIndex>(new MessiIndex(options.tree));
-  PARISAX_RETURN_IF_ERROR(
-      index->AttachSource(std::make_unique<InMemorySource>(dataset)));
+  const size_t total_series = source->count();
+  PARISAX_RETURN_IF_ERROR(index->AttachSource(std::move(source)));
+  // Stage 1 reads through the hot-path view, so an mmap-backed source is
+  // summarized straight off the page cache (no in-RAM copy).
+  const RawDataView raw = index->raw_;
   const int w = options.tree.segments;
 
   IsaxBufferSet buffers(w, pool->num_threads(), options.locked_buffers);
@@ -299,13 +305,13 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
   // Stage 1: summarization into the iSAX buffers, chunks by Fetch&Inc.
   WallTimer summarize_timer;
   {
-    WorkCounter chunks(dataset->count());
+    WorkCounter chunks(total_series);
     pool->Run([&](int worker) {
       float paa[kMaxSegments];
       size_t begin, end;
       while (chunks.NextBatch(options.chunk_series, &begin, &end)) {
         for (SeriesId i = begin; i < end; ++i) {
-          ComputePaa(dataset->series(i), w, paa);
+          ComputePaa(raw.series(i), w, paa);
           LeafEntry entry;
           entry.id = i;
           SymbolsFromPaa(paa, w, &entry.sax);
@@ -350,7 +356,7 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
   index->tree_.SealRoots();
   index->build_stats_.tree = index->tree_.Collect();
   index->build_stats_.wall_seconds = wall.ElapsedSeconds();
-  if (index->build_stats_.tree.total_entries != dataset->count()) {
+  if (index->build_stats_.tree.total_entries != total_series) {
     return Status::Internal("MESSI build lost series");
   }
   return index;

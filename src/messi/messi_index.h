@@ -27,7 +27,6 @@
 #include "index/query_stats.h"
 #include "index/raw_source.h"
 #include "index/tree.h"
-#include "io/dataset.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -66,10 +65,14 @@ class SnapshotReader;
 
 class MessiIndex {
  public:
-  /// Builds over an in-memory dataset, which must outlive the index.
+  /// Builds over an owned raw-series source. The source must be directly
+  /// addressable (an InMemorySource or MmapSource — MESSI's RawData array
+  /// lives in memory); building over an MmapSource runs Stage 1 straight
+  /// off the page cache with no in-RAM copy of the collection. The index
+  /// takes ownership of the source.
   static Result<std::unique_ptr<MessiIndex>> Build(
-      const Dataset* dataset, const MessiBuildOptions& options,
-      ThreadPool* pool);
+      std::unique_ptr<RawSeriesSource> source,
+      const MessiBuildOptions& options, ThreadPool* pool);
 
   // Query paths take an Executor rather than owning threads: pass a
   // ThreadPool to fan one query out over every core (the paper's Stage

@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "index/approx_search.h"
-#include "io/reader.h"
 #include "paris/recbuf.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
@@ -26,8 +25,8 @@ struct BatchSlot {
   std::mutex mu;
   std::condition_variable cv;
 
-  // Buffer contents. `storage` backs file builds; in-memory builds point
-  // `values` straight into the dataset.
+  // Buffer contents. `storage` backs streamed builds; addressable
+  // sources point `values` straight into the contiguous block.
   AlignedBuffer<Value> storage;
   const Value* values = nullptr;
   SeriesId first_id = 0;
@@ -65,12 +64,12 @@ class ParisBuilder {
                              options_.batch_series);
   }
 
-  Status RunFromFile(const std::string& path);
-  Status RunInMemory(const Dataset& dataset);
+  /// Runs the pipeline over `source`: zero-copy batches when the source
+  /// is addressable, metered sequential streaming otherwise.
+  Status Run(const RawSeriesSource& source);
 
  private:
-  Status CoordinatorLoop(BufferedSeriesReader* reader,
-                         const Dataset* dataset);
+  Status CoordinatorLoop(SeriesStream* stream, const Value* base);
   void WorkerLoop(int worker_id);
 
   /// Drains RecBuf `key` into its subtree; flushes leaves holding at
@@ -118,34 +117,32 @@ class ParisBuilder {
   std::atomic<bool> failed_{false};
 };
 
-Status ParisBuilder::RunFromFile(const std::string& path) {
-  std::unique_ptr<BufferedSeriesReader> reader;
-  PARISAX_ASSIGN_OR_RETURN(
-      reader, BufferedSeriesReader::Open(path, options_.raw_profile,
-                                         options_.batch_series));
-  if (reader->info().length != options_.tree.series_length) {
+Status ParisBuilder::Run(const RawSeriesSource& source) {
+  if (source.length() != options_.tree.series_length) {
     return Status::InvalidArgument(
-        "tree.series_length does not match the dataset file");
+        "tree.series_length does not match the source");
   }
-  // File builds copy batches into slot-owned buffers.
+  const Value* base = source.ContiguousData();
+  if (base != nullptr) {
+    // Addressable source: slots point straight into the block (zero
+    // copy, no coordinator read phase).
+    return CoordinatorLoop(nullptr, base);
+  }
+  // Streamed source: the coordinator copies batches into slot-owned
+  // buffers, paying the device model's sequential cost per batch.
+  std::unique_ptr<SeriesStream> stream;
+  PARISAX_ASSIGN_OR_RETURN(stream,
+                           source.OpenStream(options_.batch_series));
   for (BatchSlot& slot : slots_) {
     slot.storage.Allocate(options_.batch_series *
                           options_.tree.series_length);
     slot.values = slot.storage.data();
   }
-  return CoordinatorLoop(reader.get(), nullptr);
+  return CoordinatorLoop(stream.get(), nullptr);
 }
 
-Status ParisBuilder::RunInMemory(const Dataset& dataset) {
-  if (dataset.length() != options_.tree.series_length) {
-    return Status::InvalidArgument(
-        "tree.series_length does not match the dataset");
-  }
-  return CoordinatorLoop(nullptr, &dataset);
-}
-
-Status ParisBuilder::CoordinatorLoop(BufferedSeriesReader* reader,
-                                     const Dataset* dataset) {
+Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
+                                     const Value* base) {
   WallTimer wall;
   ParisBuildStats& stats = index_->build_stats_;
 
@@ -174,10 +171,10 @@ Status ParisBuilder::CoordinatorLoop(BufferedSeriesReader* reader,
       const SeriesId first = static_cast<SeriesId>(b) *
                              options_.batch_series;
       size_t count;
-      if (reader != nullptr) {
+      if (stream != nullptr) {
         SeriesBatch batch;
         WallTimer read;
-        const Status st = reader->NextBatch(&batch);
+        const Status st = stream->NextBatch(&batch);
         stats.read_wall_seconds += read.ElapsedSeconds();
         if (!st.ok()) {
           coord_status = st;
@@ -190,9 +187,9 @@ Status ParisBuilder::CoordinatorLoop(BufferedSeriesReader* reader,
                   slot.storage.data());
       } else {
         count = std::min(options_.batch_series,
-                         dataset->count() - static_cast<size_t>(first));
-        slot.values = dataset->raw() +
-                      static_cast<size_t>(first) * dataset->length();
+                         total_series_ - static_cast<size_t>(first));
+        slot.values = base + static_cast<size_t>(first) *
+                                 options_.tree.series_length;
       }
       {
         std::lock_guard<std::mutex> lock(slot.mu);
@@ -417,41 +414,28 @@ Status ParisBuilder::FinalFlush() {
   return flush_status;
 }
 
-Result<std::unique_ptr<ParisIndex>> ParisIndex::BuildFromFile(
-    const std::string& dataset_path, const ParisBuildOptions& options,
-    DiskProfile query_profile) {
-  if (options.leaf_storage_path.empty()) {
-    return Status::InvalidArgument(
-        "on-disk ParIS build requires leaf_storage_path");
+Result<std::unique_ptr<ParisIndex>> ParisIndex::Build(
+    std::unique_ptr<RawSeriesSource> source,
+    const ParisBuildOptions& options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
   }
-  DatasetFileInfo info;
-  PARISAX_ASSIGN_OR_RETURN(info, ReadDatasetInfo(dataset_path));
-
+  if (!source->addressable() && options.leaf_storage_path.empty()) {
+    return Status::InvalidArgument(
+        "streamed (on-disk) ParIS build requires leaf_storage_path");
+  }
   auto index = std::unique_ptr<ParisIndex>(new ParisIndex(options.tree));
-  index->cache_ = FlatSaxCache(info.count);
-  PARISAX_ASSIGN_OR_RETURN(
-      index->leaf_storage_,
-      LeafStorage::Create(options.leaf_storage_path,
-                          options.leaf_write_mbps));
+  index->cache_ = FlatSaxCache(source->count());
+  if (!options.leaf_storage_path.empty()) {
+    PARISAX_ASSIGN_OR_RETURN(
+        index->leaf_storage_,
+        LeafStorage::Create(options.leaf_storage_path,
+                            options.leaf_write_mbps));
+  }
 
-  ParisBuilder builder(index.get(), options, info.count);
-  PARISAX_RETURN_IF_ERROR(builder.RunFromFile(dataset_path));
-
-  std::unique_ptr<DiskSource> source;
-  PARISAX_ASSIGN_OR_RETURN(source,
-                           DiskSource::Open(dataset_path, query_profile));
+  ParisBuilder builder(index.get(), options, source->count());
+  PARISAX_RETURN_IF_ERROR(builder.Run(*source));
   index->source_ = std::move(source);
-  return index;
-}
-
-Result<std::unique_ptr<ParisIndex>> ParisIndex::BuildInMemory(
-    const Dataset* dataset, const ParisBuildOptions& options) {
-  auto index = std::unique_ptr<ParisIndex>(new ParisIndex(options.tree));
-  index->cache_ = FlatSaxCache(dataset->count());
-  index->source_ = std::make_unique<InMemorySource>(dataset);
-
-  ParisBuilder builder(index.get(), options, dataset->count());
-  PARISAX_RETURN_IF_ERROR(builder.RunInMemory(*dataset));
   return index;
 }
 

@@ -38,8 +38,6 @@
 #include "index/query_stats.h"
 #include "index/raw_source.h"
 #include "index/tree.h"
-#include "io/dataset.h"
-#include "io/sim_disk.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -59,9 +57,10 @@ struct ParisBuildOptions {
   /// batches.
   size_t batches_per_round = 4;
   SaxTreeOptions tree;
-  /// Device model for the raw dataset file during the build.
-  DiskProfile raw_profile = DiskProfile::Hdd();
-  /// Leaf materialization path (required for on-disk builds).
+  /// Leaf materialization path. Non-empty enables leaf flushing to
+  /// LeafStorage; required when the source is not addressable (the
+  /// paper's on-disk pipeline). The build-time device model lives in the
+  /// source (FileSource's stream profile), not here.
   std::string leaf_storage_path;
   /// Metered leaf-write throughput; <= 0 disables metering.
   double leaf_write_mbps = 0.0;
@@ -98,16 +97,17 @@ struct ParisQueryOptions {
 
 class ParisIndex {
  public:
-  /// Builds from a dataset file; query-time raw reads use
-  /// `query_profile`.
-  static Result<std::unique_ptr<ParisIndex>> BuildFromFile(
-      const std::string& dataset_path, const ParisBuildOptions& options,
-      DiskProfile query_profile);
-
-  /// Builds over an in-memory dataset (must outlive the index); no
-  /// coordinator reads, no leaf materialization.
-  static Result<std::unique_ptr<ParisIndex>> BuildInMemory(
-      const Dataset* dataset, const ParisBuildOptions& options);
+  /// Builds over an owned raw-series source; the index takes ownership
+  /// and answers query-time raw fetches through it. An addressable
+  /// source (InMemorySource, MmapSource) feeds the pipeline zero-copy
+  /// batches — no coordinator read phase, and mmap-backed builds never
+  /// copy the collection into RAM. A streamed source (FileSource) runs
+  /// the paper's full pipeline: the coordinator pays the device model's
+  /// sequential cost per batch, and `options.leaf_storage_path` (then
+  /// required) materializes leaves.
+  static Result<std::unique_ptr<ParisIndex>> Build(
+      std::unique_ptr<RawSeriesSource> source,
+      const ParisBuildOptions& options);
 
   /// Exact 1-NN (squared ED), parallel. `Neighbor{0, +inf}` if empty.
   /// `exec` supplies the query's parallelism: a ThreadPool fans the

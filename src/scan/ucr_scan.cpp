@@ -1,12 +1,12 @@
 #include "scan/ucr_scan.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <mutex>
 
 #include "dist/dtw.h"
 #include "index/knn_heap.h"
-#include "io/reader.h"
 #include "util/timer.h"
 
 namespace parisax {
@@ -21,24 +21,47 @@ bool Improves(const Neighbor& candidate, const Neighbor& best) {
           candidate.id < best.id);
 }
 
+/// The in-memory scans iterate a RawDataView over the source's
+/// contiguous block. Addressability is a documented precondition (the
+/// Engine facade gates it through the capability table); a violating
+/// source asserts in debug builds and scans as empty in release builds
+/// (count 0), never dereferencing the null block.
+struct ScanView {
+  RawDataView raw;
+  size_t count = 0;
+};
+
+ScanView ViewOf(const RawSeriesSource& source) {
+  assert(source.addressable() &&
+         "in-memory scan requires an addressable source");
+  if (!source.addressable()) return {};
+  return {RawDataView{source.ContiguousData(), source.length()},
+          source.count()};
+}
+
 }  // namespace
 
-Neighbor BruteForceNn(const Dataset& dataset, SeriesView query,
+Neighbor BruteForceNn(const RawSeriesSource& source, SeriesView query,
                       KernelPolicy kernel) {
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   Neighbor best{0, kInf};
-  for (SeriesId i = 0; i < dataset.count(); ++i) {
-    const float d = SquaredEuclidean(query, dataset.series(i), kernel);
+  for (SeriesId i = 0; i < view.count; ++i) {
+    const float d = SquaredEuclidean(query, raw.series(i), kernel);
     if (Improves({i, d}, best)) best = {i, d};
   }
   return best;
 }
 
-std::vector<Neighbor> BruteForceKnn(const Dataset& dataset, SeriesView query,
-                                    size_t k, KernelPolicy kernel) {
+std::vector<Neighbor> BruteForceKnn(const RawSeriesSource& source,
+                                    SeriesView query, size_t k,
+                                    KernelPolicy kernel) {
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   std::vector<Neighbor> all;
-  all.reserve(dataset.count());
-  for (SeriesId i = 0; i < dataset.count(); ++i) {
-    all.push_back({i, SquaredEuclidean(query, dataset.series(i), kernel)});
+  all.reserve(view.count);
+  for (SeriesId i = 0; i < view.count; ++i) {
+    all.push_back({i, SquaredEuclidean(query, raw.series(i), kernel)});
   }
   const size_t take = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + take, all.end(),
@@ -50,13 +73,15 @@ std::vector<Neighbor> BruteForceKnn(const Dataset& dataset, SeriesView query,
   return all;
 }
 
-Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
+Neighbor UcrScanSerial(const RawSeriesSource& source, SeriesView query,
                        ScanStats* stats, KernelPolicy kernel) {
   WallTimer timer;
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   Neighbor best{0, kInf};
   uint64_t abandoned = 0;
-  for (SeriesId i = 0; i < dataset.count(); ++i) {
-    const float d = SquaredEuclideanEarlyAbandon(query, dataset.series(i),
+  for (SeriesId i = 0; i < view.count; ++i) {
+    const float d = SquaredEuclideanEarlyAbandon(query, raw.series(i),
                                                  best.distance_sq, kernel);
     if (d < best.distance_sq) {
       best = {i, d};
@@ -65,31 +90,33 @@ Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
     }
   }
   if (stats != nullptr) {
-    stats->distance_calcs += dataset.count();
+    stats->distance_calcs += view.count;
     stats->abandoned += abandoned;
     stats->seconds += timer.ElapsedSeconds();
   }
   return best;
 }
 
-Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
+Neighbor UcrScanParallel(const RawSeriesSource& source, SeriesView query,
                          Executor* exec, ScanStats* stats,
                          KernelPolicy kernel) {
   WallTimer timer;
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   AtomicMinFloat bsf(kInf);
   std::mutex best_mu;
   Neighbor best{0, kInf};
   std::atomic<uint64_t> abandoned{0};
 
   constexpr size_t kGrain = 256;
-  WorkCounter counter(dataset.count());
+  WorkCounter counter(view.count);
   exec->Run([&](int) {
     uint64_t local_abandoned = 0;
     size_t begin, end;
     while (counter.NextBatch(kGrain, &begin, &end)) {
       for (SeriesId i = begin; i < end; ++i) {
         const float bound = bsf.Load();
-        const float d = SquaredEuclideanEarlyAbandon(query, dataset.series(i),
+        const float d = SquaredEuclideanEarlyAbandon(query, raw.series(i),
                                                      bound, kernel);
         if (d < bound) {
           bsf.UpdateMin(d);
@@ -104,30 +131,32 @@ Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
   });
 
   if (stats != nullptr) {
-    stats->distance_calcs += dataset.count();
+    stats->distance_calcs += view.count;
     stats->abandoned += abandoned.load();
     stats->seconds += timer.ElapsedSeconds();
   }
   return best;
 }
 
-std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
+std::vector<Neighbor> UcrKnnParallel(const RawSeriesSource& source,
                                      SeriesView query, size_t k,
                                      Executor* exec, ScanStats* stats,
                                      KernelPolicy kernel) {
   WallTimer timer;
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   KnnHeap heap(k);
   std::atomic<uint64_t> abandoned{0};
 
   constexpr size_t kGrain = 256;
-  WorkCounter counter(dataset.count());
+  WorkCounter counter(view.count);
   exec->Run([&](int) {
     uint64_t local_abandoned = 0;
     size_t begin, end;
     while (counter.NextBatch(kGrain, &begin, &end)) {
       for (SeriesId i = begin; i < end; ++i) {
         const float bound = heap.Bound();
-        const float d = SquaredEuclideanEarlyAbandon(query, dataset.series(i),
+        const float d = SquaredEuclideanEarlyAbandon(query, raw.series(i),
                                                      bound, kernel);
         if (d < bound) {
           heap.Update({i, d});
@@ -140,29 +169,27 @@ std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
   });
 
   if (stats != nullptr) {
-    stats->distance_calcs += dataset.count();
+    stats->distance_calcs += view.count;
     stats->abandoned += abandoned.load();
     stats->seconds += timer.ElapsedSeconds();
   }
   return heap.Sorted();
 }
 
-Result<Neighbor> UcrScanDisk(const std::string& dataset_path,
-                             DiskProfile profile, SeriesView query,
-                             size_t batch_series, ScanStats* stats,
-                             KernelPolicy kernel) {
+Result<Neighbor> UcrScanStream(const RawSeriesSource& source,
+                               SeriesView query, size_t batch_series,
+                               ScanStats* stats, KernelPolicy kernel) {
   WallTimer timer;
-  std::unique_ptr<BufferedSeriesReader> reader;
-  PARISAX_ASSIGN_OR_RETURN(
-      reader, BufferedSeriesReader::Open(dataset_path, profile, batch_series));
-  if (reader->info().length != query.size()) {
-    return Status::InvalidArgument("query length does not match the file");
+  if (source.length() != query.size()) {
+    return Status::InvalidArgument("query length does not match the source");
   }
+  std::unique_ptr<SeriesStream> stream;
+  PARISAX_ASSIGN_OR_RETURN(stream, source.OpenStream(batch_series));
   Neighbor best{0, kInf};
   uint64_t total = 0, abandoned = 0;
   for (;;) {
     SeriesBatch batch;
-    PARISAX_RETURN_IF_ERROR(reader->NextBatch(&batch));
+    PARISAX_RETURN_IF_ERROR(stream->NextBatch(&batch));
     if (batch.empty()) break;
     for (size_t i = 0; i < batch.count; ++i) {
       const float d = SquaredEuclideanEarlyAbandon(query, batch.series(i),
@@ -183,32 +210,36 @@ Result<Neighbor> UcrScanDisk(const std::string& dataset_path,
   return best;
 }
 
-Neighbor BruteForceDtwNn(const Dataset& dataset, SeriesView query,
+Neighbor BruteForceDtwNn(const RawSeriesSource& source, SeriesView query,
                          size_t band) {
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   Neighbor best{0, kInf};
-  for (SeriesId i = 0; i < dataset.count(); ++i) {
-    const float d = DtwBand(query, dataset.series(i), band, kInf);
+  for (SeriesId i = 0; i < view.count; ++i) {
+    const float d = DtwBand(query, raw.series(i), band, kInf);
     if (Improves({i, d}, best)) best = {i, d};
   }
   return best;
 }
 
-Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
-                       ScanStats* stats) {
+Neighbor DtwScanSerial(const RawSeriesSource& source, SeriesView query,
+                       size_t band, ScanStats* stats) {
   WallTimer timer;
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   std::vector<Value> lower, upper;
   ComputeEnvelope(query, band, &lower, &upper);
 
   Neighbor best{0, kInf};
   uint64_t dtw_calcs = 0, abandoned = 0;
-  for (SeriesId i = 0; i < dataset.count(); ++i) {
-    const float lb = LbKeoghSq(lower, upper, dataset.series(i),
+  for (SeriesId i = 0; i < view.count; ++i) {
+    const float lb = LbKeoghSq(lower, upper, raw.series(i),
                                best.distance_sq);
     if (lb >= best.distance_sq) {
       ++abandoned;
       continue;
     }
-    const float d = DtwBand(query, dataset.series(i), band, best.distance_sq);
+    const float d = DtwBand(query, raw.series(i), band, best.distance_sq);
     ++dtw_calcs;
     if (d < best.distance_sq) best = {i, d};
   }
@@ -220,9 +251,11 @@ Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
   return best;
 }
 
-Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
+Neighbor DtwScanParallel(const RawSeriesSource& source, SeriesView query,
                          size_t band, Executor* exec, ScanStats* stats) {
   WallTimer timer;
+  const ScanView view = ViewOf(source);
+  const RawDataView raw = view.raw;
   std::vector<Value> lower, upper;
   ComputeEnvelope(query, band, &lower, &upper);
 
@@ -232,19 +265,19 @@ Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
   std::atomic<uint64_t> dtw_calcs{0}, abandoned{0};
 
   constexpr size_t kGrain = 128;
-  WorkCounter counter(dataset.count());
+  WorkCounter counter(view.count);
   exec->Run([&](int) {
     uint64_t local_calcs = 0, local_abandoned = 0;
     size_t begin, end;
     while (counter.NextBatch(kGrain, &begin, &end)) {
       for (SeriesId i = begin; i < end; ++i) {
         const float bound = bsf.Load();
-        const float lb = LbKeoghSq(lower, upper, dataset.series(i), bound);
+        const float lb = LbKeoghSq(lower, upper, raw.series(i), bound);
         if (lb >= bound) {
           ++local_abandoned;
           continue;
         }
-        const float d = DtwBand(query, dataset.series(i), band, bound);
+        const float d = DtwBand(query, raw.series(i), band, bound);
         ++local_calcs;
         if (d < bound) {
           bsf.UpdateMin(d);

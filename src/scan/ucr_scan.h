@@ -5,16 +5,21 @@
 // experiments: an optimized serial scan with early-abandoning SIMD ED.
 // "UCR Suite-p" (the paper's in-memory competitor for MESSI, Figs. 9/12)
 // partitions the collection over threads that share an atomic BSF.
+//
+// Every scan consumes the RawSeriesSource data plane. The in-memory
+// variants require an *addressable* source (in-RAM or mmap — they scan a
+// RawDataView over its contiguous block); a non-addressable source
+// asserts in debug builds and yields the empty-collection result in
+// release builds. UcrScanStream streams any source batch-by-batch and
+// is the on-disk baseline (Figs. 10/11).
 #ifndef PARISAX_SCAN_UCR_SCAN_H_
 #define PARISAX_SCAN_UCR_SCAN_H_
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 #include "dist/euclidean.h"
-#include "io/dataset.h"
-#include "io/sim_disk.h"
+#include "index/raw_source.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -27,58 +32,64 @@ struct ScanStats {
 };
 
 /// Exact 1-NN by full (non-abandoning) scan. The correctness oracle for
-/// every other engine. Ties broken toward the smaller id.
-Neighbor BruteForceNn(const Dataset& dataset, SeriesView query,
+/// every other engine. Ties broken toward the smaller id. Requires an
+/// addressable source.
+Neighbor BruteForceNn(const RawSeriesSource& source, SeriesView query,
                       KernelPolicy kernel = KernelPolicy::kAuto);
 
 /// Exact k-NN by full scan, ascending distance (ties: smaller id first).
-std::vector<Neighbor> BruteForceKnn(const Dataset& dataset, SeriesView query,
-                                    size_t k,
+/// Requires an addressable source.
+std::vector<Neighbor> BruteForceKnn(const RawSeriesSource& source,
+                                    SeriesView query, size_t k,
                                     KernelPolicy kernel = KernelPolicy::kAuto);
 
-/// UCR Suite: serial scan with early-abandoning ED.
-Neighbor UcrScanSerial(const Dataset& dataset, SeriesView query,
+/// UCR Suite: serial scan with early-abandoning ED. Requires an
+/// addressable source.
+Neighbor UcrScanSerial(const RawSeriesSource& source, SeriesView query,
                        ScanStats* stats = nullptr,
                        KernelPolicy kernel = KernelPolicy::kAuto);
 
 /// UCR Suite-p: parallel partitioned scan with a shared atomic BSF.
 /// `exec` supplies the scan's parallelism (a ThreadPool for one query
 /// over every core, an InlineExecutor to confine it to the caller).
-Neighbor UcrScanParallel(const Dataset& dataset, SeriesView query,
+/// Requires an addressable source.
+Neighbor UcrScanParallel(const RawSeriesSource& source, SeriesView query,
                          Executor* exec, ScanStats* stats = nullptr,
                          KernelPolicy kernel = KernelPolicy::kAuto);
 
 /// Parallel exact k-NN scan: the BSF generalizes to the k-th best
-/// distance (see index/knn_heap.h). Ascending (distance, id).
-std::vector<Neighbor> UcrKnnParallel(const Dataset& dataset,
+/// distance (see index/knn_heap.h). Ascending (distance, id). Requires an
+/// addressable source.
+std::vector<Neighbor> UcrKnnParallel(const RawSeriesSource& source,
                                      SeriesView query, size_t k,
                                      Executor* exec,
                                      ScanStats* stats = nullptr,
                                      KernelPolicy kernel =
                                          KernelPolicy::kAuto);
 
-/// UCR Suite over an on-disk collection: streams the file through the
-/// simulated device in `batch_series` chunks (serial; the paper's on-disk
-/// UCR baseline for Figs. 10/11).
-Result<Neighbor> UcrScanDisk(const std::string& dataset_path,
-                             DiskProfile profile, SeriesView query,
-                             size_t batch_series = 8192,
-                             ScanStats* stats = nullptr,
-                             KernelPolicy kernel = KernelPolicy::kAuto);
+/// UCR Suite over a streamed collection: one sequential pass through
+/// source.OpenStream in `batch_series` chunks (serial; with a FileSource
+/// this is the paper's on-disk UCR baseline, paying the device model's
+/// sequential cost).
+Result<Neighbor> UcrScanStream(const RawSeriesSource& source,
+                               SeriesView query, size_t batch_series = 8192,
+                               ScanStats* stats = nullptr,
+                               KernelPolicy kernel = KernelPolicy::kAuto);
 
 // --- DTW variants (the paper's "current work" extension) ---------------
+// All require an addressable source.
 
 /// Exact DTW 1-NN by full banded DTW (no lower bounding); test oracle.
-Neighbor BruteForceDtwNn(const Dataset& dataset, SeriesView query,
+Neighbor BruteForceDtwNn(const RawSeriesSource& source, SeriesView query,
                          size_t band);
 
 /// UCR-DTW: serial scan with the LB_Keogh cascade and early-abandoning
 /// banded DTW.
-Neighbor DtwScanSerial(const Dataset& dataset, SeriesView query, size_t band,
-                       ScanStats* stats = nullptr);
+Neighbor DtwScanSerial(const RawSeriesSource& source, SeriesView query,
+                       size_t band, ScanStats* stats = nullptr);
 
 /// Parallel UCR-DTW with a shared atomic BSF.
-Neighbor DtwScanParallel(const Dataset& dataset, SeriesView query,
+Neighbor DtwScanParallel(const RawSeriesSource& source, SeriesView query,
                          size_t band, Executor* exec,
                          ScanStats* stats = nullptr);
 

@@ -34,9 +34,19 @@ AdsBuildOptions SmallBuild() {
   return o;
 }
 
+std::unique_ptr<InMemorySource> Mem(const Dataset& data) {
+  return std::make_unique<InMemorySource>(&data);
+}
+
+std::unique_ptr<FileSource> Streamed(const std::string& path) {
+  auto source = FileSource::Open(path, DiskProfile::Instant());
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return source.ok() ? std::move(*source) : nullptr;
+}
+
 TEST(AdsTest, InMemoryBuildIndexesEverything) {
   const Dataset data = MakeData();
-  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  auto index = AdsIndex::Build(Mem(data), SmallBuild());
   ASSERT_TRUE(index.ok());
   EXPECT_EQ((*index)->build_stats().tree.total_entries, data.count());
   EXPECT_TRUE((*index)->tree().CheckInvariants().ok());
@@ -49,12 +59,11 @@ TEST(AdsTest, OnDiskBuildEqualsInMemoryBuild) {
   const std::string path = TempPath("ads_equal.psax");
   ASSERT_TRUE(WriteDataset(data, path).ok());
 
-  auto mem = AdsIndex::BuildInMemory(&data, SmallBuild());
+  auto mem = AdsIndex::Build(Mem(data), SmallBuild());
   ASSERT_TRUE(mem.ok());
   AdsBuildOptions disk_build = SmallBuild();
   disk_build.leaf_storage_path = TempPath("ads_equal.leaves");
-  auto disk = AdsIndex::BuildFromFile(path, disk_build,
-                                      DiskProfile::Instant());
+  auto disk = AdsIndex::Build(Streamed(path), disk_build);
   ASSERT_TRUE(disk.ok());
 
   // Identical trees: same serial insertion order, so the structures must
@@ -92,7 +101,7 @@ TEST(AdsTest, OnDiskBuildMaterializesAllLeaves) {
   ASSERT_TRUE(WriteDataset(data, path).ok());
   AdsBuildOptions build = SmallBuild();
   build.leaf_storage_path = TempPath("ads_mat.leaves");
-  auto index = AdsIndex::BuildFromFile(path, build, DiskProfile::Instant());
+  auto index = AdsIndex::Build(Streamed(path), build);
   ASSERT_TRUE(index.ok());
   size_t in_memory = 0, chunks = 0;
   (*index)->tree().VisitLeaves(nullptr, [&](Node* leaf) {
@@ -107,7 +116,7 @@ TEST(AdsTest, OnDiskBuildMaterializesAllLeaves) {
 
 TEST(AdsTest, SimsPhaseAccountingIsConsistent) {
   const Dataset data = MakeData(5000);
-  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  auto index = AdsIndex::Build(Mem(data), SmallBuild());
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 4, 64, 61);
@@ -130,7 +139,7 @@ TEST(AdsTest, SimsPhaseAccountingIsConsistent) {
 
 TEST(AdsTest, ApproximateNeverBeatsExact) {
   const Dataset data = MakeData(4000);
-  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  auto index = AdsIndex::Build(Mem(data), SmallBuild());
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 8, 64, 61);
@@ -156,12 +165,13 @@ TEST(AdsTest, ExactMatchesOracleOnEveryDatasetKind) {
     gen.length = 64;
     gen.seed = 62;
     const Dataset data = GenerateDataset(gen);
-    auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+    auto index = AdsIndex::Build(Mem(data), SmallBuild());
     ASSERT_TRUE(index.ok());
     const Dataset queries = GenerateQueries(kind, 4, 64, 62);
     for (size_t q = 0; q < queries.count(); ++q) {
       const Neighbor oracle =
-          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+          BruteForceNn(InMemorySource(&data), queries.series(q),
+                       KernelPolicy::kScalar);
       auto nn = (*index)->SearchExact(queries.series(q));
       ASSERT_TRUE(nn.ok());
       EXPECT_NEAR(nn->distance_sq, oracle.distance_sq,
@@ -175,23 +185,23 @@ TEST(AdsTest, RejectsMismatchedSeriesLength) {
   const Dataset data = MakeData();
   AdsBuildOptions bad = SmallBuild();
   bad.tree.series_length = 32;
-  EXPECT_EQ(AdsIndex::BuildInMemory(&data, bad).status().code(),
+  EXPECT_EQ(AdsIndex::Build(Mem(data), bad).status().code(),
             StatusCode::kInvalidArgument);
 }
 
-TEST(AdsTest, OnDiskRequiresLeafStorage) {
+TEST(AdsTest, StreamedBuildRequiresLeafStorage) {
+  const Dataset data = MakeData(100);
+  const std::string path = TempPath("ads_noleaves.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
   AdsBuildOptions build = SmallBuild();
   build.leaf_storage_path.clear();
-  EXPECT_EQ(AdsIndex::BuildFromFile("x.psax", build,
-                                    DiskProfile::Instant())
-                .status()
-                .code(),
+  EXPECT_EQ(AdsIndex::Build(Streamed(path), build).status().code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST(AdsTest, EmptyCollection) {
   const Dataset data(0, 64);
-  auto index = AdsIndex::BuildInMemory(&data, SmallBuild());
+  auto index = AdsIndex::Build(Mem(data), SmallBuild());
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 61);

@@ -1,8 +1,13 @@
-// Tests for the public Engine facade: option validation, capability
-// gating, build reports, and algorithm name parsing.
+// Tests for the public Engine facade: option validation, the
+// capability model (every Algorithm x request-feature cell must agree
+// with Engine::capabilities()), SourceSpec residencies (borrowed,
+// adopted, mmap, streamed file), build reports, and algorithm name
+// parsing.
 #include "core/engine.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 #include "io/format.h"
 #include "io/generator.h"
@@ -142,6 +147,183 @@ TEST(EngineTest, OnDiskDefaultsLeafStoragePath) {
       Engine::BuildFromFile(path, BaseOptions(Algorithm::kParisPlus));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->options().leaf_storage_path, path + ".leaves");
+}
+
+constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kBruteForce, Algorithm::kUcrSerial, Algorithm::kUcrParallel,
+    Algorithm::kAdsPlus,    Algorithm::kParis,     Algorithm::kParisPlus,
+    Algorithm::kMessi};
+
+/// Success or typed kNotSupported, as the capability bit predicts --
+/// anything else (crash, wrong code, silent success) fails the matrix.
+void ExpectGated(const Status& status, bool supported,
+                 const std::string& label) {
+  if (supported) {
+    EXPECT_TRUE(status.ok()) << label << ": " << status.ToString();
+  } else {
+    EXPECT_EQ(status.code(), StatusCode::kNotSupported) << label;
+  }
+}
+
+TEST(EngineTest, CapabilityMatrixAgreesWithBehavior) {
+  // The doc-only contracts are gone: sweep every Algorithm x
+  // {k>1, dtw, approximate, Save} cell and require the observed result
+  // to agree with Engine::capabilities().
+  const Dataset data = MakeData(600);
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 71);
+  const SeriesView q = queries.series(0);
+
+  for (const Algorithm a : kAllAlgorithms) {
+    auto engine = Engine::Build(SourceSpec::Borrowed(&data),
+                                BaseOptions(a));
+    ASSERT_TRUE(engine.ok()) << AlgorithmName(a);
+    const EngineCapabilities caps = (*engine)->capabilities();
+    const std::string name = AlgorithmName(a);
+
+    SearchRequest knn;
+    knn.k = 4;
+    ExpectGated((*engine)->Search(q, knn).status(), caps.max_k >= 4,
+                name + "/knn");
+
+    SearchRequest dtw;
+    dtw.dtw = true;
+    dtw.dtw_band = 4;
+    ExpectGated((*engine)->Search(q, dtw).status(), caps.dtw,
+                name + "/dtw");
+
+    SearchRequest knn_dtw;
+    knn_dtw.k = 4;
+    knn_dtw.dtw = true;
+    ExpectGated((*engine)->Search(q, knn_dtw).status(), caps.dtw_knn,
+                name + "/knn_dtw");
+
+    SearchRequest approx;
+    approx.approximate = true;
+    ExpectGated((*engine)->Search(q, approx).status(), caps.approximate,
+                name + "/approximate");
+
+    const std::string snap =
+        ::testing::TempDir() + "/engine_caps_" +
+        std::to_string(static_cast<int>(a)) + ".snap";
+    ExpectGated((*engine)->Save(snap), caps.snapshot, name + "/save");
+    std::remove(snap.c_str());
+  }
+}
+
+TEST(EngineTest, StreamedSourceNarrowsCapabilities) {
+  const Dataset data = MakeData(300);
+  const std::string path = ::testing::TempDir() + "/engine_narrow.psax";
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+
+  // In memory, the serial UCR scan supports DTW ...
+  auto mem = Engine::Build(SourceSpec::Borrowed(&data),
+                           BaseOptions(Algorithm::kUcrSerial));
+  ASSERT_TRUE(mem.ok());
+  EXPECT_TRUE((*mem)->capabilities().dtw);
+
+  // ... but the streamed variant has no DTW path, and the instance
+  // capabilities (and the search gate) must say so.
+  auto streamed = Engine::Build(SourceSpec::File(path),
+                                BaseOptions(Algorithm::kUcrSerial));
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_FALSE((*streamed)->capabilities().dtw);
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 71);
+  SearchRequest dtw;
+  dtw.dtw = true;
+  EXPECT_EQ((*streamed)->Search(queries.series(0), dtw).status().code(),
+            StatusCode::kNotSupported);
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, MmapBuildMatchesInMemoryBuildExactly) {
+  // The ROADMAP item this PR delivers: Engine::Build over an mmap source
+  // runs the full MESSI / ParIS+ construction with no in-RAM copy of the
+  // collection, and answers byte-identically to the in-memory build.
+  const Dataset data = MakeData(1200);
+  const std::string path = ::testing::TempDir() + "/engine_mmap.psax";
+  ASSERT_TRUE(WriteDataset(data, path).ok());
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 5, 64, 72);
+
+  for (const Algorithm a :
+       {Algorithm::kMessi, Algorithm::kParisPlus, Algorithm::kParis}) {
+    auto ram = Engine::Build(SourceSpec::Borrowed(&data), BaseOptions(a));
+    ASSERT_TRUE(ram.ok()) << AlgorithmName(a);
+    auto mmap = Engine::Build(SourceSpec::Mmap(path), BaseOptions(a));
+    ASSERT_TRUE(mmap.ok()) << AlgorithmName(a) << ": "
+                           << mmap.status().ToString();
+    // Queries run straight off the mapping: the engine's source is the
+    // mmap block, not a copy.
+    EXPECT_NE((*mmap)->source().ContiguousData(), nullptr);
+
+    for (SeriesId q = 0; q < queries.count(); ++q) {
+      SearchRequest request;
+      auto want = (*ram)->Search(queries.series(q), request);
+      auto got = (*mmap)->Search(queries.series(q), request);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(want->neighbors.size(), got->neighbors.size());
+      EXPECT_EQ(want->neighbors[0].id, got->neighbors[0].id);
+      // Byte-identical: same kernels over the same float values.
+      EXPECT_EQ(want->neighbors[0].distance_sq,
+                got->neighbors[0].distance_sq);
+    }
+  }
+
+  // MESSI kNN and DTW also agree exactly across residencies.
+  auto ram = Engine::Build(SourceSpec::Borrowed(&data),
+                           BaseOptions(Algorithm::kMessi));
+  auto mmap = Engine::Build(SourceSpec::Mmap(path),
+                            BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(ram.ok());
+  ASSERT_TRUE(mmap.ok());
+  for (SeriesId q = 0; q < queries.count(); ++q) {
+    SearchRequest knn;
+    knn.k = 7;
+    auto want = (*ram)->Search(queries.series(q), knn);
+    auto got = (*mmap)->Search(queries.series(q), knn);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(want->neighbors.size(), got->neighbors.size());
+    for (size_t i = 0; i < want->neighbors.size(); ++i) {
+      EXPECT_EQ(want->neighbors[i].id, got->neighbors[i].id);
+      EXPECT_EQ(want->neighbors[i].distance_sq,
+                got->neighbors[i].distance_sq);
+    }
+    SearchRequest dtw;
+    dtw.dtw = true;
+    dtw.dtw_band = 5;
+    auto want_dtw = (*ram)->Search(queries.series(q), dtw);
+    auto got_dtw = (*mmap)->Search(queries.series(q), dtw);
+    ASSERT_TRUE(want_dtw.ok());
+    ASSERT_TRUE(got_dtw.ok());
+    EXPECT_EQ(want_dtw->neighbors[0].id, got_dtw->neighbors[0].id);
+    EXPECT_EQ(want_dtw->neighbors[0].distance_sq,
+              got_dtw->neighbors[0].distance_sq);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, AdoptedSourceOutlivesCallerScope) {
+  // SourceSpec::InMemory kills the dataset-lifetime footgun: the engine
+  // owns the collection, so the caller's Dataset can go away.
+  std::unique_ptr<Engine> engine;
+  {
+    Dataset data = MakeData(400);
+    auto built = Engine::Build(SourceSpec::InMemory(std::move(data)),
+                               BaseOptions(Algorithm::kMessi));
+    ASSERT_TRUE(built.ok());
+    engine = std::move(*built);
+  }
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 3, 64, 73);
+  for (SeriesId q = 0; q < queries.count(); ++q) {
+    auto response = engine->Search(queries.series(q), {});
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_LT(response->neighbors[0].id, 400u);
+  }
 }
 
 TEST(EngineTest, SearchReportsStats) {

@@ -52,15 +52,14 @@ TEST(FailureTest, EngineRejectsCorruptHeader) {
 }
 
 TEST(FailureTest, ParisBuildSurvivesTruncatedDataset) {
-  // A dataset whose payload is shorter than its header claims must fail
-  // cleanly during the pipelined build -- the interesting part is that
-  // the coordinator error must unwind the worker pool without deadlock.
+  // A dataset that shrinks under the build (truncated after the source
+  // was opened) must fail cleanly mid-pipeline -- the interesting part
+  // is that the coordinator's read error must unwind the worker pool
+  // without deadlock. (A file already truncated at open time is caught
+  // earlier, by FileSource::Open's header validation.)
   const Dataset data = MakeData(2000);
   const std::string path = TempPath("truncated_build.psax");
   ASSERT_TRUE(WriteDataset(data, path).ok());
-  const DatasetFileInfo info{2000, 64, 0};
-  ASSERT_EQ(::truncate(path.c_str(),
-                       static_cast<off_t>(info.FileBytes() / 2)), 0);
 
   ParisBuildOptions build;
   build.num_workers = 4;
@@ -69,11 +68,62 @@ TEST(FailureTest, ParisBuildSurvivesTruncatedDataset) {
   build.tree.segments = 8;
   build.tree.leaf_capacity = 16;
   build.tree.series_length = 64;
-  build.raw_profile = DiskProfile::Instant();
   build.leaf_storage_path = TempPath("truncated_build.leaves");
-  auto index = ParisIndex::BuildFromFile(path, build,
-                                         DiskProfile::Instant());
+  auto source = FileSource::Open(path, DiskProfile::Instant());
+  ASSERT_TRUE(source.ok());
+  const DatasetFileInfo info{2000, 64, 0};
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(info.FileBytes() / 2)), 0);
+  auto index = ParisIndex::Build(std::move(*source), build);
   EXPECT_FALSE(index.ok());
+
+  // A file short at open time fails fast with a typed error instead.
+  EXPECT_EQ(FileSource::Open(path, DiskProfile::Instant()).status().code(),
+            StatusCode::kCorruption);
+}
+
+/// Non-addressable source whose reads start failing mid-collection:
+/// drives the build pipelines' error-unwinding paths deterministically.
+class FailingSource : public RawSeriesSource {
+ public:
+  FailingSource(size_t count, size_t length, size_t fail_after)
+      : count_(count), length_(length), fail_after_(fail_after) {}
+
+  size_t count() const override { return count_; }
+  size_t length() const override { return length_; }
+
+  Status GetSeries(SeriesId id, Value* out) const override {
+    if (id >= fail_after_) {
+      return Status::IOError("injected read failure");
+    }
+    for (size_t i = 0; i < length_; ++i) out[i] = 0.0f;
+    return Status::OK();
+  }
+
+ private:
+  const size_t count_;
+  const size_t length_;
+  const size_t fail_after_;
+};
+
+TEST(FailureTest, ParisPipelineUnwindsOnMidStreamReadError) {
+  // The coordinator hits the injected read error several batches in;
+  // the bulk-loading workers (and, for ParIS, the construction pool)
+  // must unwind without deadlock and surface the Status.
+  for (const bool plus : {false, true}) {
+    ParisBuildOptions build;
+    build.num_workers = 4;
+    build.plus_mode = plus;
+    build.batch_series = 64;
+    build.tree.segments = 8;
+    build.tree.leaf_capacity = 16;
+    build.tree.series_length = 64;
+    build.leaf_storage_path = TempPath("midstream_fail.leaves");
+    auto index = ParisIndex::Build(
+        std::make_unique<FailingSource>(1000, 64, 300), build);
+    ASSERT_FALSE(index.ok()) << (plus ? "paris+" : "paris");
+    EXPECT_EQ(index.status().code(), StatusCode::kIoError);
+  }
 }
 
 TEST(FailureTest, LeafStorageReadBeyondEndFails) {
@@ -97,10 +147,10 @@ TEST(FailureTest, ParisRejectsImpossibleLeafStoragePath) {
   build.num_workers = 2;
   build.tree.segments = 8;
   build.tree.series_length = 64;
-  build.raw_profile = DiskProfile::Instant();
   build.leaf_storage_path = "/no-such-dir-xyz/leaves.bin";
-  EXPECT_FALSE(
-      ParisIndex::BuildFromFile(path, build, DiskProfile::Instant()).ok());
+  auto source = FileSource::Open(path, DiskProfile::Instant());
+  ASSERT_TRUE(source.ok());
+  EXPECT_FALSE(ParisIndex::Build(std::move(*source), build).ok());
 }
 
 TEST(FailureTest, EngineSearchAfterFailedOptionsNeverCrashes) {
@@ -133,7 +183,7 @@ TEST(FailureTest, UcrDiskScanPropagatesOpenFailure) {
 }
 
 TEST(FailureTest, DeletedFileAfterOpenIsHandledAtQueryTime) {
-  // Building ParIS+ keeps a DiskSource fd open; deleting the file under
+  // Building ParIS+ keeps a FileSource fd open; deleting the file under
   // it is fine on POSIX (the fd stays valid). The engine must keep
   // answering queries correctly.
   const Dataset data = MakeData(1500);

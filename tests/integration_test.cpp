@@ -94,12 +94,13 @@ TEST_P(InMemoryEquivalence, ExactMatchesBruteForce) {
   const Dataset queries = GenerateQueries(kind, kQueries, kLength, gen.seed);
 
   auto engine =
-      Engine::BuildInMemory(&dataset, SmallTreeOptions(algorithm, threads));
+      Engine::Build(SourceSpec::Borrowed(&dataset),
+                    SmallTreeOptions(algorithm, threads));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
   for (size_t q = 0; q < queries.count(); ++q) {
     const SeriesView query = queries.series(q);
-    const Neighbor oracle = BruteForceNn(dataset, query,
+    const Neighbor oracle = BruteForceNn(InMemorySource(&dataset), query,
                                          KernelPolicy::kScalar);
     auto response = (*engine)->Search(query, {});
     ASSERT_TRUE(response.ok()) << response.status().ToString();
@@ -154,14 +155,14 @@ TEST_P(OnDiskEquivalence, ExactMatchesBruteForce) {
   EngineOptions options = SmallTreeOptions(algorithm, threads);
   options.leaf_storage_path = InstancePath(".leaves");
 
-  auto engine = Engine::BuildFromFile(path_, options);
+  auto engine = Engine::Build(SourceSpec::File(path_), options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, kQueries, kLength, 11);
   for (size_t q = 0; q < queries.count(); ++q) {
     const SeriesView query = queries.series(q);
-    const Neighbor oracle = BruteForceNn(dataset_, query,
+    const Neighbor oracle = BruteForceNn(InMemorySource(&dataset_), query,
                                          KernelPolicy::kScalar);
     auto response = (*engine)->Search(query, {});
     ASSERT_TRUE(response.ok()) << response.status().ToString();
@@ -188,14 +189,14 @@ TEST(KnnIntegration, MessiMatchesBruteForceKnn) {
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 4, kLength, 13);
 
-  auto engine = Engine::BuildInMemory(
-      &dataset, SmallTreeOptions(Algorithm::kMessi, 4));
+  auto engine = Engine::Build(SourceSpec::Borrowed(&dataset),
+                              SmallTreeOptions(Algorithm::kMessi, 4));
   ASSERT_TRUE(engine.ok());
 
   for (size_t q = 0; q < queries.count(); ++q) {
     const SeriesView query = queries.series(q);
     for (const size_t k : {1u, 5u, 17u}) {
-      const auto oracle = BruteForceKnn(dataset, query, k,
+      const auto oracle = BruteForceKnn(InMemorySource(&dataset), query, k,
                                         KernelPolicy::kScalar);
       SearchRequest request;
       request.k = k;
@@ -230,11 +231,13 @@ TEST(DtwIntegration, MessiAndScansMatchBruteForceDtw) {
   for (const Algorithm algorithm :
        {Algorithm::kUcrSerial, Algorithm::kUcrParallel, Algorithm::kMessi}) {
     auto engine =
-        Engine::BuildInMemory(&dataset, SmallTreeOptions(algorithm, 3));
+        Engine::Build(SourceSpec::Borrowed(&dataset),
+                      SmallTreeOptions(algorithm, 3));
     ASSERT_TRUE(engine.ok());
     for (size_t q = 0; q < queries.count(); ++q) {
       const SeriesView query = queries.series(q);
-      const Neighbor oracle = BruteForceDtwNn(dataset, query, band);
+      const Neighbor oracle =
+          BruteForceDtwNn(InMemorySource(&dataset), query, band);
       SearchRequest request;
       request.dtw = true;
       request.dtw_band = band;
@@ -259,7 +262,8 @@ TEST(ApproximateIntegration, ApproximateIsUpperBoundOfExact) {
   for (const Algorithm algorithm :
        {Algorithm::kAdsPlus, Algorithm::kParisPlus, Algorithm::kMessi}) {
     auto engine =
-        Engine::BuildInMemory(&dataset, SmallTreeOptions(algorithm, 3));
+        Engine::Build(SourceSpec::Borrowed(&dataset),
+                      SmallTreeOptions(algorithm, 3));
     ASSERT_TRUE(engine.ok());
     for (size_t q = 0; q < queries.count(); ++q) {
       const SeriesView query = queries.series(q);

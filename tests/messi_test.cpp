@@ -25,6 +25,10 @@ Dataset MakeData(size_t count = 4000, size_t length = 64,
   return GenerateDataset(gen);
 }
 
+std::unique_ptr<InMemorySource> Mem(const Dataset& data) {
+  return std::make_unique<InMemorySource>(&data);
+}
+
 MessiBuildOptions SmallBuild(int workers, bool locked = false) {
   MessiBuildOptions o;
   o.num_workers = workers;
@@ -52,7 +56,7 @@ TEST_P(MessiBuildConfigs, IndexesEverySeriesExactlyOnce) {
   const auto [workers, locked] = GetParam();
   const Dataset data = MakeData();
   ThreadPool pool(workers);
-  auto index = MessiIndex::Build(&data, SmallBuild(workers, locked), &pool);
+  auto index = MessiIndex::Build(Mem(data), SmallBuild(workers, locked), &pool);
   ASSERT_TRUE(index.ok()) << index.status().ToString();
 
   EXPECT_TRUE((*index)->tree().CheckInvariants().ok());
@@ -76,8 +80,8 @@ TEST(MessiTest, LockedAndPartitionedBuffersBuildSameRootPopulation) {
   // difference is only performance).
   const Dataset data = MakeData(3000);
   ThreadPool pool(4);
-  auto partitioned = MessiIndex::Build(&data, SmallBuild(4, false), &pool);
-  auto locked = MessiIndex::Build(&data, SmallBuild(4, true), &pool);
+  auto partitioned = MessiIndex::Build(Mem(data), SmallBuild(4, false), &pool);
+  auto locked = MessiIndex::Build(Mem(data), SmallBuild(4, true), &pool);
   ASSERT_TRUE(partitioned.ok());
   ASSERT_TRUE(locked.ok());
   EXPECT_EQ((*partitioned)->tree().PresentRoots(),
@@ -89,7 +93,7 @@ TEST(MessiTest, LockedAndPartitionedBuffersBuildSameRootPopulation) {
 TEST(MessiTest, BuildStatsCoverBothStages) {
   const Dataset data = MakeData(3000);
   ThreadPool pool(2);
-  auto index = MessiIndex::Build(&data, SmallBuild(2), &pool);
+  auto index = MessiIndex::Build(Mem(data), SmallBuild(2), &pool);
   ASSERT_TRUE(index.ok());
   const MessiBuildStats& stats = (*index)->build_stats();
   EXPECT_GT(stats.summarize_wall_seconds, 0.0);
@@ -101,7 +105,7 @@ TEST(MessiTest, BuildStatsCoverBothStages) {
 TEST(MessiTest, ExactSearchMatchesBruteForceAcrossQueueCounts) {
   const Dataset data = MakeData(3000);
   ThreadPool pool(4);
-  auto index = MessiIndex::Build(&data, SmallBuild(4), &pool);
+  auto index = MessiIndex::Build(Mem(data), SmallBuild(4), &pool);
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 5, 64, 21);
@@ -112,7 +116,8 @@ TEST(MessiTest, ExactSearchMatchesBruteForceAcrossQueueCounts) {
     qopts.num_queues = queues;
     for (size_t q = 0; q < queries.count(); ++q) {
       const Neighbor oracle =
-          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+          BruteForceNn(InMemorySource(&data), queries.series(q),
+                       KernelPolicy::kScalar);
       auto got = (*index)->SearchExact(queries.series(q), qopts, &pool);
       ASSERT_TRUE(got.ok());
       EXPECT_NEAR(got->distance_sq, oracle.distance_sq,
@@ -125,7 +130,7 @@ TEST(MessiTest, ExactSearchMatchesBruteForceAcrossQueueCounts) {
 TEST(MessiTest, QueryStatsShowTreePruning) {
   const Dataset data = MakeData(6000);
   ThreadPool pool(2);
-  auto index = MessiIndex::Build(&data, SmallBuild(2), &pool);
+  auto index = MessiIndex::Build(Mem(data), SmallBuild(2), &pool);
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 4, 64, 21);
@@ -152,12 +157,12 @@ TEST(MessiTest, MessiPrunesMoreRealDistancesThanParisFilter) {
   // re-checks entries against the evolving BSF.
   const Dataset data = MakeData(6000);
   ThreadPool pool(2);
-  auto messi = MessiIndex::Build(&data, SmallBuild(2), &pool);
+  auto messi = MessiIndex::Build(Mem(data), SmallBuild(2), &pool);
   ASSERT_TRUE(messi.ok());
 
   AdsBuildOptions ads_options;
   ads_options.tree = SmallBuild(1).tree;
-  auto ads = AdsIndex::BuildInMemory(&data, ads_options);
+  auto ads = AdsIndex::Build(Mem(data), ads_options);
   ASSERT_TRUE(ads.ok());
 
   const Dataset queries =
@@ -178,13 +183,14 @@ TEST(MessiTest, WorksWithTinyCollections) {
   for (const size_t count : {1u, 2u, 5u}) {
     const Dataset data = MakeData(count);
     ThreadPool pool(3);
-    auto index = MessiIndex::Build(&data, SmallBuild(3), &pool);
+    auto index = MessiIndex::Build(Mem(data), SmallBuild(3), &pool);
     ASSERT_TRUE(index.ok());
     const Dataset queries =
         GenerateQueries(DatasetKind::kRandomWalk, 2, 64, 21);
     for (size_t q = 0; q < queries.count(); ++q) {
       const Neighbor oracle =
-          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+          BruteForceNn(InMemorySource(&data), queries.series(q),
+                       KernelPolicy::kScalar);
       auto got = (*index)->SearchExact(queries.series(q), {}, &pool);
       ASSERT_TRUE(got.ok());
       EXPECT_NEAR(got->distance_sq, oracle.distance_sq,
@@ -198,19 +204,19 @@ TEST(MessiTest, RejectsMismatchedOptions) {
   ThreadPool pool(2);
   MessiBuildOptions bad = SmallBuild(2);
   bad.tree.series_length = 32;  // dataset has 64
-  EXPECT_EQ(MessiIndex::Build(&data, bad, &pool).status().code(),
+  EXPECT_EQ(MessiIndex::Build(Mem(data), bad, &pool).status().code(),
             StatusCode::kInvalidArgument);
 
   MessiBuildOptions too_many_workers = SmallBuild(8);
   EXPECT_EQ(
-      MessiIndex::Build(&data, too_many_workers, &pool).status().code(),
+      MessiIndex::Build(Mem(data), too_many_workers, &pool).status().code(),
       StatusCode::kInvalidArgument);
 }
 
 TEST(MessiTest, KnnDegeneratesGracefully) {
   const Dataset data = MakeData(50);
   ThreadPool pool(2);
-  auto index = MessiIndex::Build(&data, SmallBuild(2), &pool);
+  auto index = MessiIndex::Build(Mem(data), SmallBuild(2), &pool);
   ASSERT_TRUE(index.ok());
   const Dataset queries = GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 21);
   // k larger than the collection returns everything, sorted.

@@ -39,8 +39,17 @@ ParisBuildOptions SmallBuild(int workers, bool plus) {
   o.tree.segments = 8;
   o.tree.leaf_capacity = 32;
   o.tree.series_length = 64;
-  o.raw_profile = DiskProfile::Instant();
   return o;
+}
+
+std::unique_ptr<InMemorySource> Mem(const Dataset& data) {
+  return std::make_unique<InMemorySource>(&data);
+}
+
+std::unique_ptr<FileSource> Streamed(const std::string& path) {
+  auto source = FileSource::Open(path, DiskProfile::Instant());
+  EXPECT_TRUE(source.ok()) << source.status().ToString();
+  return source.ok() ? std::move(*source) : nullptr;
 }
 
 // Sorted multiset of (leaf-resident) series ids: build-strategy
@@ -63,7 +72,7 @@ class ParisBuildModes
 TEST_P(ParisBuildModes, InMemoryBuildIndexesEverySeries) {
   const auto [plus, workers] = GetParam();
   const Dataset data = MakeData();
-  auto index = ParisIndex::BuildInMemory(&data, SmallBuild(workers, plus));
+  auto index = ParisIndex::Build(Mem(data), SmallBuild(workers, plus));
   ASSERT_TRUE(index.ok()) << index.status().ToString();
 
   const auto& stats = (*index)->build_stats();
@@ -90,8 +99,7 @@ TEST_P(ParisBuildModes, OnDiskBuildMaterializesLeaves) {
 
   ParisBuildOptions options = SmallBuild(workers, plus);
   options.leaf_storage_path = base + ".leaves";
-  auto index =
-      ParisIndex::BuildFromFile(path, options, DiskProfile::Instant());
+  auto index = ParisIndex::Build(Streamed(path), options);
   ASSERT_TRUE(index.ok()) << index.status().ToString();
 
   EXPECT_GT((*index)->build_stats().leaf_chunks_flushed, 0u);
@@ -124,11 +132,11 @@ TEST(ParisTest, BuildsMatchSerialBuilderContents) {
   const Dataset data = MakeData(3000);
   AdsBuildOptions ads_options;
   ads_options.tree = SmallBuild(1, false).tree;
-  auto ads = AdsIndex::BuildInMemory(&data, ads_options);
+  auto ads = AdsIndex::Build(Mem(data), ads_options);
   ASSERT_TRUE(ads.ok());
 
   for (const bool plus : {false, true}) {
-    auto paris = ParisIndex::BuildInMemory(&data, SmallBuild(3, plus));
+    auto paris = ParisIndex::Build(Mem(data), SmallBuild(3, plus));
     ASSERT_TRUE(paris.ok());
     // Same root key population.
     EXPECT_EQ((*paris)->tree().PresentRoots(),
@@ -148,8 +156,8 @@ TEST(ParisTest, PlusModeOverlapsConstruction) {
   // ParIS+ must not accumulate stage-3 wall time (its tree growth rides
   // inside the bulk-loading workers); ParIS must.
   const Dataset data = MakeData(6000);
-  auto paris = ParisIndex::BuildInMemory(&data, SmallBuild(2, false));
-  auto plus = ParisIndex::BuildInMemory(&data, SmallBuild(2, true));
+  auto paris = ParisIndex::Build(Mem(data), SmallBuild(2, false));
+  auto plus = ParisIndex::Build(Mem(data), SmallBuild(2, true));
   ASSERT_TRUE(paris.ok());
   ASSERT_TRUE(plus.ok());
   EXPECT_GT((*paris)->build_stats().stage3_wall_seconds, 0.0);
@@ -159,7 +167,7 @@ TEST(ParisTest, PlusModeOverlapsConstruction) {
 
 TEST(ParisTest, QueryMatchesBruteForceUnderManyWorkerCounts) {
   const Dataset data = MakeData(3000);
-  auto index = ParisIndex::BuildInMemory(&data, SmallBuild(2, true));
+  auto index = ParisIndex::Build(Mem(data), SmallBuild(2, true));
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 5, 64, 3);
@@ -170,7 +178,8 @@ TEST(ParisTest, QueryMatchesBruteForceUnderManyWorkerCounts) {
     qopts.num_workers = workers;
     for (size_t q = 0; q < queries.count(); ++q) {
       const Neighbor oracle =
-          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+          BruteForceNn(InMemorySource(&data), queries.series(q),
+                       KernelPolicy::kScalar);
       QueryStats stats;
       auto got =
           (*index)->SearchExact(queries.series(q), qopts, &pool, &stats);
@@ -187,7 +196,7 @@ TEST(ParisTest, QueryMatchesBruteForceUnderManyWorkerCounts) {
 
 TEST(ParisTest, QueryStatsShowPruning) {
   const Dataset data = MakeData(5000);
-  auto index = ParisIndex::BuildInMemory(&data, SmallBuild(2, true));
+  auto index = ParisIndex::Build(Mem(data), SmallBuild(2, true));
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 3, 64, 3);
@@ -205,7 +214,7 @@ TEST(ParisTest, QueryStatsShowPruning) {
 
 TEST(ParisTest, ApproximateSearchReturnsRealSeries) {
   const Dataset data = MakeData(2000);
-  auto index = ParisIndex::BuildInMemory(&data, SmallBuild(2, true));
+  auto index = ParisIndex::Build(Mem(data), SmallBuild(2, true));
   ASSERT_TRUE(index.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 5, 64, 3);
@@ -222,7 +231,7 @@ TEST(ParisTest, ApproximateSearchReturnsRealSeries) {
 
 TEST(ParisTest, RejectsWrongQueryLength) {
   const Dataset data = MakeData(100);
-  auto index = ParisIndex::BuildInMemory(&data, SmallBuild(1, false));
+  auto index = ParisIndex::Build(Mem(data), SmallBuild(1, false));
   ASSERT_TRUE(index.ok());
   std::vector<float> short_query(32, 0.0f);
   ThreadPool pool(1);
@@ -233,22 +242,20 @@ TEST(ParisTest, RejectsWrongQueryLength) {
             StatusCode::kInvalidArgument);
 }
 
-TEST(ParisTest, OnDiskBuildRequiresLeafStorage) {
+TEST(ParisTest, StreamedBuildRequiresLeafStorage) {
+  const Dataset data = MakeData(200);
+  const std::string path = TempPath("paris_noleaves.psax");
+  ASSERT_TRUE(WriteDataset(data, path).ok());
   ParisBuildOptions options = SmallBuild(1, false);
   options.leaf_storage_path.clear();
-  EXPECT_EQ(ParisIndex::BuildFromFile("whatever.psax", options,
-                                      DiskProfile::Instant())
-                .status()
-                .code(),
+  EXPECT_EQ(ParisIndex::Build(Streamed(path), options).status().code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST(ParisTest, MissingDatasetFileFails) {
-  ParisBuildOptions options = SmallBuild(1, false);
-  options.leaf_storage_path = TempPath("paris_missing.leaves");
-  EXPECT_FALSE(ParisIndex::BuildFromFile(TempPath("missing.psax"), options,
-                                         DiskProfile::Instant())
-                   .ok());
+  EXPECT_FALSE(
+      FileSource::Open(TempPath("missing.psax"), DiskProfile::Instant())
+          .ok());
 }
 
 // --- RecBufSet --------------------------------------------------------------

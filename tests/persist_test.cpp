@@ -126,7 +126,8 @@ TEST(SnapshotTest, MessiRoundtripAnswersIdenticallyEdKnnDtw) {
   const std::string data_path = WriteDataFile(data, "messi_rt.psax");
   const std::string snap_path = TempPath("messi_rt.snap");
 
-  auto built = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(built.ok());
   ASSERT_TRUE((*built)->Save(snap_path).ok());
 
@@ -140,7 +141,8 @@ TEST(SnapshotTest, MessiRoundtripAnswersIdenticallyEdKnnDtw) {
   EXPECT_TRUE((*restored)->messi_index()->tree().CheckInvariants().ok());
 
   auto oracle =
-      Engine::BuildInMemory(&data, BaseOptions(Algorithm::kBruteForce));
+      Engine::Build(SourceSpec::Borrowed(&data),
+                    BaseOptions(Algorithm::kBruteForce));
   ASSERT_TRUE(oracle.ok());
 
   const Dataset queries =
@@ -185,7 +187,8 @@ TEST(SnapshotTest, ParisRoundtripAnswersIdentically) {
     const std::string snap_path =
         TempPath(std::string("paris_rt_") + AlgorithmName(algorithm) +
                  ".snap");
-    auto built = Engine::BuildInMemory(&data, BaseOptions(algorithm));
+    auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                               BaseOptions(algorithm));
     ASSERT_TRUE(built.ok());
     ASSERT_TRUE((*built)->Save(snap_path).ok());
 
@@ -197,7 +200,8 @@ TEST(SnapshotTest, ParisRoundtripAnswersIdentically) {
     EXPECT_TRUE((*restored)->paris_index()->tree().CheckInvariants().ok());
 
     auto oracle =
-        Engine::BuildInMemory(&data, BaseOptions(Algorithm::kBruteForce));
+        Engine::Build(SourceSpec::Borrowed(&data),
+                    BaseOptions(Algorithm::kBruteForce));
     ASSERT_TRUE(oracle.ok());
     for (SeriesId q = 0; q < queries.count(); ++q) {
       const SeriesView query = queries.series(q);
@@ -232,7 +236,7 @@ TEST(SnapshotTest, OnDiskParisSnapshotInlinesFlushedLeaves) {
 
   EngineOptions options = BaseOptions(Algorithm::kParisPlus);
   options.leaf_storage_path = TempPath("paris_disk.leaves");
-  auto built = Engine::BuildFromFile(data_path, options);
+  auto built = Engine::Build(SourceSpec::File(data_path), options);
   ASSERT_TRUE(built.ok()) << built.status().ToString();
   ASSERT_GT((*built)->paris_index()->build_stats().leaf_chunks_flushed,
             0u);
@@ -258,7 +262,8 @@ TEST(SnapshotTest, RestoredEngineServesThroughQueryService) {
   const Dataset data = MakeData(900, 48);
   const std::string data_path = WriteDataFile(data, "serve_rt.psax");
   const std::string snap_path = TempPath("serve_rt.snap");
-  auto built = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(built.ok());
   ASSERT_TRUE((*built)->Save(snap_path).ok());
   auto restored = Engine::Open(snap_path, data_path);
@@ -288,7 +293,8 @@ TEST(SnapshotTest, ReadSnapshotInfoReportsShape) {
   const Dataset data = MakeData(600, 32);
   const std::string data_path = WriteDataFile(data, "info.psax");
   const std::string snap_path = TempPath("info.snap");
-  auto built = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(built.ok());
   ASSERT_TRUE((*built)->Save(snap_path).ok());
 
@@ -312,7 +318,8 @@ TEST(SnapshotTest, LoadRejectsKindMismatch) {
   const Dataset data = MakeData(400, 32);
   const std::string data_path = WriteDataFile(data, "kind.psax");
   const std::string snap_path = TempPath("kind.snap");
-  auto built = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(built.ok());
   ASSERT_TRUE((*built)->Save(snap_path).ok());
 
@@ -332,7 +339,8 @@ TEST(SnapshotTest, LoadRejectsMismatchedRawSource) {
   const std::string data_path = WriteDataFile(data, "shape_a.psax");
   const std::string other_path = WriteDataFile(other, "shape_b.psax");
   const std::string snap_path = TempPath("shape.snap");
-  auto built = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+  auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(built.ok());
   ASSERT_TRUE((*built)->Save(snap_path).ok());
 
@@ -343,6 +351,34 @@ TEST(SnapshotTest, LoadRejectsMismatchedRawSource) {
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
   std::remove(data_path.c_str());
   std::remove(other_path.c_str());
+  std::remove(snap_path.c_str());
+}
+
+TEST(SnapshotTest, OpenWithExplicitAlgorithmEnforcesMatch) {
+  const Dataset data = MakeData(400, 32);
+  const std::string data_path = WriteDataFile(data, "algo_match.psax");
+  const std::string snap_path = TempPath("algo_match.snap");
+  auto built = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE((*built)->Save(snap_path).ok());
+
+  // Explicit options bind options.algorithm: a mismatch with what the
+  // snapshot records is an error, never a silent override.
+  auto mismatched = Engine::Open(snap_path, data_path,
+                                 BaseOptions(Algorithm::kParisPlus));
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  auto matched = Engine::Open(snap_path, data_path,
+                              BaseOptions(Algorithm::kMessi));
+  EXPECT_TRUE(matched.ok()) << matched.status().ToString();
+
+  // The two-argument overload accepts whatever the snapshot holds.
+  auto any = Engine::Open(snap_path, data_path);
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ((*any)->algorithm(), Algorithm::kMessi);
+  std::remove(data_path.c_str());
   std::remove(snap_path.c_str());
 }
 
@@ -359,7 +395,8 @@ class SnapshotCorruptionTest : public ::testing::Test {
     data_path_ = WriteDataFile(data_, "corrupt_" + unique + ".psax");
     snap_path_ = TempPath("corrupt_" + unique + ".snap");
     auto built =
-        Engine::BuildInMemory(&data_, BaseOptions(Algorithm::kMessi));
+        Engine::Build(SourceSpec::Borrowed(&data_),
+                      BaseOptions(Algorithm::kMessi));
     ASSERT_TRUE(built.ok());
     ASSERT_TRUE((*built)->Save(snap_path_).ok());
     bytes_ = ReadAll(snap_path_);

@@ -48,14 +48,15 @@ TEST_P(TreeShapeSweep, ExactUnderAllShapes) {
   options.tree.leaf_capacity = c.leaf_capacity;
   options.batch_series = 256;
   options.chunk_series = 128;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 4, kLength, 404);
   for (size_t q = 0; q < queries.count(); ++q) {
     const Neighbor oracle =
-        BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+        BruteForceNn(InMemorySource(&data), queries.series(q),
+                     KernelPolicy::kScalar);
     auto response = (*engine)->Search(queries.series(q), {});
     ASSERT_TRUE(response.ok()) << response.status().ToString();
     EXPECT_NEAR(response->neighbors[0].distance_sq, oracle.distance_sq,
@@ -106,13 +107,14 @@ TEST_P(KnnSweep, MatchesOracleAndNestedPrefixes) {
   options.num_threads = 3;
   options.tree.segments = 8;
   options.tree.leaf_capacity = 32;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   ASSERT_TRUE(engine.ok());
 
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 3, kLength, 405);
   for (size_t q = 0; q < queries.count(); ++q) {
-    const auto oracle = BruteForceKnn(data, queries.series(q), k,
+    const auto oracle = BruteForceKnn(InMemorySource(&data),
+                                      queries.series(q), k,
                                       KernelPolicy::kScalar);
     SearchRequest request;
     request.k = k;
@@ -160,13 +162,14 @@ TEST_P(DtwBandSweep, MatchesOracleAtEveryBand) {
   options.num_threads = 3;
   options.tree.segments = 8;
   options.tree.leaf_capacity = 32;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   ASSERT_TRUE(engine.ok());
 
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 3, kLength, 406);
   for (size_t q = 0; q < queries.count(); ++q) {
-    const Neighbor oracle = BruteForceDtwNn(data, queries.series(q), band);
+    const Neighbor oracle =
+        BruteForceDtwNn(InMemorySource(&data), queries.series(q), band);
     SearchRequest request;
     request.dtw = true;
     request.dtw_band = band;
@@ -187,7 +190,7 @@ TEST(DtwBandProperty, BestDistanceShrinksAsBandGrows) {
   options.algorithm = Algorithm::kMessi;
   options.num_threads = 2;
   options.tree.segments = 8;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   ASSERT_TRUE(engine.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 3, kLength, 407);
@@ -218,7 +221,7 @@ TEST(ApproximateProperty, ApproximateAnswerIsUsuallyCompetitive) {
   options.num_threads = 2;
   options.tree.segments = 8;
   options.tree.leaf_capacity = 64;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   ASSERT_TRUE(engine.ok());
 
   const Dataset queries =
@@ -267,7 +270,7 @@ TEST(CrossEngineProperty, AllEnginesAgreeOnPlantedNeighbors) {
     options.tree.segments = 8;
     options.tree.leaf_capacity = 32;
     options.batch_series = 256;
-    auto engine = Engine::BuildInMemory(&data, options);
+    auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
     ASSERT_TRUE(engine.ok());
     for (size_t q = 0; q < queries.count(); ++q) {
       auto response = (*engine)->Search(queries.series(q), {});

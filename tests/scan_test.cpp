@@ -31,7 +31,7 @@ TEST(BruteForceTest, FindsPlantedNeighbor) {
       GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 51);
   const SeriesView q = queries.series(0);
   std::copy(q.begin(), q.end(), data.mutable_series(123).begin());
-  const Neighbor nn = BruteForceNn(data, q);
+  const Neighbor nn = BruteForceNn(InMemorySource(&data), q);
   EXPECT_EQ(nn.id, 123u);
   EXPECT_FLOAT_EQ(nn.distance_sq, 0.0f);
 }
@@ -41,8 +41,8 @@ TEST(BruteForceTest, KnnIsSortedPrefixOfFullRanking) {
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 51);
   const SeriesView q = queries.series(0);
-  const auto k10 = BruteForceKnn(data, q, 10);
-  const auto k50 = BruteForceKnn(data, q, 50);
+  const auto k10 = BruteForceKnn(InMemorySource(&data), q, 10);
+  const auto k50 = BruteForceKnn(InMemorySource(&data), q, 50);
   ASSERT_EQ(k10.size(), 10u);
   ASSERT_EQ(k50.size(), 50u);
   for (size_t i = 0; i < 10; ++i) {
@@ -58,7 +58,9 @@ TEST(BruteForceTest, KnnClampsToCollectionSize) {
   const Dataset data = MakeData(7);
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 51);
-  EXPECT_EQ(BruteForceKnn(data, queries.series(0), 100).size(), 7u);
+  EXPECT_EQ(
+      BruteForceKnn(InMemorySource(&data), queries.series(0), 100).size(),
+      7u);
 }
 
 TEST(UcrScanTest, SerialMatchesBruteForceAndAbandons) {
@@ -67,9 +69,10 @@ TEST(UcrScanTest, SerialMatchesBruteForceAndAbandons) {
       GenerateQueries(DatasetKind::kRandomWalk, 6, 64, 51);
   for (size_t q = 0; q < queries.count(); ++q) {
     const SeriesView query = queries.series(q);
-    const Neighbor oracle = BruteForceNn(data, query, KernelPolicy::kScalar);
+    const Neighbor oracle =
+        BruteForceNn(InMemorySource(&data), query, KernelPolicy::kScalar);
     ScanStats stats;
-    const Neighbor got = UcrScanSerial(data, query, &stats);
+    const Neighbor got = UcrScanSerial(InMemorySource(&data), query, &stats);
     EXPECT_NEAR(got.distance_sq, oracle.distance_sq,
                 1e-3f * std::max(1.0f, oracle.distance_sq));
     EXPECT_EQ(stats.distance_calcs, data.count());
@@ -86,8 +89,9 @@ TEST(UcrScanTest, ParallelMatchesSerialAcrossThreadCounts) {
     ThreadPool pool(threads);
     for (size_t q = 0; q < queries.count(); ++q) {
       const SeriesView query = queries.series(q);
-      const Neighbor serial = UcrScanSerial(data, query);
-      const Neighbor parallel = UcrScanParallel(data, query, &pool);
+      const Neighbor serial = UcrScanSerial(InMemorySource(&data), query);
+      const Neighbor parallel =
+          UcrScanParallel(InMemorySource(&data), query, &pool);
       EXPECT_NEAR(parallel.distance_sq, serial.distance_sq,
                   1e-3f * std::max(1.0f, serial.distance_sq))
           << "threads=" << threads;
@@ -103,10 +107,11 @@ TEST(UcrScanTest, DiskScanMatchesInMemory) {
       GenerateQueries(DatasetKind::kRandomWalk, 3, 64, 51);
   for (size_t q = 0; q < queries.count(); ++q) {
     const SeriesView query = queries.series(q);
-    const Neighbor mem = UcrScanSerial(data, query);
+    const Neighbor mem = UcrScanSerial(InMemorySource(&data), query);
     ScanStats stats;
-    auto disk = UcrScanDisk(path, DiskProfile::Instant(), query, 128,
-                            &stats);
+    auto source = FileSource::Open(path, DiskProfile::Instant());
+    ASSERT_TRUE(source.ok());
+    auto disk = UcrScanStream(**source, query, 128, &stats);
     ASSERT_TRUE(disk.ok());
     EXPECT_NEAR(disk->distance_sq, mem.distance_sq,
                 1e-3f * std::max(1.0f, mem.distance_sq));
@@ -119,19 +124,21 @@ TEST(UcrScanTest, DiskScanRejectsWrongLength) {
   const std::string path = ::testing::TempDir() + "/ucr_len.psax";
   ASSERT_TRUE(WriteDataset(data, path).ok());
   std::vector<float> query(32, 0.0f);
-  EXPECT_FALSE(UcrScanDisk(path, DiskProfile::Instant(),
-                           SeriesView(query.data(), 32))
-                   .ok());
+  auto source = FileSource::Open(path, DiskProfile::Instant());
+  ASSERT_TRUE(source.ok());
+  EXPECT_FALSE(
+      UcrScanStream(**source, SeriesView(query.data(), 32)).ok());
 }
 
 TEST(UcrScanTest, EmptyDatasetReturnsInfinity) {
   const Dataset data(0, 64);
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 51);
-  const Neighbor nn = UcrScanSerial(data, queries.series(0));
+  const Neighbor nn = UcrScanSerial(InMemorySource(&data), queries.series(0));
   EXPECT_TRUE(std::isinf(nn.distance_sq));
   ThreadPool pool(2);
-  const Neighbor pnn = UcrScanParallel(data, queries.series(0), &pool);
+  const Neighbor pnn =
+      UcrScanParallel(InMemorySource(&data), queries.series(0), &pool);
   EXPECT_TRUE(std::isinf(pnn.distance_sq));
 }
 
@@ -143,11 +150,12 @@ TEST(DtwScanTest, SerialAndParallelMatchBruteForceDtw) {
   ThreadPool pool(3);
   for (size_t q = 0; q < queries.count(); ++q) {
     const SeriesView query = queries.series(q);
-    const Neighbor oracle = BruteForceDtwNn(data, query, band);
+    const Neighbor oracle = BruteForceDtwNn(InMemorySource(&data), query, band);
     ScanStats s1, s2;
-    const Neighbor serial = DtwScanSerial(data, query, band, &s1);
-    const Neighbor parallel = DtwScanParallel(data, query, band, &pool,
-                                              &s2);
+    const Neighbor serial =
+        DtwScanSerial(InMemorySource(&data), query, band, &s1);
+    const Neighbor parallel = DtwScanParallel(InMemorySource(&data), query,
+                                              band, &pool, &s2);
     EXPECT_NEAR(serial.distance_sq, oracle.distance_sq,
                 1e-3f * std::max(1.0f, oracle.distance_sq));
     EXPECT_NEAR(parallel.distance_sq, oracle.distance_sq,
@@ -162,8 +170,9 @@ TEST(DtwScanTest, DtwNeverWorseThanEuclideanNeighbor) {
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 3, 64, 51);
   for (size_t q = 0; q < queries.count(); ++q) {
-    const Neighbor ed = UcrScanSerial(data, queries.series(q));
-    const Neighbor dtw = DtwScanSerial(data, queries.series(q), 6);
+    const Neighbor ed = UcrScanSerial(InMemorySource(&data), queries.series(q));
+    const Neighbor dtw =
+        DtwScanSerial(InMemorySource(&data), queries.series(q), 6);
     // DTW distance of the DTW-NN <= ED distance of the ED-NN.
     EXPECT_LE(dtw.distance_sq, ed.distance_sq * (1.0f + 1e-4f));
   }

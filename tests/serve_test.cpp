@@ -44,7 +44,7 @@ std::unique_ptr<Engine> BuildEngine(const Dataset& data,
   options.num_threads = 4;
   options.tree.segments = 8;
   options.tree.leaf_capacity = 32;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   if (!engine.ok()) {
     ADD_FAILURE() << engine.status().ToString();
     return nullptr;
@@ -101,7 +101,8 @@ TEST(QueryServiceTest, BatchMatchesOracleUnderEveryPolicy) {
     ASSERT_TRUE(responses.ok()) << responses.status().ToString();
     ASSERT_EQ(responses->size(), queries.count());
     for (size_t q = 0; q < queries.count(); ++q) {
-      const Neighbor oracle = BruteForceNn(data, queries.series(q));
+      const Neighbor oracle =
+          BruteForceNn(InMemorySource(&data), queries.series(q));
       EXPECT_EQ((*responses)[q].neighbors[0].id, oracle.id)
           << SchedulingPolicyName(policy) << " query " << q;
       EXPECT_FLOAT_EQ((*responses)[q].neighbors[0].distance_sq,
@@ -144,16 +145,16 @@ TEST(QueryServiceTest, MixedRequestStormMatchesOracle) {
         std::vector<Neighbor> oracle_knn;
         switch (q % 3) {
           case 0:  // ED 1-NN
-            oracle = BruteForceNn(data, query);
+            oracle = BruteForceNn(InMemorySource(&data), query);
             break;
           case 1:  // ED kNN
             request.k = 5;
-            oracle_knn = BruteForceKnn(data, query, request.k);
+            oracle_knn = BruteForceKnn(InMemorySource(&data), query, request.k);
             break;
           case 2:  // DTW 1-NN
             request.dtw = true;
             request.dtw_band = kDtwBand;
-            oracle = BruteForceDtwNn(data, query, kDtwBand);
+            oracle = BruteForceDtwNn(InMemorySource(&data), query, kDtwBand);
             break;
         }
         auto response = (*service)->Submit(query, request).get();
@@ -198,7 +199,7 @@ TEST(QueryServiceTest, MixedEnginesServeConcurrently) {
 
   std::vector<Neighbor> oracles;
   for (size_t q = 0; q < queries.count(); ++q) {
-    oracles.push_back(BruteForceNn(data, queries.series(q)));
+    oracles.push_back(BruteForceNn(InMemorySource(&data), queries.series(q)));
   }
 
   std::atomic<int> failures{0};
@@ -237,7 +238,8 @@ TEST(QueryServiceTest, DirectConcurrentEngineSearchIsSafe) {
     clients.emplace_back([&, c] {
       for (size_t q = c; q < queries.count(); q += 4) {
         auto response = engine->Search(queries.series(q));
-        const Neighbor oracle = BruteForceNn(data, queries.series(q));
+        const Neighbor oracle =
+          BruteForceNn(InMemorySource(&data), queries.series(q));
         if (!response.ok() || response->neighbors[0].id != oracle.id) {
           ++failures;
         }
@@ -264,13 +266,14 @@ TEST(QueryServiceTest, EngineFacadeBatchAndSubmit) {
   ASSERT_EQ(responses->size(), queries.count());
   for (size_t q = 0; q < queries.count(); ++q) {
     EXPECT_EQ((*responses)[q].neighbors[0].id,
-              BruteForceNn(data, queries.series(q)).id);
+              BruteForceNn(InMemorySource(&data), queries.series(q)).id);
   }
 
   auto future = engine->Submit(views[0]);
   auto response = future.get();
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->neighbors[0].id, BruteForceNn(data, views[0]).id);
+  EXPECT_EQ(response->neighbors[0].id,
+            BruteForceNn(InMemorySource(&data), views[0]).id);
   EXPECT_EQ(engine->query_service(), engine->query_service());
 }
 
@@ -282,7 +285,8 @@ TEST(QueryServiceTest, SubmitCopiesTheQuery) {
   auto engine = BuildEngine(data, Algorithm::kMessi);
   ASSERT_NE(engine, nullptr);
 
-  const Neighbor oracle = BruteForceNn(data, queries.series(0));
+  const Neighbor oracle =
+      BruteForceNn(InMemorySource(&data), queries.series(0));
   std::future<Result<SearchResponse>> future;
   {
     std::vector<Value> ephemeral(queries.series(0).begin(),
@@ -320,7 +324,7 @@ TEST(QueryServiceTest, PerQueryErrorsDoNotPoisonTheService) {
   auto response = good.get();
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->neighbors[0].id,
-            BruteForceNn(data, queries.series(0)).id);
+            BruteForceNn(InMemorySource(&data), queries.series(0)).id);
 }
 
 // Drain returns only after every outstanding query completed.

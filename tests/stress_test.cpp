@@ -27,6 +27,10 @@ Dataset MakeData(size_t count, uint64_t seed) {
   return GenerateDataset(gen);
 }
 
+std::unique_ptr<InMemorySource> Mem(const Dataset& data) {
+  return std::make_unique<InMemorySource>(&data);
+}
+
 TEST(StressTest, RepeatedMessiBuildsIndexIdentically) {
   const Dataset data = MakeData(2000, 901);
   MessiBuildOptions build;
@@ -40,7 +44,7 @@ TEST(StressTest, RepeatedMessiBuildsIndexIdentically) {
   size_t first_entries = 0;
   for (int round = 0; round < 15; ++round) {
     ThreadPool pool(7);
-    auto index = MessiIndex::Build(&data, build, &pool);
+    auto index = MessiIndex::Build(Mem(data), build, &pool);
     ASSERT_TRUE(index.ok()) << "round " << round;
     ASSERT_TRUE((*index)->tree().CheckInvariants().ok()) << "round "
                                                          << round;
@@ -68,8 +72,7 @@ TEST(StressTest, RepeatedParisPipelinesNeverLoseSeries) {
     build.tree.segments = 8;
     build.tree.leaf_capacity = 16;
     build.tree.series_length = 64;
-    build.raw_profile = DiskProfile::Instant();
-    auto index = ParisIndex::BuildInMemory(&data, build);
+    auto index = ParisIndex::Build(Mem(data), build);
     ASSERT_TRUE(index.ok()) << "round " << round;
     EXPECT_EQ((*index)->build_stats().tree.total_entries, data.count())
         << "round " << round;
@@ -88,7 +91,7 @@ TEST(StressTest, QueryStormReturnsIdenticalDistances) {
   options.num_threads = 6;
   options.tree.segments = 8;
   options.tree.leaf_capacity = 32;
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   ASSERT_TRUE(engine.ok());
 
   // Reference distances once, then many repetitions: parallel query
@@ -96,7 +99,8 @@ TEST(StressTest, QueryStormReturnsIdenticalDistances) {
   std::vector<float> reference;
   for (size_t q = 0; q < queries.count(); ++q) {
     reference.push_back(
-        BruteForceNn(data, queries.series(q), KernelPolicy::kScalar)
+        BruteForceNn(InMemorySource(&data), queries.series(q),
+                     KernelPolicy::kScalar)
             .distance_sq);
   }
   for (int round = 0; round < 25; ++round) {
@@ -119,8 +123,8 @@ TEST(StressTest, ConcurrentEnginesDoNotInterfere) {
   options.algorithm = Algorithm::kMessi;
   options.num_threads = 2;
   options.tree.segments = 8;
-  auto engine_a = Engine::BuildInMemory(&data_a, options);
-  auto engine_b = Engine::BuildInMemory(&data_b, options);
+  auto engine_a = Engine::Build(SourceSpec::Borrowed(&data_a), options);
+  auto engine_b = Engine::Build(SourceSpec::Borrowed(&data_b), options);
   ASSERT_TRUE(engine_a.ok());
   ASSERT_TRUE(engine_b.ok());
 
@@ -128,10 +132,10 @@ TEST(StressTest, ConcurrentEnginesDoNotInterfere) {
       GenerateQueries(DatasetKind::kRandomWalk, 6, 64, 906);
   std::vector<float> ref_a, ref_b;
   for (size_t q = 0; q < queries.count(); ++q) {
-    ref_a.push_back(BruteForceNn(data_a, queries.series(q),
+    ref_a.push_back(BruteForceNn(InMemorySource(&data_a), queries.series(q),
                                  KernelPolicy::kScalar)
                         .distance_sq);
-    ref_b.push_back(BruteForceNn(data_b, queries.series(q),
+    ref_b.push_back(BruteForceNn(InMemorySource(&data_b), queries.series(q),
                                  KernelPolicy::kScalar)
                         .distance_sq);
   }
@@ -167,11 +171,12 @@ TEST(StressTest, OversubscribedThreadCounts) {
     options.num_threads = threads;
     options.tree.segments = 8;
     options.chunk_series = 8;  // force many tiny work items
-    auto engine = Engine::BuildInMemory(&data, options);
+    auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
     ASSERT_TRUE(engine.ok());
     for (size_t q = 0; q < queries.count(); ++q) {
       const Neighbor oracle =
-          BruteForceNn(data, queries.series(q), KernelPolicy::kScalar);
+          BruteForceNn(InMemorySource(&data), queries.series(q),
+                     KernelPolicy::kScalar);
       auto response = (*engine)->Search(queries.series(q), {});
       ASSERT_TRUE(response.ok());
       EXPECT_NEAR(response->neighbors[0].distance_sq, oracle.distance_sq,

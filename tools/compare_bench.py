@@ -8,6 +8,10 @@ dialects are understood:
            (policy, clients), metric "qps", higher is better.
   micro    google-benchmark JSON: benchmarks[] keyed by "name", metric
            "real_time" (normalized to ns), lower is better.
+  persist  persist_roundtrip's JSON: results[] rows keyed by
+           "algorithm", metric "load_speedup" (snapshot load vs full
+           rebuild -- a ratio, so it transfers across runner hardware
+           better than absolute seconds), higher is better.
 
 Usage:
   compare_bench.py --kind serve --baseline bench/baselines/serve_throughput.json \
@@ -51,9 +55,20 @@ def load_micro(path):
     return metrics
 
 
+def load_persist(path):
+    """algorithm -> load_speedup (load vs rebuild). Higher is better."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        row["algorithm"]: float(row["load_speedup"])
+        for row in doc["results"]
+    }
+
+
 LOADERS = {
     "serve": (load_serve, "qps", "higher"),
     "micro": (load_micro, "real_time_ns", "lower"),
+    "persist": (load_persist, "load_speedup", "higher"),
 }
 
 
