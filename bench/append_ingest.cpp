@@ -1,0 +1,295 @@
+// Incremental ingest: appended-build throughput and delta-save vs
+// full-save cost, for MESSI and ParIS+.
+//
+// The workload models a long-lived serving process: build over a base
+// collection, Save a full snapshot, Engine::Append a tail of new
+// series, then persist the change. The "delta save" column is
+// Engine::Save after the append — an append-only delta holding just
+// the touched subtrees, chained to the base (docs/snapshot-format.md);
+// the "full save" column is Engine::Compact — re-serializing the whole
+// index, which is what every save would cost without delta support.
+// --check gates on (a) the appended engine and the replayed
+// base+delta chain answering byte-identically to a from-scratch build
+// over the combined collection, and (b) the delta save being
+// measurably cheaper than the full save.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "io/format.h"
+#include "persist/snapshot.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace parisax;
+using namespace parisax::bench;
+
+/// Delta saves must beat full saves by at least this factor for the
+/// --check gate ("measurably cheaper", with CI-noise headroom).
+constexpr double kMinDeltaSpeedup = 1.3;
+
+struct Row {
+  std::string algorithm;
+  double rebuild_seconds = 0.0;     // from-scratch build over base+tail
+  double append_seconds = 0.0;      // Engine::Append of the tail
+  size_t appended = 0;
+  size_t touched_subtrees = 0;
+  double delta_save_seconds = 0.0;  // Engine::Save (delta) post-append
+  double full_save_seconds = 0.0;   // Engine::Compact (full snapshot)
+  uint64_t delta_bytes = 0;
+  uint64_t full_bytes = 0;
+  bool results_equal = false;       // appended + replayed == scratch
+
+  double AppendSeriesPerSec() const {
+    return append_seconds > 0.0
+               ? static_cast<double>(appended) / append_seconds
+               : 0.0;
+  }
+  double DeltaSpeedup() const {
+    return delta_save_seconds > 0.0
+               ? full_save_seconds / delta_save_seconds
+               : 0.0;
+  }
+};
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+[[noreturn]] void Die(const std::string& what, const Status& status) {
+  std::cerr << what << ": " << status.ToString() << "\n";
+  std::exit(1);
+}
+
+bool SameNeighbors(const SearchResponse& a, const SearchResponse& b) {
+  if (a.neighbors.size() != b.neighbors.size()) return false;
+  for (size_t i = 0; i < a.neighbors.size(); ++i) {
+    if (a.neighbors[i].id != b.neighbors[i].id ||
+        a.neighbors[i].distance_sq != b.neighbors[i].distance_sq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Exact-query equivalence (ED 1-NN; kNN every other query on MESSI).
+bool SameAnswers(Engine* want, Engine* got, const Dataset& queries,
+                 Algorithm algorithm, size_t knn_k) {
+  bool equal = true;
+  for (SeriesId q = 0; q < queries.count(); ++q) {
+    SearchRequest request;
+    if (algorithm == Algorithm::kMessi && q % 2 == 1) request.k = knn_k;
+    auto w = want->Search(queries.series(q), request);
+    auto g = got->Search(queries.series(q), request);
+    if (!w.ok()) Die("query (reference)", w.status());
+    if (!g.ok()) Die("query (appended)", g.status());
+    if (!SameNeighbors(*w, *g)) equal = false;
+  }
+  return equal;
+}
+
+Row RunIngest(Algorithm algorithm, const Dataset& full, size_t base_count,
+              const Dataset& queries, int threads, size_t knn_k,
+              uint64_t seed) {
+  Row row;
+  row.algorithm = AlgorithmName(algorithm);
+  const size_t tail_count = full.count() - base_count;
+  row.appended = tail_count;
+
+  EngineOptions eopts;
+  eopts.algorithm = algorithm;
+  eopts.num_threads = threads;
+  // The paper's 16 segments: the full root fan-out is what gives an
+  // append batch subtree locality (few touched roots per batch).
+  eopts.tree.segments = 16;
+
+  // Reference: from-scratch build over the combined collection.
+  Dataset combined(full.count(), full.length());
+  std::copy(full.raw(), full.raw() + full.TotalValues(),
+            combined.mutable_raw());
+  WallTimer rebuild_timer;
+  auto scratch =
+      Engine::Build(SourceSpec::InMemory(std::move(combined)), eopts);
+  if (!scratch.ok()) Die("build (scratch)", scratch.status());
+  row.rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+  // Serving path: mmap-build over the base file, full save, append the
+  // tail, then persist the change both ways.
+  const std::string data_path =
+      BenchDataDir() + "/append_ingest_" + row.algorithm + "_" +
+      std::to_string(full.count()) + "x" +
+      std::to_string(full.length()) + "_" + std::to_string(seed) +
+      ".psax";
+  {
+    Dataset base(base_count, full.length());
+    std::copy(full.raw(), full.raw() + base_count * full.length(),
+              base.mutable_raw());
+    const Status written = WriteDataset(base, data_path);
+    if (!written.ok()) Die("write base dataset", written);
+  }
+  auto grown = Engine::Build(SourceSpec::Mmap(data_path), eopts);
+  if (!grown.ok()) Die("build (base)", grown.status());
+
+  const std::string base_snap = data_path + ".base.snap";
+  const std::string delta_snap = data_path + ".delta.snap";
+  const std::string full_snap = data_path + ".full.snap";
+  const Status base_saved = (*grown)->Save(base_snap);
+  if (!base_saved.ok()) Die("save base", base_saved);
+
+  WallTimer append_timer;
+  auto report = (*grown)->Append(full.raw() + base_count * full.length(),
+                                 tail_count);
+  if (!report.ok()) Die("append", report.status());
+  row.append_seconds = append_timer.ElapsedSeconds();
+  row.touched_subtrees = report->touched_subtrees;
+
+  WallTimer delta_timer;
+  const Status delta_saved = (*grown)->Save(delta_snap);
+  if (!delta_saved.ok()) Die("save delta", delta_saved);
+  row.delta_save_seconds = delta_timer.ElapsedSeconds();
+  row.delta_bytes = FileBytes(delta_snap);
+
+  WallTimer full_timer;
+  const Status compacted = (*grown)->Compact(full_snap);
+  if (!compacted.ok()) Die("compact", compacted);
+  row.full_save_seconds = full_timer.ElapsedSeconds();
+  row.full_bytes = FileBytes(full_snap);
+
+  // Equivalence: the appended engine AND the replayed base+delta chain
+  // must both answer exactly like the from-scratch build.
+  row.results_equal =
+      SameAnswers(scratch->get(), grown->get(), queries, algorithm,
+                  knn_k);
+  auto replayed = Engine::Open(delta_snap, data_path);
+  if (!replayed.ok()) Die("open chain", replayed.status());
+  row.results_equal =
+      row.results_equal && SameAnswers(scratch->get(), replayed->get(),
+                                       queries, algorithm, knn_k);
+
+  for (const std::string& p : {base_snap, delta_snap, full_snap,
+                               data_path}) {
+    std::remove(p.c_str());
+  }
+  return row;
+}
+
+void WriteJson(size_t series, size_t base, size_t length, size_t queries,
+               int threads, const std::vector<Row>& rows,
+               std::ostream& out) {
+  out << "{\n"
+      << "  \"bench\": \"append_ingest\",\n"
+      << "  " << JsonMetaFields() << ",\n"
+      << "  \"series\": " << series << ",\n"
+      << "  \"base\": " << base << ",\n"
+      << "  \"length\": " << length << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"algorithm\": \"" << r.algorithm
+        << "\", \"rebuild_seconds\": " << r.rebuild_seconds
+        << ", \"append_seconds\": " << r.append_seconds
+        << ", \"appended\": " << r.appended
+        << ", \"append_series_per_sec\": " << r.AppendSeriesPerSec()
+        << ", \"touched_subtrees\": " << r.touched_subtrees
+        << ", \"delta_save_seconds\": " << r.delta_save_seconds
+        << ", \"full_save_seconds\": " << r.full_save_seconds
+        << ", \"delta_bytes\": " << r.delta_bytes
+        << ", \"full_bytes\": " << r.full_bytes
+        << ", \"delta_speedup\": " << r.DeltaSpeedup()
+        << ", \"results_equal\": " << (r.results_equal ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const size_t series = SeriesOrDefault(args, 50000, 10000);
+  const size_t queries_count = QueriesOrDefault(args, 16, 8);
+  const size_t length = args.length != 0 ? args.length : 128;
+  const std::vector<int> thread_list = ThreadsOrDefault(args, {4});
+  const int threads = thread_list.front();
+  constexpr size_t kKnn = 8;
+  // A serving-shaped tail: a few percent of the collection per ingest
+  // round, so touched subtrees stay a small fraction of the tree.
+  const size_t tail = std::max<size_t>(series / 32, 128);
+  const size_t base = series - tail;
+
+  PrintFigureHeader("append_ingest",
+                    "incremental ingest: Engine::Append throughput and "
+                    "delta-save vs full-save (append-only snapshots)");
+  std::cout << series << " x " << length << " random-walk series ("
+            << base << " base + " << tail << " appended), "
+            << queries_count << " queries, " << threads << " threads\n\n";
+
+  const Dataset full =
+      MakeDataset(DatasetKind::kRandomWalk, series, length, args.seed);
+  const Dataset queries = MakeQueryWorkload(
+      DatasetKind::kRandomWalk, queries_count, length, args.seed, series);
+
+  std::vector<Row> rows;
+  for (const Algorithm algorithm :
+       {Algorithm::kMessi, Algorithm::kParisPlus}) {
+    rows.push_back(RunIngest(algorithm, full, base, queries, threads,
+                             kKnn, args.seed));
+  }
+
+  Table table({"engine", "rebuild", "append", "series/s", "touched",
+               "delta save", "full save", "speedup", "delta KiB",
+               "queries equal"});
+  for (const Row& r : rows) {
+    table.AddRow({r.algorithm, FmtSeconds(r.rebuild_seconds),
+                  FmtSeconds(r.append_seconds),
+                  FmtCount(static_cast<uint64_t>(r.AppendSeriesPerSec())),
+                  std::to_string(r.touched_subtrees),
+                  FmtSeconds(r.delta_save_seconds),
+                  FmtSeconds(r.full_save_seconds),
+                  FmtRatio(r.DeltaSpeedup()),
+                  std::to_string(r.delta_bytes / 1024),
+                  r.results_equal ? "yes" : "NO"});
+  }
+  table.Print();
+
+  double min_speedup = 1e300;
+  bool all_equal = true;
+  for (const Row& r : rows) {
+    min_speedup = std::min(min_speedup, r.DeltaSpeedup());
+    all_equal = all_equal && r.results_equal;
+  }
+  const bool claim_holds = all_equal && min_speedup >= kMinDeltaSpeedup;
+  PrintPaperShape(
+      "appending indexes only the new series, and persisting the append "
+      "as a delta is measurably cheaper than re-serializing the index",
+      "min delta-save speedup " + FmtRatio(min_speedup) +
+          ", append+replay results " +
+          (all_equal ? "identical to a from-scratch build" : "DIFFER") +
+          " (" + (claim_holds ? "holds" : "DOES NOT HOLD") + ")");
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << args.json_path << "\n";
+      return 1;
+    }
+    WriteJson(series, base, length, queries_count, threads, rows, out);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  if (args.check && !claim_holds) {
+    std::cerr << "check failed: append-ingest claim does not hold\n";
+    return 1;
+  }
+  return 0;
+}

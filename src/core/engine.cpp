@@ -1,5 +1,9 @@
 #include "core/engine.h"
 
+#include <limits.h>
+#include <stdlib.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 #include <utility>
@@ -46,25 +50,34 @@ Result<Algorithm> ParseAlgorithm(const std::string& name) {
 const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm) {
   // The single source of truth for what each engine family supports.
   // Engine::capabilities() narrows it by source residency; CheckQuery,
-  // Save and Build reject from it with typed kNotSupported errors.
+  // Save, Append and Build reject from it with typed kNotSupported
+  // errors. The scan engines support append trivially (no index to
+  // grow); ADS+ does not — its serial bulk-load is not re-runnable over
+  // a tail.
   static constexpr EngineCapabilities kBruteForce{
       .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
-      .approximate = false, .snapshot = false, .streaming_build = false};
+      .approximate = false, .snapshot = false, .streaming_build = false,
+      .append = true};
   static constexpr EngineCapabilities kUcrSerial{
       .max_k = 1, .dtw = true, .dtw_knn = false,
-      .approximate = false, .snapshot = false, .streaming_build = true};
+      .approximate = false, .snapshot = false, .streaming_build = true,
+      .append = true};
   static constexpr EngineCapabilities kUcrParallel{
       .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
-      .approximate = false, .snapshot = false, .streaming_build = false};
+      .approximate = false, .snapshot = false, .streaming_build = false,
+      .append = true};
   static constexpr EngineCapabilities kAdsPlus{
       .max_k = 1, .dtw = false, .dtw_knn = false,
-      .approximate = true, .snapshot = false, .streaming_build = true};
+      .approximate = true, .snapshot = false, .streaming_build = true,
+      .append = false};
   static constexpr EngineCapabilities kParis{
       .max_k = 1, .dtw = false, .dtw_knn = false,
-      .approximate = true, .snapshot = true, .streaming_build = true};
+      .approximate = true, .snapshot = true, .streaming_build = true,
+      .append = true};
   static constexpr EngineCapabilities kMessi{
       .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
-      .approximate = true, .snapshot = true, .streaming_build = false};
+      .approximate = true, .snapshot = true, .streaming_build = false,
+      .append = true};
   switch (algorithm) {
     case Algorithm::kBruteForce:
       return kBruteForce;
@@ -81,6 +94,58 @@ const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm) {
       return kMessi;
   }
   return kBruteForce;
+}
+
+namespace {
+
+/// The one narrowing rule both Engine::capabilities() (runtime truth
+/// from the live source) and NarrowCapabilities (residency enum, for
+/// the generated docs) apply, so the two can never drift.
+EngineCapabilities NarrowBy(EngineCapabilities caps, bool addressable,
+                            bool appendable) {
+  if (!addressable) {
+    // The streamed serial scan has no DTW path (on-disk DTW is not
+    // implemented), so a non-addressable source drops DTW.
+    caps.dtw = false;
+  }
+  caps.append = caps.append && appendable;
+  return caps;
+}
+
+/// The build-acceptance rule, shared by Engine::Build (runtime
+/// addressability) and CanBuildOver (residency enum, for the generated
+/// docs).
+bool BuildableBy(const EngineCapabilities& caps, bool addressable) {
+  return addressable || caps.streaming_build;
+}
+
+}  // namespace
+
+const char* SourceResidencyName(SourceResidency residency) {
+  switch (residency) {
+    case SourceResidency::kOwnedMemory:
+      return "in-memory";
+    case SourceResidency::kBorrowedMemory:
+      return "borrowed";
+    case SourceResidency::kMmap:
+      return "mmap";
+    case SourceResidency::kStreamedFile:
+      return "streamed";
+  }
+  return "unknown";
+}
+
+EngineCapabilities NarrowCapabilities(Algorithm algorithm,
+                                      SourceResidency residency) {
+  const bool addressable = residency != SourceResidency::kStreamedFile;
+  const bool appendable = residency != SourceResidency::kBorrowedMemory;
+  return NarrowBy(AlgorithmCapabilities(algorithm), addressable,
+                  appendable);
+}
+
+bool CanBuildOver(Algorithm algorithm, SourceResidency residency) {
+  return BuildableBy(AlgorithmCapabilities(algorithm),
+                     residency != SourceResidency::kStreamedFile);
 }
 
 const char* SchedulingPolicyName(SchedulingPolicy policy) {
@@ -224,7 +289,7 @@ Result<std::unique_ptr<Engine>> Engine::Build(SourceSpec spec,
 
   const bool addressable = source->addressable();
   const EngineCapabilities& caps = AlgorithmCapabilities(opts.algorithm);
-  if (!addressable && !caps.streaming_build) {
+  if (!BuildableBy(caps, addressable)) {
     return Status::NotSupported(
         std::string(AlgorithmName(opts.algorithm)) +
         " requires an addressable (in-memory or mmap) source; it cannot "
@@ -415,7 +480,27 @@ Result<std::unique_ptr<Engine>> Engine::OpenInternal(
   engine->build_report_.wall_seconds = wall.ElapsedSeconds();
   details << AlgorithmName(opts.algorithm)
           << " restored from snapshot, raw data mmap-ed from " << data_path;
+  if (info.is_delta) {
+    details << " (replayed a " << info.chain_depth << "-delta chain)";
+  }
   engine->build_report_.details = details.str();
+  // The opened file becomes the lineage head: appends followed by Save
+  // chain deltas on top of it. For a full snapshot the chain is just
+  // the head; for a delta head, re-walk the links (header-only reads,
+  // cheap next to the replay that just ran) so Save can refuse to
+  // overwrite chain members without touching the disk again.
+  std::vector<std::string> chain_paths;
+  if (!info.is_delta) {
+    chain_paths.push_back(snapshot_path);
+  } else if (auto chain = ReadSnapshotChain(snapshot_path); chain.ok()) {
+    chain_paths.reserve(chain->size());
+    for (const SnapshotChainEntry& entry : *chain) {
+      chain_paths.push_back(entry.path);
+    }
+  }
+  engine->lineage_ = SnapshotLineage{snapshot_path, info.header_crc,
+                                     info.series_count, info.chain_depth,
+                                     std::move(chain_paths)};
   return engine;
 }
 
@@ -425,25 +510,124 @@ Status Engine::Save(const std::string& snapshot_path) {
         std::string(AlgorithmName(options_.algorithm)) +
         " does not support snapshots (capabilities().snapshot is false)");
   }
-  SnapshotSaveOptions sopts;
-  sopts.algorithm = static_cast<uint8_t>(options_.algorithm);
   // Snapshot serialization fans out over the shared pool; take the same
   // lock exact queries take so Save can run while the engine serves.
+  // pool_mu_ also excludes Append, freezing the dirty set and lineage.
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (messi_ != nullptr) {
-    return SaveIndex(*messi_, snapshot_path, pool_.get(), sopts);
+
+  // Appends since the last save, and a previous file to chain to, that
+  // is not being overwritten: write an append-only delta. Writing a
+  // delta over ANY file of the existing chain (not just the head)
+  // would corrupt the lineage — a delta at the base's path makes the
+  // chain a cycle — so those paths fall back to a full snapshot, which
+  // is always safe to place anywhere (it supersedes the chain). The
+  // same fallback auto-compacts a chain that has reached its maximum
+  // length, keeping Save total.
+  if (lineage_.has_value() && !dirty_roots_.empty() &&
+      lineage_->head_depth + 1 <=
+          static_cast<uint32_t>(kMaxSnapshotChain) &&
+      !PathIsInLineageChain(snapshot_path)) {
+    SnapshotDeltaSaveOptions dopts;
+    dopts.algorithm = static_cast<uint8_t>(options_.algorithm);
+    dopts.base_path = lineage_->head_path;
+    dopts.base_header_crc = lineage_->head_header_crc;
+    dopts.prev_series_count = lineage_->head_series_count;
+    dopts.chain_depth = lineage_->head_depth + 1;
+    const Status saved =
+        messi_ != nullptr
+            ? SaveIndexDelta(*messi_, dirty_roots_, snapshot_path,
+                             pool_.get(), dopts)
+            : SaveIndexDelta(*paris_, dirty_roots_, snapshot_path,
+                             pool_.get(), dopts);
+    PARISAX_RETURN_IF_ERROR(saved);
+    return AdoptLineageHead(snapshot_path);
   }
-  return SaveIndex(*paris_, snapshot_path, pool_.get(), sopts);
+  return SaveFullLocked(snapshot_path);
+}
+
+Status Engine::Compact(const std::string& snapshot_path) {
+  if (!capabilities().snapshot) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " does not support snapshots (capabilities().snapshot is false)");
+  }
+  // A full save *is* the compaction: it contains every subtree, so the
+  // previous chain files are no longer needed to restore this engine.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return SaveFullLocked(snapshot_path);
+}
+
+Status Engine::SaveFullLocked(const std::string& snapshot_path) {
+  SnapshotSaveOptions sopts;
+  sopts.algorithm = static_cast<uint8_t>(options_.algorithm);
+  const Status saved =
+      messi_ != nullptr
+          ? SaveIndex(*messi_, snapshot_path, pool_.get(), sopts)
+          : SaveIndex(*paris_, snapshot_path, pool_.get(), sopts);
+  PARISAX_RETURN_IF_ERROR(saved);
+  return AdoptLineageHead(snapshot_path);
+}
+
+namespace {
+
+/// Directory-canonical form for same-file comparison: realpath the
+/// directory (the file itself may not exist yet) and keep the final
+/// component, so "./d1.snap", "x/../d1.snap" and "d1.snap" all compare
+/// equal. Falls back to the input when the directory cannot be
+/// resolved.
+std::string CanonicalForCompare(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  char resolved[PATH_MAX];
+  if (::realpath(dir.c_str(), resolved) == nullptr) return path;
+  return std::string(resolved) + "/" + base;
+}
+
+}  // namespace
+
+bool Engine::PathIsInLineageChain(const std::string& snapshot_path) const {
+  // The lineage carries every chain path it has adopted, so this is an
+  // in-memory check on the hot persistence path. An empty list means
+  // the chain membership is unknown (should not happen — Open and Save
+  // both record it) and reports "in chain" conservatively: the caller
+  // then writes a full snapshot, which never corrupts anything. Paths
+  // are compared directory-canonicalized, so spelling aliases of a
+  // chain member ("./d1.snap" vs "d1.snap") cannot trick Save into
+  // overwriting it with a delta. (Distinct hard links to one file are
+  // still not detected.)
+  if (lineage_->chain_paths.empty()) return true;
+  const std::string canonical = CanonicalForCompare(snapshot_path);
+  for (const std::string& path : lineage_->chain_paths) {
+    if (CanonicalForCompare(path) == canonical) return true;
+  }
+  return false;
+}
+
+Status Engine::AdoptLineageHead(const std::string& snapshot_path) {
+  // Re-read what was just written: the header CRC is the identity the
+  // next delta's back-reference must carry.
+  SnapshotInfo info;
+  PARISAX_ASSIGN_OR_RETURN(info, ReadSnapshotInfo(snapshot_path));
+  // A full snapshot starts a fresh single-file chain; a delta extends
+  // the previous one.
+  std::vector<std::string> chain_paths;
+  if (info.chain_depth > 0 && lineage_.has_value()) {
+    chain_paths = std::move(lineage_->chain_paths);
+  }
+  chain_paths.push_back(snapshot_path);
+  lineage_ = SnapshotLineage{snapshot_path, info.header_crc,
+                             info.series_count, info.chain_depth,
+                             std::move(chain_paths)};
+  dirty_roots_.clear();
+  return Status::OK();
 }
 
 EngineCapabilities Engine::capabilities() const {
-  EngineCapabilities caps = AlgorithmCapabilities(options_.algorithm);
-  if (!addressable_source_) {
-    // The streamed serial scan has no DTW path (on-disk DTW is not
-    // implemented), so a non-addressable source narrows the table.
-    caps.dtw = false;
-  }
-  return caps;
+  return NarrowBy(AlgorithmCapabilities(options_.algorithm),
+                  addressable_source_, query_source_->appendable());
 }
 
 Status Engine::CheckQuery(SeriesView query,
@@ -505,6 +689,11 @@ Result<SearchResponse> Engine::Search(SeriesView query,
 Result<SearchResponse> Engine::Search(SeriesView query,
                                       const SearchRequest& request,
                                       Executor* exec) {
+  // The append RW gate: any number of queries run concurrently; an
+  // Append drains them, mutates the index exclusively, and the next
+  // queries see the new epoch. (Lock order: pool_mu_, when the caller
+  // holds it, is always acquired before this.)
+  std::shared_lock<std::shared_mutex> gate(index_gate_);
   PARISAX_RETURN_IF_ERROR(CheckQuery(query, request));
 
   SearchResponse response;
@@ -622,6 +811,79 @@ Result<SearchResponse> Engine::Search(SeriesView query,
   }
   response.stats.total_seconds = timer.ElapsedSeconds();
   return response;
+}
+
+Result<AppendReport> Engine::Append(const Dataset& batch) {
+  if (batch.count() > 0 && batch.length() != series_length_) {
+    return Status::InvalidArgument(
+        "appended series length does not match the collection");
+  }
+  return Append(batch.raw(), batch.count());
+}
+
+Result<AppendReport> Engine::Append(const Value* values, size_t count) {
+  if (!capabilities().append) {
+    return Status::NotSupported(
+        std::string(AlgorithmName(options_.algorithm)) +
+        " does not support appends over this source "
+        "(capabilities().append is false)");
+  }
+  if (count > 0 && values == nullptr) {
+    return Status::InvalidArgument("appended values must not be null");
+  }
+
+  WallTimer wall;
+  AppendReport report;
+  report.appended = count;
+  if (count == 0) {
+    report.total_series = series_count();
+    return report;
+  }
+
+  // pool_mu_ first (the insert stages fan out over the shared pool and
+  // Save must not run mid-append), then the exclusive side of the RW
+  // gate: in-flight queries drain, new ones wait.
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  std::unique_lock<std::shared_mutex> gate(index_gate_);
+
+  std::vector<uint32_t> touched;
+  switch (options_.algorithm) {
+    case Algorithm::kBruteForce:
+    case Algorithm::kUcrSerial:
+    case Algorithm::kUcrParallel:
+      // Scan engines have no index: growing the source is the whole
+      // ingest.
+      PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
+      break;
+    case Algorithm::kAdsPlus:
+      return Status::Internal("ADS+ append slipped past the capability gate");
+    case Algorithm::kParis:
+    case Algorithm::kParisPlus:
+      PARISAX_RETURN_IF_ERROR(
+          paris_->Append(values, count, pool_.get(), &touched));
+      break;
+    case Algorithm::kMessi:
+      PARISAX_RETURN_IF_ERROR(
+          messi_->Append(values, count, pool_.get(), &touched));
+      break;
+  }
+
+  series_count_.fetch_add(count, std::memory_order_acq_rel);
+  // Accumulate the delta dirty set. Kept sorted-distinct here so it
+  // cannot grow unboundedly across appends that touch the same roots
+  // (SaveIndexDelta re-canonicalizes as its own input validation — its
+  // API accepts arbitrary key lists).
+  dirty_roots_.insert(dirty_roots_.end(), touched.begin(), touched.end());
+  std::sort(dirty_roots_.begin(), dirty_roots_.end());
+  dirty_roots_.erase(
+      std::unique(dirty_roots_.begin(), dirty_roots_.end()),
+      dirty_roots_.end());
+  append_epoch_.fetch_add(1, std::memory_order_acq_rel);
+
+  report.total_series = series_count();
+  report.touched_subtrees = touched.size();
+  report.wall_seconds = wall.ElapsedSeconds();
+  return report;
 }
 
 QueryService* Engine::query_service() {

@@ -24,9 +24,13 @@
 #ifndef PARISAX_CORE_ENGINE_H_
 #define PARISAX_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -82,10 +86,40 @@ struct EngineCapabilities {
   /// on-disk pipeline). Every algorithm builds over addressable
   /// (in-memory or mmap) sources.
   bool streaming_build = false;
+  /// Engine::Append incremental ingest: new series are added to the
+  /// owned source and indexed without rebuilding. Narrowed to false
+  /// when the source cannot grow (a borrowed collection).
+  bool append = false;
 };
 
 /// The per-algorithm capability table (source-independent limits).
 const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm);
+
+/// Where an engine's raw series live, as far as the capability model is
+/// concerned. Mirrors the SourceSpec factories (a restored snapshot
+/// counts as kMmap: its raw data is memory-mapped).
+enum class SourceResidency {
+  kOwnedMemory,     ///< SourceSpec::InMemory — adopted, growable
+  kBorrowedMemory,  ///< SourceSpec::Borrowed — caller-owned, fixed
+  kMmap,            ///< SourceSpec::Mmap / Engine::Open — page cache
+  kStreamedFile,    ///< SourceSpec::File — simulated device
+};
+
+/// Short lowercase name ("in-memory", "borrowed", "mmap", "streamed").
+const char* SourceResidencyName(SourceResidency residency);
+
+/// The algorithm's capability row narrowed by source residency: the
+/// function behind Engine::capabilities() for the standard SourceSpec
+/// residencies, and the source of truth for docs/capabilities.md
+/// (tools/gen_capability_docs.py dumps it, CI diffs the committed doc).
+EngineCapabilities NarrowCapabilities(Algorithm algorithm,
+                                      SourceResidency residency);
+
+/// True when Engine::Build accepts the combination: a streamed
+/// (non-addressable) source requires the algorithm's streaming_build.
+/// The same rule Build applies at runtime, exposed for the generated
+/// docs' `buildable` column.
+bool CanBuildOver(Algorithm algorithm, SourceResidency residency);
 
 /// How the serve layer schedules concurrent queries over the shared
 /// worker pool (see serve/query_service.h).
@@ -214,6 +248,18 @@ struct BuildReport {
   std::string details;
 };
 
+/// Summary of one Engine::Append call.
+struct AppendReport {
+  /// Series added by this call.
+  size_t appended = 0;
+  /// Collection size after the call.
+  size_t total_series = 0;
+  /// Root subtrees that received entries (the delta-snapshot dirty
+  /// set); 0 for scan engines, which have no tree.
+  size_t touched_subtrees = 0;
+  double wall_seconds = 0.0;
+};
+
 class Engine {
  public:
   /// Builds a search engine over the described source. The engine owns
@@ -223,12 +269,24 @@ class Engine {
   static Result<std::unique_ptr<Engine>> Build(SourceSpec spec,
                                                const EngineOptions& options);
 
-  /// Deprecated shim: Build(SourceSpec::Borrowed(dataset), options).
-  /// `dataset` must outlive the engine.
+  /// Deprecated pre-SourceSpec shim, equivalent to
+  /// Build(SourceSpec::Borrowed(dataset), options): the engine only
+  /// *borrows* `dataset`, so the caller must keep it alive and
+  /// capabilities().append is false (a borrowed collection cannot
+  /// grow). New code should pass a SourceSpec — InMemory (adopting,
+  /// appendable) or Mmap (zero-copy, appendable) remove the lifetime
+  /// rule entirely. See README.md ("Migrating from the old
+  /// constructors") and docs/architecture.md for the full mapping.
   static Result<std::unique_ptr<Engine>> BuildInMemory(
       const Dataset* dataset, const EngineOptions& options);
 
-  /// Deprecated shim: Build(SourceSpec::File(dataset_path), options).
+  /// Deprecated pre-SourceSpec shim, equivalent to
+  /// Build(SourceSpec::File(dataset_path), options): the file streams
+  /// through the simulated device described by EngineOptions'
+  /// build/query profiles. New code should say
+  /// Build(SourceSpec::File(path), options) — or SourceSpec::Mmap(path)
+  /// to build any engine straight off the page cache. See README.md
+  /// ("Migrating from the old constructors") and docs/architecture.md.
   static Result<std::unique_ptr<Engine>> BuildFromFile(
       const std::string& dataset_path, const EngineOptions& options);
 
@@ -249,8 +307,54 @@ class Engine {
 
   /// Writes the engine's index to `snapshot_path` (atomically: a temp
   /// file renamed into place). Requires capabilities().snapshot.
-  /// Thread-safe against concurrent Search calls.
+  /// Thread-safe against concurrent Search and Append calls.
+  ///
+  /// After Append calls, a Save to a *new* path writes an append-only
+  /// delta — just the touched subtrees (and, for ParIS, the new
+  /// flat-SAX rows) — chained to the previous Save/Open file by header
+  /// back-reference. Engine::Open replays the whole chain; Compact
+  /// rewrites it into one full snapshot. A Save with no snapshot
+  /// lineage, no appends since the last save, to a path the current
+  /// chain already uses, or with the chain at its maximum length (64
+  /// deltas) writes a full snapshot instead — Save never fails for
+  /// lineage reasons, it just compacts.
   Status Save(const std::string& snapshot_path);
+
+  /// Rewrites the engine's snapshot chain as one fresh full snapshot at
+  /// `snapshot_path` (long-lived serving processes bound their chain
+  /// length this way; the replaced chain files can then be deleted).
+  /// Subsequent Saves chain deltas to the compacted file.
+  Status Compact(const std::string& snapshot_path);
+
+  /// Incremental ingest: appends `batch` (same series length,
+  /// z-normalized like the rest of the collection) to the engine's
+  /// owned source and indexes the new series without rebuilding —
+  /// MESSI/ParIS+ run their SAX-summarize -> tree-insert pipeline over
+  /// just the new ids. Requires capabilities().append. Thread-safe:
+  /// concurrent queries serialize against the append on an RW gate
+  /// (queries in flight drain, the append runs exclusively, queries
+  /// resume over the grown index).
+  ///
+  /// Failure contract: a file-backed source grows *before* the tree is
+  /// extended, so (a) if Append returns an error after the source grew
+  /// (e.g. a LeafStorage write failed mid-insert), the engine is
+  /// inconsistent and must be discarded — rebuild or reopen from the
+  /// last snapshot chain; (b) existing snapshots of a grown dataset
+  /// file only open again once this engine Saves the matching delta
+  /// (Open checks exact collection shape), so a process that dies
+  /// between Append and Save pays a rebuild from the (intact, larger)
+  /// dataset file. See docs/snapshot-format.md.
+  Result<AppendReport> Append(const Dataset& batch);
+
+  /// As above from a raw buffer: `count` series of series_length()
+  /// values each, row-major.
+  Result<AppendReport> Append(const Value* values, size_t count);
+
+  /// Number of Append calls that have completed (monotonic). Each
+  /// append publishes a new index epoch to queries atomically.
+  uint64_t append_epoch() const {
+    return append_epoch_.load(std::memory_order_acquire);
+  }
 
   ~Engine();
 
@@ -293,6 +397,9 @@ class Engine {
 
   Algorithm algorithm() const { return options_.algorithm; }
   const EngineOptions& options() const { return options_; }
+  /// The *initial* build/restore report; Append does not update it
+  /// (post-append tree stats live on the index's build_stats(), read
+  /// them without concurrent appends).
   const BuildReport& build_report() const { return build_report_; }
 
   /// The wrapped indexes (null when the algorithm does not use them).
@@ -307,7 +414,10 @@ class Engine {
   /// Points per series in the indexed collection.
   size_t series_length() const { return series_length_; }
   /// Series in the indexed collection (serve-layer cost heuristics).
-  size_t series_count() const { return series_count_; }
+  /// Grows under Append; safe to read concurrently.
+  size_t series_count() const {
+    return series_count_.load(std::memory_order_acquire);
+  }
 
  private:
   explicit Engine(const EngineOptions& options);
@@ -318,20 +428,52 @@ class Engine {
 
   Status CheckQuery(SeriesView query, const SearchRequest& request) const;
 
+  /// Full snapshot + lineage reset; caller holds pool_mu_.
+  Status SaveFullLocked(const std::string& snapshot_path);
+  /// True when `snapshot_path` names a file of the current on-disk
+  /// chain (or the chain cannot be walked): a delta must not overwrite
+  /// those. Caller holds pool_mu_ and lineage_ is set.
+  bool PathIsInLineageChain(const std::string& snapshot_path) const;
+  /// Re-reads the just-written head and installs it as the lineage the
+  /// next Save chains to; caller holds pool_mu_.
+  Status AdoptLineageHead(const std::string& snapshot_path);
+
   /// True when this request's path fans out over the shared pool (and
   /// must therefore hold pool_mu_ when run on it).
   bool UsesSharedPool(const SearchRequest& request) const;
 
   EngineOptions options_;
   size_t series_length_ = 0;
-  size_t series_count_ = 0;
+  std::atomic<size_t> series_count_{0};
   std::unique_ptr<ThreadPool> pool_;
   /// Serializes parallel regions on pool_: ThreadPool::Run is not
-  /// reentrant, so concurrent Search calls take turns on it.
+  /// reentrant, so concurrent Search calls take turns on it. Also
+  /// mutually excludes Save and Append. Lock order: pool_mu_ before
+  /// index_gate_.
   std::mutex pool_mu_;
+  /// The append RW gate: every query path holds it shared, Append holds
+  /// it exclusively while it grows the source and mutates the tree.
+  std::shared_mutex index_gate_;
+  std::atomic<uint64_t> append_epoch_{0};
   std::mutex service_mu_;
   std::unique_ptr<QueryService> service_;  // lazily created
   BuildReport build_report_;
+
+  /// Snapshot lineage: the chain head the next Save extends (set by
+  /// Save, Compact and Open). Guarded by pool_mu_.
+  struct SnapshotLineage {
+    std::string head_path;
+    uint32_t head_header_crc = 0;
+    uint64_t head_series_count = 0;
+    uint32_t head_depth = 0;  // 0: full snapshot, n: n-th delta
+    /// Every file of the chain, base first (so Save can refuse to
+    /// write a delta over a chain member without re-walking the disk).
+    std::vector<std::string> chain_paths;
+  };
+  std::optional<SnapshotLineage> lineage_;
+  /// Root keys Append touched since the last Save (sorted, distinct):
+  /// the next delta's subtree set. Guarded by pool_mu_.
+  std::vector<uint32_t> dirty_roots_;
 
   /// Scan engines own their source directly; index engines own it
   /// through the index. query_source_ always points at the live one.

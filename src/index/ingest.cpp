@@ -1,0 +1,99 @@
+#include "index/ingest.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "sax/paa.h"
+#include "sax/word.h"
+
+namespace parisax {
+
+Status AppendTailToTree(SaxTree* tree, const Value* values, size_t count,
+                        SeriesId first, Executor* exec,
+                        LeafStorage* storage, FlatSaxCache* cache,
+                        std::vector<uint32_t>* touched_roots) {
+  if (touched_roots != nullptr) touched_roots->clear();
+  if (count == 0) return Status::OK();
+  const size_t n = tree->options().series_length;
+  const int w = tree->options().segments;
+
+  // Summarize the tail in parallel straight from the caller's buffer
+  // (identical values to what the grown source holds). Cache rows are
+  // distinct ids, so the parallel writes are race-free.
+  struct KeyedEntry {
+    uint32_t key;
+    LeafEntry entry;
+  };
+  std::vector<KeyedEntry> keyed(count);
+  {
+    WorkCounter chunks(count);
+    exec->Run([&](int) {
+      float paa[kMaxSegments];
+      size_t begin, end;
+      while (chunks.NextBatch(1024, &begin, &end)) {
+        for (size_t i = begin; i < end; ++i) {
+          ComputePaa(SeriesView(values + i * n, n), w, paa);
+          KeyedEntry& ke = keyed[i];
+          ke.entry.id = first + i;
+          SymbolsFromPaa(paa, w, &ke.entry.sax);
+          if (cache != nullptr) {
+            *cache->MutableAt(ke.entry.id) = ke.entry.sax;
+          }
+          ke.key = RootKey(ke.entry.sax, w);
+        }
+      }
+    });
+  }
+
+  // Group by root subtree; ids stay ascending within a key, keeping
+  // the insertion order (and therefore the split decisions)
+  // deterministic for a given batch.
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const KeyedEntry& a, const KeyedEntry& b) {
+                     return a.key < b.key;
+                   });
+  std::vector<std::pair<size_t, size_t>> ranges;  // [begin, end) per key
+  for (size_t i = 0; i < keyed.size();) {
+    size_t j = i + 1;
+    while (j < keyed.size() && keyed[j].key == keyed[i].key) ++j;
+    ranges.emplace_back(i, j);
+    i = j;
+  }
+
+  // Whole root subtrees claimed by Fetch&Inc, no synchronization
+  // inside a subtree.
+  std::mutex error_mu;
+  Status first_error;
+  {
+    WorkCounter range_counter(ranges.size());
+    exec->Run([&](int) {
+      size_t item;
+      while (range_counter.NextItem(&item)) {
+        const auto [begin, end] = ranges[item];
+        Node* root = tree->GetOrCreateRoot(keyed[begin].key);
+        for (size_t i = begin; i < end; ++i) {
+          const Status st =
+              tree->InsertIntoSubtree(root, keyed[i].entry, storage);
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = st;
+            return;
+          }
+        }
+      }
+    });
+  }
+  PARISAX_RETURN_IF_ERROR(first_error);
+
+  tree->SealRoots();
+  if (touched_roots != nullptr) {
+    touched_roots->reserve(ranges.size());
+    for (const auto& [begin, end] : ranges) {
+      touched_roots->push_back(keyed[begin].key);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace parisax

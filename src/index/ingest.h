@@ -1,0 +1,37 @@
+// Shared tail-ingest stage behind the index append paths
+// (MessiIndex::Append, ParisIndex::Append): summarize the appended
+// series in parallel, group them by root subtree, grow whole subtrees
+// in parallel — the builders' no-synchronization-inside-a-subtree
+// discipline, re-run over just the new tail.
+#ifndef PARISAX_INDEX_INGEST_H_
+#define PARISAX_INDEX_INGEST_H_
+
+#include <vector>
+
+#include "index/flat_sax.h"
+#include "index/leaf_storage.h"
+#include "index/tree.h"
+#include "util/status.h"
+#include "util/threading.h"
+
+namespace parisax {
+
+/// Indexes series [first, first + count) whose raw values are
+/// `values` (count * tree->options().series_length floats, row-major):
+/// SAX-summarizes them in parallel on `exec` — filling `cache` rows
+/// for the new ids when non-null — then inserts whole root subtrees in
+/// parallel (`storage` backs splits of leaves with flushed chunks).
+/// Insertion order within a subtree is by ascending id, so the
+/// resulting splits are deterministic for a given batch.
+/// `touched_roots` (optional) receives the ascending distinct keys
+/// that received entries. Callers must exclude concurrent tree
+/// readers. On failure the tree may hold part of the batch — see
+/// Engine::Append's failure contract.
+Status AppendTailToTree(SaxTree* tree, const Value* values, size_t count,
+                        SeriesId first, Executor* exec,
+                        LeafStorage* storage, FlatSaxCache* cache,
+                        std::vector<uint32_t>* touched_roots);
+
+}  // namespace parisax
+
+#endif  // PARISAX_INDEX_INGEST_H_

@@ -99,12 +99,28 @@ Result<std::unique_ptr<SeriesStream>> RawSeriesSource::OpenStream(
   return std::unique_ptr<SeriesStream>(new CopyStream(this, batch_series));
 }
 
+Status RawSeriesSource::AppendSeries(const Value* values, size_t count) {
+  (void)values;
+  (void)count;
+  return Status::NotSupported("this raw-series source is not appendable");
+}
+
 Status InMemorySource::GetSeries(SeriesId id, Value* out) const {
   if (id >= dataset_->count()) {
     return Status::InvalidArgument("series id out of range");
   }
   const SeriesView view = dataset_->series(id);
   std::memcpy(out, view.data(), view.size() * sizeof(Value));
+  return Status::OK();
+}
+
+Status InMemorySource::AppendSeries(const Value* values, size_t count) {
+  if (owned_ == nullptr) {
+    return Status::NotSupported(
+        "cannot append to a borrowed in-memory source (the collection "
+        "belongs to the caller); adopt it with SourceSpec::InMemory");
+  }
+  owned_->Append(values, count);
   return Status::OK();
 }
 
@@ -125,6 +141,20 @@ Status FileSource::GetSeries(SeriesId id, Value* out) const {
   }
   return disk_->ReadAt(info_.SeriesOffset(id), out,
                        static_cast<size_t>(info_.SeriesBytes()));
+}
+
+Status FileSource::AppendSeries(const Value* values, size_t count) {
+  PARISAX_RETURN_IF_ERROR(
+      AppendToDatasetFile(path_, values, count, info_));
+  // Append-reopen: the device model caches the file size at open, so a
+  // fresh SimulatedDisk is opened over the longer file. Stats restart
+  // from zero, like remounting a device.
+  std::unique_ptr<SimulatedDisk> disk;
+  PARISAX_ASSIGN_OR_RETURN(disk,
+                           SimulatedDisk::Open(path_, disk_->profile()));
+  disk_ = std::move(disk);
+  info_.count += count;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<SeriesStream>> FileSource::OpenStream(

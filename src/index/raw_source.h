@@ -81,6 +81,18 @@ class RawSeriesSource {
   /// should then funnel their reads through one ordered stream instead of
   /// racing the head around the platter.
   virtual bool PrefersSequentialAccess() const { return false; }
+
+  /// True when AppendSeries can extend this source in place (the engine
+  /// append path; see docs/architecture.md). False for borrowed and
+  /// read-only sources.
+  virtual bool appendable() const { return false; }
+
+  /// Appends `count` series (count * length() values, row-major) to the
+  /// backing collection. ContiguousData()/TryView pointers obtained
+  /// before the call are invalidated; callers must exclude concurrent
+  /// readers for the duration (Engine's append gate does). Returns
+  /// kNotSupported when !appendable().
+  virtual Status AppendSeries(const Value* values, size_t count);
 };
 
 /// The in-RAM source. Either *adopts* a Dataset (the source owns the
@@ -104,6 +116,11 @@ class InMemorySource : public RawSeriesSource {
     return dataset_->series(id);
   }
   const Value* ContiguousData() const override { return dataset_->raw(); }
+
+  /// Only the adopting form can grow: a borrowed collection belongs to
+  /// the caller.
+  bool appendable() const override { return owned_ != nullptr; }
+  Status AppendSeries(const Value* values, size_t count) override;
 
   const Dataset& dataset() const { return *dataset_; }
 
@@ -154,6 +171,11 @@ class FileSource : public RawSeriesSource {
   bool PrefersSequentialAccess() const override {
     return disk_->profile().metered() && disk_->profile().channels <= 1;
   }
+
+  /// Appends to the dataset file, then reopens the device model over the
+  /// longer file (append-reopen).
+  bool appendable() const override { return true; }
+  Status AppendSeries(const Value* values, size_t count) override;
 
   SimulatedDisk* disk() { return disk_.get(); }
   const DatasetFileInfo& info() const { return info_; }

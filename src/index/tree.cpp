@@ -23,6 +23,12 @@ Node* SaxTree::GetOrCreateRoot(uint32_t key) {
   return slot.get();
 }
 
+Node* SaxTree::RecreateRoot(uint32_t key) {
+  auto& slot = roots_[key];
+  slot = std::make_unique<Node>(RootWord(key, options_.segments));
+  return slot.get();
+}
+
 Status SaxTree::InsertIntoSubtree(Node* subtree, const LeafEntry& entry,
                                   LeafStorage* storage) {
   Node* node = subtree;

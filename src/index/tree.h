@@ -56,6 +56,12 @@ class SaxTree {
   /// concurrently only for *distinct* keys.
   Node* GetOrCreateRoot(uint32_t key);
 
+  /// Replaces the root child for `key` with a fresh empty leaf and
+  /// returns it (delta-snapshot replay: a touched subtree is restored
+  /// wholesale). Safe to call concurrently only for *distinct* keys;
+  /// call SealRoots afterwards.
+  Node* RecreateRoot(uint32_t key);
+
   /// Inserts an entry into the subtree rooted at `subtree` (which must
   /// contain it), splitting overflowing leaves. `storage` is required to
   /// split leaves that have flushed chunks. Single-threaded per subtree.

@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 
 #include "core/types.h"
 #include "util/aligned.h"
@@ -42,6 +43,19 @@ class Dataset {
 
   const Value* raw() const { return storage_.data(); }
   Value* mutable_raw() { return storage_.data(); }
+
+  /// Appends `count` series (count * length() values, row-major). May
+  /// reallocate the backing buffer: raw()/series() pointers obtained
+  /// before the call are invalidated. Capacity grows geometrically
+  /// (AlignedBuffer::GrowTo), so a long sequence of small appends
+  /// costs amortized O(1) copying per appended series.
+  void Append(const Value* values, size_t count) {
+    assert(length_ > 0);
+    storage_.GrowTo((count_ + count) * length_, count_ * length_);
+    std::memcpy(storage_.data() + count_ * length_, values,
+                count * length_ * sizeof(Value));
+    count_ += count;
+  }
 
  private:
   size_t count_ = 0;

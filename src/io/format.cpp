@@ -43,6 +43,46 @@ Status WriteDataset(const Dataset& dataset, const std::string& path,
   return writer.Close();
 }
 
+Status AppendToDatasetFile(const std::string& path, const Value* values,
+                           size_t count, const DatasetFileInfo& info) {
+  FilePtr f(std::fopen(path.c_str(), "r+b"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open dataset file for append: " + path);
+  }
+  // fseeko: FileBytes() can exceed LONG_MAX on ILP32/LLP64 platforms
+  // (a > 2 GiB collection), where a truncated fseek(long) offset would
+  // silently overwrite existing series.
+  if (fseeko(f.get(), static_cast<off_t>(info.FileBytes()), SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  const size_t new_values = count * info.length;
+  if (std::fwrite(values, sizeof(Value), new_values, f.get()) !=
+      new_values) {
+    return Status::IOError("short write appending series to " + path);
+  }
+  // Values reach the OS before the count grows: flush, then patch the
+  // header, so a *process* crash mid-append leaves a valid file with
+  // the old count. (No fsync: like the snapshot writer, power-loss
+  // durability is out of scope — the kernel may reorder the page
+  // writes to stable storage.)
+  if (std::fflush(f.get()) != 0) {
+    return Status::IOError("flush failed appending to " + path);
+  }
+  const uint64_t new_count = info.count + count;
+  if (std::fseek(f.get(), 8, SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  if (std::fwrite(&new_count, sizeof(new_count), 1, f.get()) != 1) {
+    return Status::IOError("short write of dataset count: " + path);
+  }
+  std::FILE* raw = f.release();
+  if (std::fclose(raw) != 0) {
+    return Status::IOError("close failed appending to " + path);
+  }
+  return Status::OK();
+}
+
 Result<DatasetFileInfo> ReadDatasetInfo(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {

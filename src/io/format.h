@@ -51,6 +51,15 @@ struct DatasetFileInfo {
 Status WriteDataset(const Dataset& dataset, const std::string& path,
                     uint32_t flags = kDatasetFlagZNormalized);
 
+/// Extends an existing dataset file in place by `count` series
+/// (count * info.length values, row-major): values are written at the
+/// current end first, then the header count is patched, so a process
+/// crash mid-append leaves a valid file with the old count (no fsync:
+/// power-loss durability is out of scope, as for the snapshot writer).
+/// `info` must describe the file's current (pre-append) shape.
+Status AppendToDatasetFile(const std::string& path, const Value* values,
+                           size_t count, const DatasetFileInfo& info);
+
 /// Reads an entire dataset file into memory.
 Result<Dataset> LoadDataset(const std::string& path);
 

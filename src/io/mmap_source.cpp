@@ -29,4 +29,25 @@ Status MmapSource::GetSeries(SeriesId id, Value* out) const {
   return Status::OK();
 }
 
+Status MmapSource::AppendSeries(const Value* values, size_t count) {
+  // Append-reopen: extend the file on disk, then map the longer file
+  // and swap the mapping in. The old mapping stays valid until file_ is
+  // replaced, so a failed append leaves the source untouched.
+  const std::string path = file_->path();
+  PARISAX_RETURN_IF_ERROR(AppendToDatasetFile(path, values, count, info_));
+  std::unique_ptr<MmapFile> grown;
+  PARISAX_ASSIGN_OR_RETURN(grown, MmapFile::Open(path));
+  DatasetFileInfo info = info_;
+  info.count += count;
+  if (grown->size() != info.FileBytes()) {
+    return Status::Corruption(
+        "dataset file changed size during append: " + path);
+  }
+  file_ = std::move(grown);
+  info_ = info;
+  values_ =
+      reinterpret_cast<const Value*>(file_->data() + kDatasetHeaderBytes);
+  return Status::OK();
+}
+
 }  // namespace parisax

@@ -37,6 +37,11 @@ class MmapSource : public RawSeriesSource {
 
   const Value* ContiguousData() const override { return values_; }
 
+  /// Append-reopen: the new series are written to the dataset file, the
+  /// header count is patched, and the file is re-mapped.
+  bool appendable() const override { return true; }
+  Status AppendSeries(const Value* values, size_t count) override;
+
   const DatasetFileInfo& info() const { return info_; }
   const std::string& path() const { return file_->path(); }
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <limits>
 #include <mutex>
 #include <queue>
+#include <utility>
 
 #include "dist/dtw.h"
 #include "index/approx_search.h"
+#include "index/ingest.h"
 #include "index/knn_heap.h"
 #include "messi/isax_buffers.h"
 #include "sax/mindist.h"
@@ -360,6 +363,32 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
     return Status::Internal("MESSI build lost series");
   }
   return index;
+}
+
+Status MessiIndex::Append(const Value* values, size_t count,
+                          ThreadPool* pool,
+                          std::vector<uint32_t>* touched_roots) {
+  if (touched_roots != nullptr) touched_roots->clear();
+  if (count == 0) return Status::OK();
+  const SeriesId first = source_->count();
+
+  PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
+  // The grown source may have reallocated; re-point the hot-path view.
+  raw_ = RawDataView{source_->ContiguousData(),
+                     tree_.options().series_length};
+
+  PARISAX_RETURN_IF_ERROR(AppendTailToTree(&tree_, values, count, first,
+                                           pool, /*storage=*/nullptr,
+                                           /*cache=*/nullptr,
+                                           touched_roots));
+  // O(batch) bookkeeping: a full tree_.Collect() walk per append would
+  // make ingest O(index size) while queries are gated out. Only
+  // total_entries is maintained incrementally; the other shape stats
+  // reflect the last full build (debug builds still verify the count
+  // against a real walk).
+  build_stats_.tree.total_entries += count;
+  assert(tree_.Collect().total_entries == source_->count());
+  return Status::OK();
 }
 
 Result<Neighbor> MessiIndex::SearchApproximate(SeriesView query,

@@ -74,6 +74,16 @@ class MessiIndex {
       std::unique_ptr<RawSeriesSource> source,
       const MessiBuildOptions& options, ThreadPool* pool);
 
+  /// Incremental ingest: appends `count` series (count * length values,
+  /// row-major, already z-normalized) to the owned source, then runs the
+  /// SAX-summarize -> parallel tree-insert pipeline for just the new
+  /// ids. `touched_roots` (optional) receives the ascending keys of the
+  /// root subtrees that received entries — the delta-snapshot dirty set.
+  /// Callers must exclude concurrent queries for the duration (the
+  /// Engine append gate does); requires source().appendable().
+  Status Append(const Value* values, size_t count, ThreadPool* pool,
+                std::vector<uint32_t>* touched_roots = nullptr);
+
   // Query paths take an Executor rather than owning threads: pass a
   // ThreadPool to fan one query out over every core (the paper's Stage
   // 3), or an InlineExecutor to confine it to the calling thread so many

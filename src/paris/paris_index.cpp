@@ -6,9 +6,11 @@
 #include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "index/approx_search.h"
+#include "index/ingest.h"
 #include "paris/recbuf.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
@@ -437,6 +439,29 @@ Result<std::unique_ptr<ParisIndex>> ParisIndex::Build(
   PARISAX_RETURN_IF_ERROR(builder.Run(*source));
   index->source_ = std::move(source);
   return index;
+}
+
+Status ParisIndex::Append(const Value* values, size_t count,
+                          Executor* exec,
+                          std::vector<uint32_t>* touched_roots) {
+  if (touched_roots != nullptr) touched_roots->clear();
+  if (count == 0) return Status::OK();
+  const SeriesId first = source_->count();
+
+  PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
+  cache_.Grow(first + count);
+
+  PARISAX_RETURN_IF_ERROR(
+      AppendTailToTree(&tree_, values, count, first, exec,
+                       leaf_storage_.get(), &cache_, touched_roots));
+  // O(batch) bookkeeping: a full tree_.Collect() walk per append would
+  // make ingest O(index size) while queries are gated out. Only
+  // total_entries is maintained incrementally; the other shape stats
+  // reflect the last full build (debug builds still verify the count
+  // against a real walk).
+  build_stats_.tree.total_entries += count;
+  assert(tree_.Collect().total_entries == source_->count());
+  return Status::OK();
 }
 
 Result<Neighbor> ParisIndex::SearchApproximate(SeriesView query,

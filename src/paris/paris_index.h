@@ -109,6 +109,18 @@ class ParisIndex {
       std::unique_ptr<RawSeriesSource> source,
       const ParisBuildOptions& options);
 
+  /// Incremental ingest: appends `count` series (count * length values,
+  /// row-major, already z-normalized) to the owned source, grows the
+  /// flat SAX array, and inserts just the new ids into their subtrees
+  /// (in parallel on `exec`, one worker per touched root). New entries
+  /// stay in memory; existing flushed chunks are untouched.
+  /// `touched_roots` (optional) receives the ascending keys of the
+  /// subtrees that received entries — the delta-snapshot dirty set.
+  /// Callers must exclude concurrent queries for the duration (the
+  /// Engine append gate does); requires raw_source()->appendable().
+  Status Append(const Value* values, size_t count, Executor* exec,
+                std::vector<uint32_t>* touched_roots = nullptr);
+
   /// Exact 1-NN (squared ED), parallel. `Neighbor{0, +inf}` if empty.
   /// `exec` supplies the query's parallelism: a ThreadPool fans the
   /// filter/refine phases out over every core, an InlineExecutor runs

@@ -66,6 +66,12 @@ struct Cursor {
   }
 };
 
+/// Delta chain links must fit a path; anything longer is hostile input.
+constexpr uint64_t kMaxLinkPathBytes = 4096;
+/// Fixed part of the chain-link section: prev_series_count (8) +
+/// base_header_crc (4) + chain_depth (4) + base_path_len (4).
+constexpr uint64_t kLinkFixedBytes = 20;
+
 /// One subtree directory record.
 struct DirRecord {
   uint32_t key = 0;
@@ -126,13 +132,17 @@ Status DecodeHeader(const uint8_t* bytes, size_t size,
   if (Crc32(bytes, 60) != stored_crc) {
     return Status::Corruption("snapshot header checksum mismatch: " + path);
   }
+  info->header_crc = stored_crc;
   info->version = LoadPod<uint32_t>(bytes + 8);
-  if (info->version != kSnapshotVersion) {
+  if (info->version != kSnapshotVersion &&
+      info->version != kSnapshotVersionDelta) {
     return Status::NotSupported(
         "snapshot version " + std::to_string(info->version) +
-        " is not supported (reader version " +
-        std::to_string(kSnapshotVersion) + "): " + path);
+        " is not supported (reader versions " +
+        std::to_string(kSnapshotVersion) + "/" +
+        std::to_string(kSnapshotVersionDelta) + "): " + path);
   }
+  info->is_delta = info->version == kSnapshotVersionDelta;
   const uint8_t kind = bytes[12];
   if (kind != static_cast<uint8_t>(SnapshotKind::kMessi) &&
       kind != static_cast<uint8_t>(SnapshotKind::kParis)) {
@@ -161,6 +171,61 @@ Status DecodeHeader(const uint8_t* bytes, size_t size,
     return Status::Corruption("snapshot declares impossible size: " + path);
   }
   return Status::OK();
+}
+
+// --- delta chain links ------------------------------------------------
+
+std::string EncodeDeltaLink(const SnapshotDeltaSaveOptions& options) {
+  std::string link;
+  AppendPod(&link, options.prev_series_count);
+  AppendPod(&link, options.base_header_crc);
+  AppendPod(&link, options.chain_depth);
+  AppendPod(&link, static_cast<uint32_t>(options.base_path.size()));
+  link.append(options.base_path);
+  return link;
+}
+
+/// Parses the chain-link section of a delta snapshot into `info` (which
+/// must already hold the decoded header). Sets *link_bytes to the
+/// section's encoded size.
+Status ParseDeltaLink(const uint8_t* begin, const uint8_t* end,
+                      const std::string& path, SnapshotInfo* info,
+                      uint64_t* link_bytes) {
+  Cursor cursor{begin, end};
+  uint32_t path_len = 0;
+  if (!cursor.Read(&info->prev_series_count) ||
+      !cursor.Read(&info->base_header_crc) ||
+      !cursor.Read(&info->chain_depth) || !cursor.Read(&path_len)) {
+    return Status::Corruption("snapshot chain link truncated: " + path);
+  }
+  if (path_len == 0 || path_len > kMaxLinkPathBytes ||
+      cursor.remaining() < path_len) {
+    return Status::Corruption("snapshot chain link path invalid: " + path);
+  }
+  info->base_path.assign(reinterpret_cast<const char*>(cursor.p),
+                         path_len);
+  if (info->chain_depth == 0 || info->chain_depth > kMaxSnapshotChain) {
+    return Status::Corruption("snapshot chain depth invalid: " + path);
+  }
+  if (info->prev_series_count > info->series_count) {
+    return Status::Corruption(
+        "snapshot delta shrinks the collection: " + path);
+  }
+  *link_bytes = kLinkFixedBytes + path_len;
+  return Status::OK();
+}
+
+/// dirname(reference) + "/" + the last component of `target`: the
+/// fallback used when a chain's recorded base path does not resolve
+/// (e.g. the snapshot directory was moved wholesale).
+std::string SiblingPath(const std::string& reference,
+                        const std::string& target) {
+  const size_t ref_slash = reference.find_last_of('/');
+  const size_t tgt_slash = target.find_last_of('/');
+  const std::string base_name =
+      tgt_slash == std::string::npos ? target : target.substr(tgt_slash + 1);
+  if (ref_slash == std::string::npos) return base_name;
+  return reference.substr(0, ref_slash + 1) + base_name;
 }
 
 // --- save -------------------------------------------------------------
@@ -212,8 +277,8 @@ struct CrcFileWriter {
   }
 };
 
-Status WriteSnapshotFile(const SnapshotInfo& info,
-                         const FlatSaxCache* sax,
+Status WriteSnapshotFile(const SnapshotInfo& info, const std::string& link,
+                         const SaxSymbols* sax, uint64_t sax_rows,
                          const std::vector<SubtreeBlob>& blobs,
                          const std::string& path) {
   const std::string tmp_path = path + ".tmp";
@@ -233,17 +298,19 @@ Status WriteSnapshotFile(const SnapshotInfo& info,
   }
 
   CrcFileWriter body{f, 0};
-  if (sax != nullptr && sax->count() > 0) {
+  if (!link.empty()) {
+    const Status st = body.Write(link.data(), link.size(), path);
+    if (!st.ok()) return fail(st);
+  }
+  if (sax_rows > 0) {
     const Status st =
-        body.Write(&sax->At(0), sax->count() * sizeof(SaxSymbols), path);
+        body.Write(sax, sax_rows * sizeof(SaxSymbols), path);
     if (!st.ok()) return fail(st);
   }
 
   // Directory, then the topology and payload blobs in the same order.
-  uint64_t offset = kSnapshotHeaderBytes +
-                    (sax != nullptr
-                         ? info.series_count * sizeof(SaxSymbols)
-                         : 0) +
+  uint64_t offset = kSnapshotHeaderBytes + link.size() +
+                    sax_rows * sizeof(SaxSymbols) +
                     blobs.size() * kDirRecordBytes;
   std::string directory;
   directory.reserve(blobs.size() * kDirRecordBytes);
@@ -290,13 +357,26 @@ Status WriteSnapshotFile(const SnapshotInfo& info,
   return Status::OK();
 }
 
+/// Serializes the subtrees under `keys` (ascending, with live roots)
+/// plus the flat-SAX rows [sax_first, series_count) and writes a
+/// snapshot file: a version-1 full snapshot when `link` is empty, a
+/// version-2 delta otherwise.
 Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
                     const SaxTree& tree, const FlatSaxCache* sax,
-                    LeafStorage* storage, uint64_t series_count,
-                    const std::string& path, Executor* exec) {
+                    uint64_t sax_first, LeafStorage* storage,
+                    uint64_t series_count,
+                    const std::vector<uint32_t>& keys,
+                    const std::string& link, const std::string& path,
+                    Executor* exec) {
+  for (const uint32_t key : keys) {
+    if (key >= tree.root_slots() || tree.RootAt(key) == nullptr) {
+      return Status::InvalidArgument(
+          "cannot snapshot subtree " + std::to_string(key) +
+          ": no such root in the index");
+    }
+  }
   // Serialize each root subtree independently (the same per-subtree
   // parallelism the builders use; no synchronization inside a subtree).
-  const std::vector<uint32_t>& keys = tree.PresentRoots();
   std::vector<SubtreeBlob> blobs(keys.size());
   WorkCounter counter(keys.size());
   exec->Run([&](int) {
@@ -318,20 +398,23 @@ Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
     payload_bytes += blob.payload.size();
   }
 
+  const uint64_t sax_rows =
+      sax != nullptr ? series_count - sax_first : 0;
   SnapshotInfo info;
-  info.version = kSnapshotVersion;
+  info.version = link.empty() ? kSnapshotVersion : kSnapshotVersionDelta;
   info.kind = kind;
   info.algorithm = algorithm;
   info.tree = tree.options();
   info.series_count = series_count;
   info.subtree_count = keys.size();
   info.total_entries = total_entries;
-  info.file_bytes =
-      kSnapshotHeaderBytes +
-      (sax != nullptr ? series_count * sizeof(SaxSymbols) : 0) +
-      keys.size() * kDirRecordBytes + topo_bytes + payload_bytes +
-      kTrailerBytes;
-  return WriteSnapshotFile(info, sax, blobs, path);
+  info.file_bytes = kSnapshotHeaderBytes + link.size() +
+                    sax_rows * sizeof(SaxSymbols) +
+                    keys.size() * kDirRecordBytes + topo_bytes +
+                    payload_bytes + kTrailerBytes;
+  return WriteSnapshotFile(info, link,
+                           sax_rows > 0 ? &sax->At(sax_first) : nullptr,
+                           sax_rows, blobs, path);
 }
 
 // --- load -------------------------------------------------------------
@@ -340,7 +423,10 @@ Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
 struct VerifiedSnapshot {
   std::unique_ptr<MmapFile> file;
   SnapshotInfo info;
-  const uint8_t* sax = nullptr;        // null unless kind == kParis
+  /// kParis only: full snapshot — every row; delta — the rows of
+  /// [prev_series_count, series_count).
+  const uint8_t* sax = nullptr;
+  uint64_t sax_rows = 0;
   const uint8_t* directory = nullptr;  // subtree_count records
 };
 
@@ -366,14 +452,22 @@ Result<VerifiedSnapshot> OpenAndVerify(const std::string& path) {
 
   // Section bounds (every arithmetic step guarded against overflow).
   uint64_t offset = body_begin;
-  const uint64_t body_bytes = body_end - body_begin;
+  if (snap.info.is_delta) {
+    uint64_t link_bytes = 0;
+    PARISAX_RETURN_IF_ERROR(ParseDeltaLink(data + offset, data + body_end,
+                                           path, &snap.info, &link_bytes));
+    offset += link_bytes;
+  }
   if (snap.info.kind == SnapshotKind::kParis) {
-    if (snap.info.series_count > body_bytes / sizeof(SaxSymbols)) {
+    // Full snapshots store every flat-SAX row; deltas only the rows of
+    // the series appended since the predecessor.
+    snap.sax_rows = snap.info.series_count - snap.info.prev_series_count;
+    if (snap.sax_rows > (body_end - offset) / sizeof(SaxSymbols)) {
       return Status::Corruption("snapshot SAX section out of bounds: " +
                                 path);
     }
     snap.sax = data + offset;
-    offset += snap.info.series_count * sizeof(SaxSymbols);
+    offset += snap.sax_rows * sizeof(SaxSymbols);
   }
   if (snap.info.subtree_count > (body_end - offset) / kDirRecordBytes) {
     return Status::Corruption("snapshot directory out of bounds: " + path);
@@ -479,7 +573,9 @@ Status RestoreTree(const VerifiedSnapshot& snap, SaxTree* tree,
       const DirRecord r =
           LoadDirRecord(snap.directory + i * kDirRecordBytes);
       // Keys are validated distinct, so each worker owns its root.
-      Node* root = tree->GetOrCreateRoot(r.key);
+      // Recreate rather than reuse: when this file is a delta, the
+      // stored subtree replaces the base's wholesale.
+      Node* root = tree->RecreateRoot(r.key);
       Cursor cursor{data + r.topo_offset, data + r.topo_offset +
                                               r.topo_bytes};
       Status st = ParseNode(root, &cursor, data + r.payload_offset,
@@ -524,20 +620,28 @@ class SnapshotReader {
   static Result<std::unique_ptr<MessiIndex>> LoadMessi(
       const std::string& path, std::unique_ptr<RawSeriesSource> source,
       Executor* exec) {
-    VerifiedSnapshot snap;
-    PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(path));
-    if (snap.info.kind != SnapshotKind::kMessi) {
+    std::vector<SnapshotChainEntry> chain;
+    PARISAX_ASSIGN_OR_RETURN(chain, ReadSnapshotChain(path));
+    const SnapshotInfo& head = chain.back().info;
+    if (head.kind != SnapshotKind::kMessi) {
       return Status::InvalidArgument(
           "snapshot does not hold a MESSI index: " + path);
     }
-    PARISAX_RETURN_IF_ERROR(CheckSourceShape(snap.info, *source));
-    auto index =
-        std::unique_ptr<MessiIndex>(new MessiIndex(snap.info.tree));
+    PARISAX_RETURN_IF_ERROR(CheckSourceShape(head, *source));
+    auto index = std::unique_ptr<MessiIndex>(new MessiIndex(head.tree));
     PARISAX_RETURN_IF_ERROR(index->AttachSource(std::move(source)));
-    PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
+    // Replay: the base restores every subtree; each delta then replaces
+    // the subtrees it touched, wholesale.
+    for (const SnapshotChainEntry& entry : chain) {
+      VerifiedSnapshot snap;
+      PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(entry.path));
+      PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
+    }
     index->build_stats_.tree = index->tree_.Collect();
-    if (index->build_stats_.tree.total_entries !=
-        snap.info.total_entries) {
+    const uint64_t expected = chain.size() == 1
+                                  ? head.total_entries
+                                  : head.series_count;
+    if (index->build_stats_.tree.total_entries != expected) {
       return Status::Corruption(
           "restored MESSI tree lost entries: " + path);
     }
@@ -547,27 +651,35 @@ class SnapshotReader {
   static Result<std::unique_ptr<ParisIndex>> LoadParis(
       const std::string& path, std::unique_ptr<RawSeriesSource> source,
       Executor* exec) {
-    VerifiedSnapshot snap;
-    PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(path));
-    if (snap.info.kind != SnapshotKind::kParis) {
+    std::vector<SnapshotChainEntry> chain;
+    PARISAX_ASSIGN_OR_RETURN(chain, ReadSnapshotChain(path));
+    const SnapshotInfo& head = chain.back().info;
+    if (head.kind != SnapshotKind::kParis) {
       return Status::InvalidArgument(
           "snapshot does not hold a ParIS index: " + path);
     }
-    PARISAX_RETURN_IF_ERROR(CheckSourceShape(snap.info, *source));
-    auto index =
-        std::unique_ptr<ParisIndex>(new ParisIndex(snap.info.tree));
-    index->cache_ = FlatSaxCache(snap.info.series_count);
-    if (snap.info.series_count > 0) {
-      std::memcpy(index->cache_.MutableAt(0), snap.sax,
-                  snap.info.series_count * sizeof(SaxSymbols));
-    }
+    PARISAX_RETURN_IF_ERROR(CheckSourceShape(head, *source));
+    auto index = std::unique_ptr<ParisIndex>(new ParisIndex(head.tree));
+    // Sized for the whole chain up front: the base fills [0, base
+    // count), each delta its appended rows.
+    index->cache_ = FlatSaxCache(head.series_count);
     index->source_ = std::move(source);
     // Leaves were inlined at save time; the restored index never needs a
     // LeafStorage.
-    PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
+    for (const SnapshotChainEntry& entry : chain) {
+      VerifiedSnapshot snap;
+      PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(entry.path));
+      if (snap.sax_rows > 0) {
+        std::memcpy(index->cache_.MutableAt(snap.info.prev_series_count),
+                    snap.sax, snap.sax_rows * sizeof(SaxSymbols));
+      }
+      PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
+    }
     index->build_stats_.tree = index->tree_.Collect();
-    if (index->build_stats_.tree.total_entries !=
-        snap.info.total_entries) {
+    const uint64_t expected = chain.size() == 1
+                                  ? head.total_entries
+                                  : head.series_count;
+    if (index->build_stats_.tree.total_entries != expected) {
       return Status::Corruption(
           "restored ParIS tree lost entries: " + path);
     }
@@ -580,26 +692,166 @@ Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
   if (f == nullptr) {
     return Status::NotFound("cannot open snapshot file: " + path);
   }
-  uint8_t header[kSnapshotHeaderBytes];
-  const size_t got = std::fread(header, 1, sizeof(header), f);
+  // Enough for the header plus, for deltas, the chain-link section.
+  std::vector<uint8_t> buffer(kSnapshotHeaderBytes + kLinkFixedBytes +
+                              kMaxLinkPathBytes);
+  const size_t got = std::fread(buffer.data(), 1, buffer.size(), f);
   std::fclose(f);
   SnapshotInfo info;
-  PARISAX_RETURN_IF_ERROR(DecodeHeader(header, got, path, &info));
+  PARISAX_RETURN_IF_ERROR(DecodeHeader(buffer.data(), got, path, &info));
+  if (info.is_delta) {
+    uint64_t link_bytes = 0;
+    PARISAX_RETURN_IF_ERROR(
+        ParseDeltaLink(buffer.data() + kSnapshotHeaderBytes,
+                       buffer.data() + got, path, &info, &link_bytes));
+  }
   return info;
 }
+
+Result<std::vector<SnapshotChainEntry>> ReadSnapshotChain(
+    const std::string& head_path) {
+  std::vector<SnapshotChainEntry> reversed;  // head first
+  std::string current = head_path;
+  for (;;) {
+    if (reversed.size() > kMaxSnapshotChain) {
+      return Status::Corruption(
+          "snapshot chain from " + head_path + " exceeds " +
+          std::to_string(kMaxSnapshotChain) +
+          " links (cycle or runaway chain)");
+    }
+    SnapshotInfo info;
+    PARISAX_ASSIGN_OR_RETURN(info, ReadSnapshotInfo(current));
+    reversed.push_back(SnapshotChainEntry{current, std::move(info)});
+    const SnapshotInfo& tail = reversed.back().info;
+    if (!tail.is_delta) break;
+    // Resolve the back-reference: as recorded, else next to the file
+    // that recorded it (relocated snapshot directories).
+    std::string base = tail.base_path;
+    std::FILE* probe = std::fopen(base.c_str(), "rb");
+    if (probe == nullptr) {
+      base = SiblingPath(current, tail.base_path);
+    } else {
+      std::fclose(probe);
+    }
+    current = std::move(base);
+  }
+
+  std::vector<SnapshotChainEntry> chain(reversed.rbegin(),
+                                        reversed.rend());
+  // Link integrity: every delta must extend exactly the file before it.
+  for (size_t i = 1; i < chain.size(); ++i) {
+    const SnapshotInfo& prev = chain[i - 1].info;
+    const SnapshotInfo& cur = chain[i].info;
+    if (cur.base_header_crc != prev.header_crc) {
+      return Status::Corruption(
+          "snapshot chain broken: " + chain[i].path +
+          " back-references a different file than " + chain[i - 1].path +
+          " (header CRC mismatch)");
+    }
+    if (cur.prev_series_count != prev.series_count ||
+        cur.series_count < prev.series_count) {
+      return Status::Corruption(
+          "snapshot chain series counts do not line up: " +
+          chain[i].path);
+    }
+    if (cur.kind != prev.kind ||
+        cur.tree.segments != prev.tree.segments ||
+        cur.tree.leaf_capacity != prev.tree.leaf_capacity ||
+        cur.tree.series_length != prev.tree.series_length) {
+      return Status::Corruption(
+          "snapshot chain mixes incompatible indexes: " + chain[i].path);
+    }
+    if (cur.chain_depth != prev.chain_depth + 1) {
+      return Status::Corruption(
+          "snapshot chain depth does not line up: " + chain[i].path);
+    }
+  }
+  if (chain.front().info.is_delta || chain.front().info.chain_depth != 0) {
+    return Status::Corruption(
+        "snapshot chain does not start at a full snapshot: " +
+        chain.front().path);
+  }
+  return chain;
+}
+
+namespace {
+
+/// Touched-root sets arrive unordered and possibly duplicated; the
+/// directory format wants ascending distinct keys.
+std::vector<uint32_t> SortedUniqueKeys(std::vector<uint32_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+Status ValidateDeltaOptions(const SnapshotDeltaSaveOptions& options,
+                            uint64_t series_count) {
+  if (options.base_path.empty()) {
+    return Status::InvalidArgument(
+        "delta snapshot requires a base_path to chain to");
+  }
+  if (options.base_path.size() > kMaxLinkPathBytes) {
+    return Status::InvalidArgument("delta base_path too long");
+  }
+  if (options.prev_series_count > series_count) {
+    return Status::InvalidArgument(
+        "delta prev_series_count exceeds the index's series count");
+  }
+  if (options.chain_depth == 0 ||
+      options.chain_depth > kMaxSnapshotChain) {
+    return Status::InvalidArgument(
+        "delta chain_depth must be in [1, " +
+        std::to_string(kMaxSnapshotChain) + "]; Compact() the chain");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status SaveIndex(const MessiIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options) {
   return SaveSnapshot(SnapshotKind::kMessi, options.algorithm,
-                      index.tree(), /*sax=*/nullptr, /*storage=*/nullptr,
-                      index.series_count(), path, exec);
+                      index.tree(), /*sax=*/nullptr, /*sax_first=*/0,
+                      /*storage=*/nullptr, index.series_count(),
+                      index.tree().PresentRoots(), /*link=*/"", path,
+                      exec);
 }
 
 Status SaveIndex(const ParisIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options) {
   return SaveSnapshot(SnapshotKind::kParis, options.algorithm,
-                      index.tree(), &index.cache(), index.leaf_storage(),
-                      index.cache().count(), path, exec);
+                      index.tree(), &index.cache(), /*sax_first=*/0,
+                      index.leaf_storage(), index.cache().count(),
+                      index.tree().PresentRoots(), /*link=*/"", path,
+                      exec);
+}
+
+Status SaveIndexDelta(const MessiIndex& index,
+                      const std::vector<uint32_t>& touched_roots,
+                      const std::string& path, Executor* exec,
+                      const SnapshotDeltaSaveOptions& options) {
+  PARISAX_RETURN_IF_ERROR(
+      ValidateDeltaOptions(options, index.series_count()));
+  return SaveSnapshot(SnapshotKind::kMessi, options.algorithm,
+                      index.tree(), /*sax=*/nullptr,
+                      options.prev_series_count, /*storage=*/nullptr,
+                      index.series_count(),
+                      SortedUniqueKeys(touched_roots),
+                      EncodeDeltaLink(options), path, exec);
+}
+
+Status SaveIndexDelta(const ParisIndex& index,
+                      const std::vector<uint32_t>& touched_roots,
+                      const std::string& path, Executor* exec,
+                      const SnapshotDeltaSaveOptions& options) {
+  PARISAX_RETURN_IF_ERROR(
+      ValidateDeltaOptions(options, index.cache().count()));
+  return SaveSnapshot(SnapshotKind::kParis, options.algorithm,
+                      index.tree(), &index.cache(),
+                      options.prev_series_count, index.leaf_storage(),
+                      index.cache().count(),
+                      SortedUniqueKeys(touched_roots),
+                      EncodeDeltaLink(options), path, exec);
 }
 
 Result<std::unique_ptr<MessiIndex>> LoadMessiIndex(

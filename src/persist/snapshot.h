@@ -6,24 +6,20 @@
 // MmapSource over the raw dataset file, so nothing is recomputed and the
 // raw values need no in-RAM copy).
 //
-// File layout (little-endian; see README.md for the diagram):
+// Two file kinds share one header layout (full spec: see
+// docs/snapshot-format.md):
 //
-//   header       64 bytes: magic "PSAXSN01", version, kind, saved
-//                algorithm, tree shape, collection shape, subtree count,
-//                total entries, total file size, header CRC-32
-//   flat SAX     (ParIS only) series_count x 16-byte SaxSymbols, the
-//                query-time filter array
-//   directory    one 40-byte record per root subtree: root key, entry
-//                count, topology offset/bytes, payload offset
-//   topology     per-subtree node streams (pre-order). Nodes carry only
-//                their split segment; words are re-derived on load from
-//                the root word plus the split chain, which is exact
-//                because MakeInner extends words deterministically.
-//   payload      per-subtree leaf-entry arrays (24 bytes per entry:
-//                16-byte SAX symbols + 8-byte series id). Leaves in the
-//                topology stream reference [first_entry, count) ranges of
-//                their subtree's slice.
-//   trailer      CRC-32 of everything between header and trailer
+//   version 1 — full snapshot: flat SAX (ParIS only), a directory of
+//     every root subtree, per-subtree pre-order topology streams, leaf
+//     payload, body CRC-32 trailer.
+//   version 2 — delta snapshot (incremental ingest): a chain-link
+//     section back-referencing the predecessor file (path + its stored
+//     header CRC + the predecessor's series count), the *new* flat SAX
+//     rows only (ParIS), and the directory/topology/payload of just the
+//     subtrees touched since the predecessor was written. Loading a
+//     delta walks the back-references to the version-1 base, restores
+//     it, then replays each delta in order by replacing its touched
+//     subtrees wholesale.
 //
 // Save and load both fan out per root subtree over an Executor (the same
 // no-synchronization-inside-a-subtree discipline the builders use).
@@ -36,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "index/raw_source.h"
 #include "index/tree.h"
@@ -46,10 +43,20 @@
 
 namespace parisax {
 
-/// Current snapshot format version. Readers reject other versions with
+/// Full-snapshot format version. Readers reject unknown versions with
 /// kNotSupported (the versioning policy is: bump on any layout change,
 /// no in-place migration).
 inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Delta-snapshot format version (append-only chain links; see
+/// docs/snapshot-format.md).
+inline constexpr uint32_t kSnapshotVersionDelta = 2;
+
+/// Largest accepted delta depth behind one base: a chain holds at most
+/// 1 + kMaxSnapshotChain files. Bounds replay work and makes
+/// back-reference cycles a typed error; Engine::Save auto-compacts (a
+/// full snapshot) once the cap is reached.
+inline constexpr size_t kMaxSnapshotChain = 64;
 
 /// Fixed header size in bytes; sections start immediately after.
 inline constexpr uint64_t kSnapshotHeaderBytes = 64;
@@ -69,10 +76,28 @@ struct SnapshotInfo {
   /// purely informational at this layer.
   uint8_t algorithm = 0;
   SaxTreeOptions tree;
+  /// Indexed series count *after* this file (for a delta: including the
+  /// series it appends).
   uint64_t series_count = 0;
   uint64_t subtree_count = 0;
   uint64_t total_entries = 0;
   uint64_t file_bytes = 0;
+  /// CRC-32 stored in the header (identifies the file in chain links).
+  uint32_t header_crc = 0;
+
+  /// True for a version-2 delta snapshot; the link fields below are
+  /// then populated by ReadSnapshotInfo.
+  bool is_delta = false;
+  /// Chain link (deltas only): the predecessor file this delta extends.
+  std::string base_path;
+  /// The predecessor's stored header CRC; must match at load time.
+  uint32_t base_header_crc = 0;
+  /// The predecessor's series count (the new flat-SAX rows cover
+  /// [prev_series_count, series_count)).
+  uint64_t prev_series_count = 0;
+  /// Links back to the base: 0 for a full snapshot, n for the n-th
+  /// delta.
+  uint32_t chain_depth = 0;
 };
 
 struct SnapshotSaveOptions {
@@ -80,9 +105,39 @@ struct SnapshotSaveOptions {
   uint8_t algorithm = 0;
 };
 
+struct SnapshotDeltaSaveOptions {
+  /// Recorded verbatim in the header (see SnapshotInfo::algorithm).
+  uint8_t algorithm = 0;
+  /// Chain predecessor (the current head: the base full snapshot or the
+  /// previous delta).
+  std::string base_path;
+  /// The predecessor's stored header CRC (SnapshotInfo::header_crc).
+  uint32_t base_header_crc = 0;
+  /// Series count recorded by the predecessor.
+  uint64_t prev_series_count = 0;
+  /// 1 + the predecessor's chain depth.
+  uint32_t chain_depth = 1;
+};
+
 /// Validates and parses a snapshot header (magic, version, header CRC,
-/// field sanity). Does not verify the body checksum.
+/// field sanity) plus, for deltas, the chain-link section. Does not
+/// verify the body checksum.
 Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+/// One file of a snapshot chain, base first.
+struct SnapshotChainEntry {
+  std::string path;
+  SnapshotInfo info;
+};
+
+/// Walks the back-references from `head_path` to the full base snapshot
+/// and returns the chain in replay order [base, delta1, ..., head].
+/// Verifies link integrity (CRC back-references, series-count and shape
+/// continuity, depth monotonicity, chain length). A relative base path
+/// that does not resolve as given is retried next to the referencing
+/// delta, so relocated snapshot directories keep working.
+Result<std::vector<SnapshotChainEntry>> ReadSnapshotChain(
+    const std::string& head_path);
 
 /// Serializes a MESSI index to `path`, replacing any existing file.
 /// Subtrees are serialized in parallel on `exec`.
@@ -95,16 +150,35 @@ Status SaveIndex(const MessiIndex& index, const std::string& path,
 Status SaveIndex(const ParisIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options = {});
 
-/// Restores a MESSI index from `path`. `source` supplies the raw series
-/// (it must match the snapshot's collection shape and be directly
-/// addressable — an InMemorySource or MmapSource); the index takes
-/// ownership. Subtrees are deserialized in parallel on `exec`.
+/// Writes a delta snapshot holding only `touched_roots` (the subtrees
+/// Append grew since options.base_path was written), chained to the
+/// predecessor by header back-reference. `touched_roots` need not be
+/// sorted or unique; keys without a live subtree are rejected.
+Status SaveIndexDelta(const MessiIndex& index,
+                      const std::vector<uint32_t>& touched_roots,
+                      const std::string& path, Executor* exec,
+                      const SnapshotDeltaSaveOptions& options);
+
+/// ParIS delta: additionally stores the flat-SAX rows of the series
+/// appended since the predecessor ([prev_series_count, count)).
+Status SaveIndexDelta(const ParisIndex& index,
+                      const std::vector<uint32_t>& touched_roots,
+                      const std::string& path, Executor* exec,
+                      const SnapshotDeltaSaveOptions& options);
+
+/// Restores a MESSI index from `path` — a full snapshot, or a delta
+/// chain head whose base and links are then replayed in order. `source`
+/// supplies the raw series (it must match the head's collection shape
+/// and be directly addressable — an InMemorySource or MmapSource); the
+/// index takes ownership. Subtrees are deserialized in parallel on
+/// `exec`.
 Result<std::unique_ptr<MessiIndex>> LoadMessiIndex(
     const std::string& path, std::unique_ptr<RawSeriesSource> source,
     Executor* exec);
 
-/// Restores a ParIS/ParIS+ index from `path`. Any RawSeriesSource works
-/// (mmap, in-memory, or a simulated disk); the index takes ownership.
+/// Restores a ParIS/ParIS+ index from `path` (full snapshot or delta
+/// chain head). Any RawSeriesSource works (mmap, in-memory, or a
+/// simulated disk); the index takes ownership.
 Result<std::unique_ptr<ParisIndex>> LoadParisIndex(
     const std::string& path, std::unique_ptr<RawSeriesSource> source,
     Executor* exec);

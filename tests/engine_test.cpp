@@ -208,7 +208,57 @@ TEST(EngineTest, CapabilityMatrixAgreesWithBehavior) {
         std::to_string(static_cast<int>(a)) + ".snap";
     ExpectGated((*engine)->Save(snap), caps.snapshot, name + "/save");
     std::remove(snap.c_str());
+
+    // Borrowed collections cannot grow: the append cell must be a
+    // typed rejection here for every algorithm.
+    EXPECT_FALSE(caps.append) << name;
+    GeneratorOptions tail_gen;
+    tail_gen.count = 8;
+    tail_gen.length = 64;
+    tail_gen.seed = 99;
+    const Dataset tail = GenerateDataset(tail_gen);
+    ExpectGated((*engine)->Append(tail).status(), caps.append,
+                name + "/append-borrowed");
+
+    // Over an adopted source the table's append row applies as-is.
+    auto adopted = Engine::Build(
+        SourceSpec::InMemory(GenerateDataset(
+            GeneratorOptions{.count = 600, .length = 64, .seed = 71})),
+        BaseOptions(a));
+    ASSERT_TRUE(adopted.ok()) << name;
+    const EngineCapabilities adopted_caps = (*adopted)->capabilities();
+    EXPECT_EQ(adopted_caps.append, AlgorithmCapabilities(a).append)
+        << name;
+    ExpectGated((*adopted)->Append(tail).status(), adopted_caps.append,
+                name + "/append-adopted");
   }
+}
+
+TEST(EngineTest, NarrowCapabilitiesMatchesLiveEngines) {
+  // The residency-enum narrowing (what docs/capabilities.md is
+  // generated from) must agree with what a real engine of that
+  // residency reports.
+  const Dataset data = MakeData(400);
+  auto borrowed = Engine::Build(SourceSpec::Borrowed(&data),
+                                BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(borrowed.ok());
+  const EngineCapabilities want_borrowed = NarrowCapabilities(
+      Algorithm::kMessi, SourceResidency::kBorrowedMemory);
+  EXPECT_EQ((*borrowed)->capabilities().append, want_borrowed.append);
+  EXPECT_FALSE(want_borrowed.append);
+
+  auto owned = Engine::Build(SourceSpec::InMemory(MakeData(400)),
+                             BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(owned.ok());
+  const EngineCapabilities want_owned =
+      NarrowCapabilities(Algorithm::kMessi, SourceResidency::kOwnedMemory);
+  EXPECT_EQ((*owned)->capabilities().append, want_owned.append);
+  EXPECT_TRUE(want_owned.append);
+
+  const EngineCapabilities streamed = NarrowCapabilities(
+      Algorithm::kUcrSerial, SourceResidency::kStreamedFile);
+  EXPECT_FALSE(streamed.dtw);
+  EXPECT_TRUE(streamed.append);
 }
 
 TEST(EngineTest, StreamedSourceNarrowsCapabilities) {

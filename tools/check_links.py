@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Verify that every relative markdown link in the repo's docs resolves.
+
+Python-stdlib only (the CI lint job needs nothing installed). Scans the
+given markdown files (default: README.md, ROADMAP.md, CHANGES.md and
+docs/*.md relative to the repo root) for `[text](target)` links and
+fails with a listing when a relative target does not exist on disk.
+
+Skipped targets:
+  - absolute URLs (anything with a scheme, e.g. https://, mailto:)
+  - pure intra-page anchors (#section)
+  - targets that escape the repository root (e.g. the README CI badge's
+    ../../actions/... GitHub-relative path, which only resolves on
+    github.com)
+
+Usage: check_links.py [--root REPO_ROOT] [file.md ...]
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def default_files(root):
+    files = []
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        path = os.path.join(root, name)
+        if os.path.exists(path):
+            files.append(path)
+    files.extend(sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
+    return files
+
+
+def check_file(path, root):
+    """Returns a list of (line_number, target, reason) failures."""
+    failures = []
+    base_dir = os.path.dirname(os.path.abspath(path))
+    root = os.path.abspath(root)
+    with open(path, encoding="utf-8") as f:
+        for line_number, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if SCHEME_RE.match(target) or target.startswith("#"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(base_dir, target.split("#", 1)[0])
+                )
+                if os.path.commonpath([resolved, root]) != root:
+                    continue  # escapes the repo (e.g. GitHub badge paths)
+                if not os.path.exists(resolved):
+                    failures.append((line_number, target, resolved))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("files", nargs="*", help="markdown files to check")
+    args = parser.parse_args()
+
+    files = args.files or default_files(args.root)
+    if not files:
+        print("FAIL: no markdown files found to check", file=sys.stderr)
+        return 1
+
+    total_links_failed = 0
+    for path in files:
+        failures = check_file(path, args.root)
+        for line_number, target, resolved in failures:
+            print(
+                f"FAIL: {path}:{line_number}: link target '{target}' "
+                f"does not resolve ({resolved})",
+                file=sys.stderr,
+            )
+        total_links_failed += len(failures)
+
+    if total_links_failed:
+        print(
+            f"\nFAIL: {total_links_failed} broken relative link(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: all relative links resolve across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@ dialects are understood:
            "algorithm", metric "load_speedup" (snapshot load vs full
            rebuild -- a ratio, so it transfers across runner hardware
            better than absolute seconds), higher is better.
+  append   append_ingest's JSON: results[] rows keyed by "algorithm",
+           metric "delta_speedup" (full-save vs delta-save seconds --
+           also a hardware-portable ratio), higher is better.
 
 Usage:
   compare_bench.py --kind serve --baseline bench/baselines/serve_throughput.json \
@@ -65,10 +68,22 @@ def load_persist(path):
     }
 
 
+def load_append(path):
+    """algorithm -> delta_speedup (full save vs delta save). Higher is
+    better."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        row["algorithm"]: float(row["delta_speedup"])
+        for row in doc["results"]
+    }
+
+
 LOADERS = {
     "serve": (load_serve, "qps", "higher"),
     "micro": (load_micro, "real_time_ns", "lower"),
     "persist": (load_persist, "load_speedup", "higher"),
+    "append": (load_append, "delta_speedup", "higher"),
 }
 
 
