@@ -1,0 +1,320 @@
+// Segment-based ingest: append latency under concurrent query load,
+// for MESSI and ParIS+.
+//
+// The workload models a serving process that never stops answering:
+// build over a base collection, run a query loop continuously, and —
+// while it runs — Engine::Append a stream of small batches. Appends
+// publish immutable delta segments with an atomic snapshot swap
+// (docs/architecture.md), so queries in flight keep the snapshot they
+// captured and new queries start immediately: an append should never
+// stall the query path the way an exclusive index lock would. The
+// background compactor folds segments into the base off the serving
+// thread as the stream grows.
+// --check gates on (a) queries continuing to complete while appends
+// are in flight, (b) the slowest storm-time query staying within a
+// generous multiple of the quiet-time worst case (the no-stall claim;
+// the bound is loose because CI machines are noisy), and (c) the
+// fully-appended engine answering byte-identically to a from-scratch
+// build over the combined collection.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace parisax;
+using namespace parisax::bench;
+
+/// No-stall gate: the slowest query issued during the append storm may
+/// be at most this many times the slowest quiet-time query...
+constexpr double kMaxStallRatio = 10.0;
+/// ...or this many seconds, whichever is larger (absolute floor so
+/// micro-second quiet baselines do not make the ratio gate flaky).
+constexpr double kStallFloorSeconds = 0.05;
+
+struct Row {
+  std::string algorithm;
+  size_t appended = 0;
+  size_t batches = 0;
+  double append_mean_seconds = 0.0;
+  double append_max_seconds = 0.0;
+  double quiet_query_mean = 0.0;
+  double quiet_query_max = 0.0;
+  double storm_query_mean = 0.0;
+  double storm_query_max = 0.0;
+  size_t storm_queries = 0;  // queries completed while appending
+  bool results_equal = false;
+
+  double StallRatio() const {
+    return quiet_query_max > 0.0 ? storm_query_max / quiet_query_max
+                                 : 0.0;
+  }
+  bool NoStall() const {
+    return storm_queries > 0 &&
+           storm_query_max <=
+               std::max(kStallFloorSeconds,
+                        quiet_query_max * kMaxStallRatio);
+  }
+};
+
+[[noreturn]] void Die(const std::string& what, const Status& status) {
+  std::cerr << what << ": " << status.ToString() << "\n";
+  std::exit(1);
+}
+
+bool SameNeighbors(const SearchResponse& a, const SearchResponse& b) {
+  if (a.neighbors.size() != b.neighbors.size()) return false;
+  for (size_t i = 0; i < a.neighbors.size(); ++i) {
+    if (a.neighbors[i].id != b.neighbors[i].id ||
+        a.neighbors[i].distance_sq != b.neighbors[i].distance_sq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Exact-query equivalence (ED 1-NN; kNN every other query on MESSI).
+bool SameAnswers(Engine* want, Engine* got, const Dataset& queries,
+                 Algorithm algorithm, size_t knn_k) {
+  bool equal = true;
+  for (SeriesId q = 0; q < queries.count(); ++q) {
+    SearchRequest request;
+    if (algorithm == Algorithm::kMessi && q % 2 == 1) request.k = knn_k;
+    auto w = want->Search(queries.series(q), request);
+    auto g = got->Search(queries.series(q), request);
+    if (!w.ok()) Die("query (reference)", w.status());
+    if (!g.ok()) Die("query (appended)", g.status());
+    if (!SameNeighbors(*w, *g)) equal = false;
+  }
+  return equal;
+}
+
+Row RunStorm(Algorithm algorithm, const Dataset& full, size_t base_count,
+             size_t batch, const Dataset& queries, int threads,
+             size_t knn_k) {
+  Row row;
+  row.algorithm = AlgorithmName(algorithm);
+
+  EngineOptions eopts;
+  eopts.algorithm = algorithm;
+  eopts.num_threads = threads;
+  eopts.tree.segments = 16;
+
+  // Reference: from-scratch build over the combined collection.
+  Dataset combined(full.count(), full.length());
+  std::copy(full.raw(), full.raw() + full.TotalValues(),
+            combined.mutable_raw());
+  auto scratch =
+      Engine::Build(SourceSpec::InMemory(std::move(combined)), eopts);
+  if (!scratch.ok()) Die("build (scratch)", scratch.status());
+
+  Dataset base(base_count, full.length());
+  std::copy(full.raw(), full.raw() + base_count * full.length(),
+            base.mutable_raw());
+  auto grown = Engine::Build(SourceSpec::InMemory(std::move(base)), eopts);
+  if (!grown.ok()) Die("build (base)", grown.status());
+  Engine* engine = grown->get();
+
+  // Quiet baseline: the query loop alone, one pass over the workload.
+  std::vector<double> quiet;
+  for (SeriesId q = 0; q < queries.count(); ++q) {
+    WallTimer t;
+    auto r = engine->Search(queries.series(q), SearchRequest{});
+    if (!r.ok()) Die("query (quiet)", r.status());
+    quiet.push_back(t.ElapsedSeconds());
+  }
+
+  // The storm: a dedicated thread keeps querying while the main thread
+  // streams append batches in as fast as they are accepted. Only the
+  // latencies of queries that overlap an in-flight append count toward
+  // the stall gate.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> appending{false};
+  std::vector<double> storm;
+  std::thread querier([&] {
+    SeriesId q = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const bool overlapped = appending.load(std::memory_order_acquire);
+      WallTimer t;
+      auto r = engine->Search(queries.series(q % queries.count()),
+                              SearchRequest{});
+      if (!r.ok()) Die("query (storm)", r.status());
+      if (overlapped || appending.load(std::memory_order_acquire)) {
+        storm.push_back(t.ElapsedSeconds());
+      }
+      ++q;
+    }
+  });
+
+  std::vector<double> append_times;
+  appending.store(true, std::memory_order_release);
+  for (size_t offset = base_count; offset < full.count();
+       offset += batch) {
+    const size_t count = std::min(batch, full.count() - offset);
+    WallTimer t;
+    auto report =
+        engine->Append(full.raw() + offset * full.length(), count);
+    if (!report.ok()) Die("append", report.status());
+    append_times.push_back(t.ElapsedSeconds());
+    row.appended += count;
+  }
+  appending.store(false, std::memory_order_release);
+  // Let a few post-append queries finish so the querier observes the
+  // final epoch, then stop it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true, std::memory_order_release);
+  querier.join();
+
+  row.batches = append_times.size();
+  for (double s : append_times) {
+    row.append_mean_seconds += s;
+    row.append_max_seconds = std::max(row.append_max_seconds, s);
+  }
+  if (!append_times.empty()) row.append_mean_seconds /= append_times.size();
+  for (double s : quiet) {
+    row.quiet_query_mean += s;
+    row.quiet_query_max = std::max(row.quiet_query_max, s);
+  }
+  if (!quiet.empty()) row.quiet_query_mean /= quiet.size();
+  row.storm_queries = storm.size();
+  for (double s : storm) {
+    row.storm_query_mean += s;
+    row.storm_query_max = std::max(row.storm_query_max, s);
+  }
+  if (!storm.empty()) row.storm_query_mean /= storm.size();
+
+  // Compare answers against the from-scratch build: exact results must
+  // not depend on how much of the stream the compactor has folded.
+  row.results_equal =
+      SameAnswers(scratch->get(), engine, queries, algorithm, knn_k);
+  return row;
+}
+
+void WriteJson(size_t series, size_t base, size_t batch, size_t length,
+               size_t queries, int threads, const std::vector<Row>& rows,
+               std::ostream& out) {
+  out << "{\n"
+      << "  \"bench\": \"segment_ingest\",\n"
+      << "  " << JsonMetaFields() << ",\n"
+      << "  \"series\": " << series << ",\n"
+      << "  \"base\": " << base << ",\n"
+      << "  \"batch\": " << batch << ",\n"
+      << "  \"length\": " << length << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"algorithm\": \"" << r.algorithm
+        << "\", \"appended\": " << r.appended
+        << ", \"batches\": " << r.batches
+        << ", \"append_mean_seconds\": " << r.append_mean_seconds
+        << ", \"append_max_seconds\": " << r.append_max_seconds
+        << ", \"quiet_query_mean\": " << r.quiet_query_mean
+        << ", \"quiet_query_max\": " << r.quiet_query_max
+        << ", \"storm_query_mean\": " << r.storm_query_mean
+        << ", \"storm_query_max\": " << r.storm_query_max
+        << ", \"storm_queries\": " << r.storm_queries
+        << ", \"stall_ratio\": " << r.StallRatio()
+        << ", \"no_stall\": " << (r.NoStall() ? "true" : "false")
+        << ", \"results_equal\": " << (r.results_equal ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const size_t series = SeriesOrDefault(args, 50000, 10000);
+  const size_t queries_count = QueriesOrDefault(args, 16, 8);
+  const size_t length = args.length != 0 ? args.length : 128;
+  const std::vector<int> thread_list = ThreadsOrDefault(args, {4});
+  const int threads = thread_list.front();
+  constexpr size_t kKnn = 8;
+  // A stream of small serving-sized batches: enough of them to push the
+  // live segment count past the compaction trigger several times over.
+  const size_t tail = std::max<size_t>(series / 16, 256);
+  const size_t base = series - tail;
+  const size_t batch = std::max<size_t>(tail / 32, 8);
+
+  PrintFigureHeader("segment_ingest",
+                    "segment-based ingest: append latency under "
+                    "concurrent query load (atomic snapshot publication, "
+                    "background compaction)");
+  std::cout << series << " x " << length << " random-walk series (" << base
+            << " base + " << tail << " streamed in batches of " << batch
+            << "), " << queries_count << " queries, " << threads
+            << " threads\n\n";
+
+  const Dataset full =
+      MakeDataset(DatasetKind::kRandomWalk, series, length, args.seed);
+  const Dataset queries = MakeQueryWorkload(
+      DatasetKind::kRandomWalk, queries_count, length, args.seed, series);
+
+  std::vector<Row> rows;
+  for (const Algorithm algorithm :
+       {Algorithm::kMessi, Algorithm::kParisPlus}) {
+    rows.push_back(
+        RunStorm(algorithm, full, base, batch, queries, threads, kKnn));
+  }
+
+  Table table({"engine", "appended", "batches", "append mean",
+               "append max", "quiet max", "storm max", "storm queries",
+               "stall", "queries equal"});
+  for (const Row& r : rows) {
+    table.AddRow({r.algorithm, FmtCount(r.appended),
+                  std::to_string(r.batches),
+                  FmtMillis(r.append_mean_seconds),
+                  FmtMillis(r.append_max_seconds),
+                  FmtMillis(r.quiet_query_max),
+                  FmtMillis(r.storm_query_max),
+                  std::to_string(r.storm_queries),
+                  FmtRatio(r.StallRatio()),
+                  r.results_equal ? "yes" : "NO"});
+  }
+  table.Print();
+
+  bool all_equal = true;
+  bool no_stall = true;
+  double worst_ratio = 0.0;
+  for (const Row& r : rows) {
+    all_equal = all_equal && r.results_equal;
+    no_stall = no_stall && r.NoStall();
+    worst_ratio = std::max(worst_ratio, r.StallRatio());
+  }
+  const bool claim_holds = all_equal && no_stall;
+  PrintPaperShape(
+      "appends publish immutable segments without excluding queries, so "
+      "query latency under an append storm stays at its quiet-time level",
+      "worst storm/quiet latency ratio " + FmtRatio(worst_ratio) +
+          ", storm results " +
+          (all_equal ? "identical to a from-scratch build" : "DIFFER") +
+          " (" + (claim_holds ? "holds" : "DOES NOT HOLD") + ")");
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << args.json_path << "\n";
+      return 1;
+    }
+    WriteJson(series, base, batch, length, queries_count, threads, rows,
+              out);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  if (args.check && !claim_holds) {
+    std::cerr << "check failed: segment-ingest no-stall claim does not "
+                 "hold\n";
+    return 1;
+  }
+  return 0;
+}

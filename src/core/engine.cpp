@@ -57,27 +57,27 @@ const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm) {
   static constexpr EngineCapabilities kBruteForce{
       .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
       .approximate = false, .snapshot = false, .streaming_build = false,
-      .append = true};
+      .append = true, .background_compaction = false};
   static constexpr EngineCapabilities kUcrSerial{
       .max_k = 1, .dtw = true, .dtw_knn = false,
       .approximate = false, .snapshot = false, .streaming_build = true,
-      .append = true};
+      .append = true, .background_compaction = false};
   static constexpr EngineCapabilities kUcrParallel{
       .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
       .approximate = false, .snapshot = false, .streaming_build = false,
-      .append = true};
+      .append = true, .background_compaction = false};
   static constexpr EngineCapabilities kAdsPlus{
       .max_k = 1, .dtw = false, .dtw_knn = false,
       .approximate = true, .snapshot = false, .streaming_build = true,
-      .append = false};
+      .append = false, .background_compaction = false};
   static constexpr EngineCapabilities kParis{
       .max_k = 1, .dtw = false, .dtw_knn = false,
       .approximate = true, .snapshot = true, .streaming_build = true,
-      .append = true};
+      .append = true, .background_compaction = true};
   static constexpr EngineCapabilities kMessi{
       .max_k = SIZE_MAX, .dtw = true, .dtw_knn = false,
       .approximate = true, .snapshot = true, .streaming_build = false,
-      .append = true};
+      .append = true, .background_compaction = true};
   switch (algorithm) {
     case Algorithm::kBruteForce:
       return kBruteForce;
@@ -109,6 +109,12 @@ EngineCapabilities NarrowBy(EngineCapabilities caps, bool addressable,
     caps.dtw = false;
   }
   caps.append = caps.append && appendable;
+  // Background folds run concurrently with queries, which is only safe
+  // when appends themselves are gate-free: addressable sources whose
+  // serving state is immutable-published. Streamed engines fold
+  // synchronously in Save/Compact instead.
+  caps.background_compaction =
+      caps.background_compaction && caps.append && addressable;
   return caps;
 }
 
@@ -235,6 +241,9 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
 }
 
 Engine::~Engine() {
+  // The compactor references the indexes and append_mu_; stop it before
+  // anything it touches goes away.
+  StopCompactor();
   // The service's workers reference the indexes and the pool, and some
   // members (the wrapped indexes) are declared after service_ and would
   // otherwise be destroyed first; stop the workers before any of them
@@ -396,6 +405,7 @@ Result<std::unique_ptr<Engine>> Engine::Build(SourceSpec spec,
   engine->build_report_.wall_seconds = wall.ElapsedSeconds();
   details << ", source=" << source_desc;
   engine->build_report_.details = details.str();
+  engine->StartCompactorIfEnabled();
   return engine;
 }
 
@@ -481,7 +491,8 @@ Result<std::unique_ptr<Engine>> Engine::OpenInternal(
   details << AlgorithmName(opts.algorithm)
           << " restored from snapshot, raw data mmap-ed from " << data_path;
   if (info.is_delta) {
-    details << " (replayed a " << info.chain_depth << "-delta chain)";
+    details << " (rehydrated a " << info.chain_depth
+            << "-delta chain as serving segments)";
   }
   engine->build_report_.details = details.str();
   // The opened file becomes the lineage head: appends followed by Save
@@ -501,6 +512,7 @@ Result<std::unique_ptr<Engine>> Engine::OpenInternal(
   engine->lineage_ = SnapshotLineage{snapshot_path, info.header_crc,
                                      info.series_count, info.chain_depth,
                                      std::move(chain_paths)};
+  engine->StartCompactorIfEnabled();
   return engine;
 }
 
@@ -510,36 +522,49 @@ Status Engine::Save(const std::string& snapshot_path) {
         std::string(AlgorithmName(options_.algorithm)) +
         " does not support snapshots (capabilities().snapshot is false)");
   }
-  // Snapshot serialization fans out over the shared pool; take the same
-  // lock exact queries take so Save can run while the engine serves.
-  // pool_mu_ also excludes Append, freezing the dirty set and lineage.
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  // append_mu_ freezes the serving snapshot (appends, compactor passes
+  // and other saves all hold it); pool_mu_ covers the serialization
+  // fan-out on the shared pool and guards the lineage. Queries keep
+  // running throughout — they hold neither lock.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
 
-  // Appends since the last save, and a previous file to chain to, that
-  // is not being overwritten: write an append-only delta. Writing a
+  const auto snap = messi_ != nullptr ? messi_->serving()
+                                      : paris_ != nullptr
+                                            ? paris_->serving()
+                                            : nullptr;
+  if (snap == nullptr) {
+    return Status::Internal("snapshot-capable engine has no index");
+  }
+
+  // Appends since the last head, still coverable by segments (the
+  // compactor has not folded past the head), a previous file to chain
+  // to, and a target that does not overwrite the chain: write an
+  // append-only delta — one segment over [head, count). Writing a
   // delta over ANY file of the existing chain (not just the head)
   // would corrupt the lineage — a delta at the base's path makes the
   // chain a cycle — so those paths fall back to a full snapshot, which
   // is always safe to place anywhere (it supersedes the chain). The
   // same fallback auto-compacts a chain that has reached its maximum
   // length, keeping Save total.
-  if (lineage_.has_value() && !dirty_roots_.empty() &&
+  if (lineage_.has_value() &&
+      snap->count > lineage_->head_series_count &&
+      snap->base_count <= lineage_->head_series_count &&
       lineage_->head_depth + 1 <=
           static_cast<uint32_t>(kMaxSnapshotChain) &&
       !PathIsInLineageChain(snapshot_path)) {
+    std::shared_ptr<const Segment> delta;
+    PARISAX_ASSIGN_OR_RETURN(
+        delta, DeltaSegmentLocked(snap, lineage_->head_series_count));
     SnapshotDeltaSaveOptions dopts;
     dopts.algorithm = static_cast<uint8_t>(options_.algorithm);
     dopts.base_path = lineage_->head_path;
     dopts.base_header_crc = lineage_->head_header_crc;
     dopts.prev_series_count = lineage_->head_series_count;
     dopts.chain_depth = lineage_->head_depth + 1;
-    const Status saved =
-        messi_ != nullptr
-            ? SaveIndexDelta(*messi_, dirty_roots_, snapshot_path,
-                             pool_.get(), dopts)
-            : SaveIndexDelta(*paris_, dirty_roots_, snapshot_path,
-                             pool_.get(), dopts);
-    PARISAX_RETURN_IF_ERROR(saved);
+    PARISAX_RETURN_IF_ERROR(SaveSegmentDelta(
+        messi_ != nullptr ? SnapshotKind::kMessi : SnapshotKind::kParis,
+        *delta, snapshot_path, pool_.get(), dopts));
     return AdoptLineageHead(snapshot_path);
   }
   return SaveFullLocked(snapshot_path);
@@ -551,13 +576,76 @@ Status Engine::Compact(const std::string& snapshot_path) {
         std::string(AlgorithmName(options_.algorithm)) +
         " does not support snapshots (capabilities().snapshot is false)");
   }
-  // A full save *is* the compaction: it contains every subtree, so the
-  // previous chain files are no longer needed to restore this engine.
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  // Fold-all + full save *is* the compaction: the written file contains
+  // every subtree, so the previous chain files are no longer needed to
+  // restore this engine.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::lock_guard<std::mutex> pool_lock(pool_mu_);
   return SaveFullLocked(snapshot_path);
 }
 
+Status Engine::FoldAllLocked() {
+  // Full snapshots serialize the base only, so every live segment folds
+  // in first. Caller holds append_mu_ (no concurrent publication, so
+  // the compare-and-publish folds cannot be discarded) and pool_mu_.
+  // The write side of index_gate_ covers the sources the fold shares
+  // with queries in place (streamed raw fetches, leaf-storage
+  // readbacks); for purely addressable engines it is uncontended in
+  // practice.
+  std::unique_lock<std::shared_mutex> gate(index_gate_);
+  for (;;) {
+    const auto snap =
+        messi_ != nullptr ? messi_->serving() : paris_->serving();
+    if (snap->segments.empty()) return Status::OK();
+    bool folded = false;
+    PARISAX_ASSIGN_OR_RETURN(
+        folded, messi_ != nullptr
+                    ? messi_->FoldSegments(snap, snap->segments.size(),
+                                           pool_.get())
+                    : paris_->FoldSegments(snap, snap->segments.size(),
+                                           pool_.get()));
+    if (!folded) {
+      return Status::Internal(
+          "fold discarded while the append mutex was held");
+    }
+  }
+}
+
+Result<std::shared_ptr<const Segment>> Engine::DeltaSegmentLocked(
+    const std::shared_ptr<const ServingState>& snap, uint64_t head) {
+  // Fast path: a live segment covering exactly [head, count) — the
+  // common case when saves line up with append boundaries and the
+  // compactor has not merged across the head.
+  for (const auto& segment : snap->segments) {
+    if (segment->first == head &&
+        segment->first + segment->count == snap->count) {
+      return segment;
+    }
+  }
+  // Re-section: collect every entry with id >= head (merged segments
+  // may straddle the head) and build the covering segment fresh.
+  std::vector<LeafEntry> entries;
+  for (const auto& segment : snap->segments) {
+    if (segment->first + segment->count <= head) continue;
+    std::vector<LeafEntry> collected;
+    PARISAX_RETURN_IF_ERROR(
+        CollectTreeEntries(segment->tree, /*storage=*/nullptr,
+                           &collected));
+    for (const LeafEntry& e : collected) {
+      if (e.id >= head) entries.push_back(e);
+    }
+  }
+  const SaxTreeOptions& tree_options = messi_ != nullptr
+                                           ? messi_->tree_options()
+                                           : paris_->tree_options();
+  return SegmentFromEntries(entries, head, snap->count - head,
+                            tree_options,
+                            /*with_sax_rows=*/paris_ != nullptr,
+                            pool_.get());
+}
+
 Status Engine::SaveFullLocked(const std::string& snapshot_path) {
+  PARISAX_RETURN_IF_ERROR(FoldAllLocked());
   SnapshotSaveOptions sopts;
   sopts.algorithm = static_cast<uint8_t>(options_.algorithm);
   const Status saved =
@@ -621,7 +709,6 @@ Status Engine::AdoptLineageHead(const std::string& snapshot_path) {
   lineage_ = SnapshotLineage{snapshot_path, info.header_crc,
                              info.series_count, info.chain_depth,
                              std::move(chain_paths)};
-  dirty_roots_.clear();
   return Status::OK();
 }
 
@@ -840,50 +927,168 @@ Result<AppendReport> Engine::Append(const Value* values, size_t count) {
     return report;
   }
 
-  // pool_mu_ first (the insert stages fan out over the shared pool and
-  // Save must not run mid-append), then the exclusive side of the RW
-  // gate: in-flight queries drain, new ones wait.
-  std::lock_guard<std::mutex> pool_lock(pool_mu_);
-  std::unique_lock<std::shared_mutex> gate(index_gate_);
+  // append_mu_ serializes this append with other appends, Save/Compact
+  // and compactor passes; queries are NOT excluded.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
 
   std::vector<uint32_t> touched;
-  switch (options_.algorithm) {
-    case Algorithm::kBruteForce:
-    case Algorithm::kUcrSerial:
-    case Algorithm::kUcrParallel:
-      // Scan engines have no index: growing the source is the whole
-      // ingest.
-      PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
-      break;
-    case Algorithm::kAdsPlus:
-      return Status::Internal("ADS+ append slipped past the capability gate");
-    case Algorithm::kParis:
-    case Algorithm::kParisPlus:
-      PARISAX_RETURN_IF_ERROR(
-          paris_->Append(values, count, pool_.get(), &touched));
-      break;
-    case Algorithm::kMessi:
-      PARISAX_RETURN_IF_ERROR(
-          messi_->Append(values, count, pool_.get(), &touched));
-      break;
+  // Index engines over addressable sources publish the new segment as
+  // an atomic snapshot swap — in-flight queries keep the snapshot they
+  // captured, so nothing drains. The segment is small (one batch), so
+  // building it inline beats contending for the shared query pool.
+  const bool segmented =
+      (messi_ != nullptr || paris_ != nullptr) && addressable_source_;
+  if (segmented) {
+    InlineExecutor inline_exec;
+    const Status appended =
+        messi_ != nullptr
+            ? messi_->Append(values, count, &inline_exec, &touched)
+            : paris_->Append(values, count, &inline_exec, &touched);
+    PARISAX_RETURN_IF_ERROR(appended);
+  } else {
+    // Scan engines mutate the raw source queries scan in place, and
+    // streamed index engines share buffered readers with the refine
+    // path — both still need the exclusive side of the RW gate:
+    // in-flight queries drain, new ones wait. pool_mu_ first (lock
+    // order; Save must not run mid-append), then the gate.
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    std::unique_lock<std::shared_mutex> gate(index_gate_);
+    switch (options_.algorithm) {
+      case Algorithm::kBruteForce:
+      case Algorithm::kUcrSerial:
+      case Algorithm::kUcrParallel:
+        // Scan engines have no index: growing the source is the whole
+        // ingest.
+        PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
+        break;
+      case Algorithm::kAdsPlus:
+        return Status::Internal(
+            "ADS+ append slipped past the capability gate");
+      case Algorithm::kParis:
+      case Algorithm::kParisPlus:
+        PARISAX_RETURN_IF_ERROR(
+            paris_->Append(values, count, pool_.get(), &touched));
+        break;
+      case Algorithm::kMessi:
+        PARISAX_RETURN_IF_ERROR(
+            messi_->Append(values, count, pool_.get(), &touched));
+        break;
+    }
   }
 
   series_count_.fetch_add(count, std::memory_order_acq_rel);
-  // Accumulate the delta dirty set. Kept sorted-distinct here so it
-  // cannot grow unboundedly across appends that touch the same roots
-  // (SaveIndexDelta re-canonicalizes as its own input validation — its
-  // API accepts arbitrary key lists).
-  dirty_roots_.insert(dirty_roots_.end(), touched.begin(), touched.end());
-  std::sort(dirty_roots_.begin(), dirty_roots_.end());
-  dirty_roots_.erase(
-      std::unique(dirty_roots_.begin(), dirty_roots_.end()),
-      dirty_roots_.end());
   append_epoch_.fetch_add(1, std::memory_order_acq_rel);
 
   report.total_series = series_count();
   report.touched_subtrees = touched.size();
   report.wall_seconds = wall.ElapsedSeconds();
+  KickCompactor();
   return report;
+}
+
+void Engine::StartCompactorIfEnabled() {
+  if (!options_.background_compaction) return;
+  if (!capabilities().background_compaction) return;
+  // LeafStorage readback is not verified for concurrent use with a
+  // fold's leaf collection, so ParIS+ engines that materialized leaves
+  // on disk keep compaction synchronous (Save/Compact fold under the
+  // write gate instead).
+  const bool safe =
+      messi_ != nullptr ||
+      (paris_ != nullptr && paris_->leaf_storage() == nullptr);
+  if (!safe) return;
+  compactor_ = std::thread([this] { CompactorLoop(); });
+  // A restored chain can start life over the trigger; fold it without
+  // waiting for the first append.
+  KickCompactor();
+}
+
+void Engine::StopCompactor() {
+  if (!compactor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor_stop_ = true;
+  }
+  compactor_cv_.notify_all();
+  compactor_.join();
+}
+
+void Engine::KickCompactor() {
+  if (!compactor_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(compactor_mu_);
+    compactor_kick_ = true;
+  }
+  compactor_cv_.notify_one();
+}
+
+void Engine::CompactorLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compactor_mu_);
+      compactor_cv_.wait(
+          lock, [this] { return compactor_stop_ || compactor_kick_; });
+      if (compactor_stop_) return;
+      compactor_kick_ = false;
+      // A pass that failed parks the thread: state is still correct
+      // (folds publish all-or-nothing), but retrying a deterministic
+      // failure forever would burn a core.
+      if (!compactor_error_.ok()) continue;
+    }
+    const Status pass = CompactionPass();
+    if (!pass.ok()) {
+      std::lock_guard<std::mutex> lock(compactor_mu_);
+      compactor_error_ = pass;
+    }
+  }
+}
+
+Status Engine::CompactionPass() {
+  // Serialize with appends and saves so the compare-and-publish folds
+  // below cannot race another publication (and thus never discard).
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  InlineExecutor inline_exec;
+  for (;;) {
+    const auto snap =
+        messi_ != nullptr ? messi_->serving() : paris_->serving();
+    if (snap->segments.size() <
+        static_cast<size_t>(options_.compaction_trigger_segments)) {
+      return Status::OK();
+    }
+    const size_t seg_series = snap->segment_series();
+    // Replay budget: once the unfolded tail outgrows the budget, a
+    // major fold rebases everything (keeps restart replay and query
+    // merge width bounded). Budget 0 defers entirely to the size-tier
+    // rule.
+    const uint64_t budget =
+        static_cast<uint64_t>(options_.replay_budget_series);
+    const bool over_budget = budget > 0 && seg_series > budget;
+    bool ok = false;
+    if (!over_budget &&
+        static_cast<double>(seg_series) * options_.size_tier_ratio <
+            static_cast<double>(snap->base_count)) {
+      // Minor: the tail is small relative to the base — merging the
+      // run into one segment is cheap and keeps the base untouched.
+      PARISAX_ASSIGN_OR_RETURN(
+          ok, messi_ != nullptr
+                  ? messi_->MergeSegmentRun(snap, snap->segments.size(),
+                                            &inline_exec)
+                  : paris_->MergeSegmentRun(snap, snap->segments.size(),
+                                            &inline_exec));
+    } else {
+      // Major: fold everything into a fresh base.
+      PARISAX_ASSIGN_OR_RETURN(
+          ok, messi_ != nullptr
+                  ? messi_->FoldSegments(snap, snap->segments.size(),
+                                         &inline_exec)
+                  : paris_->FoldSegments(snap, snap->segments.size(),
+                                         &inline_exec));
+    }
+    if (!ok) {
+      return Status::Internal(
+          "compaction fold discarded while the append mutex was held");
+    }
+  }
 }
 
 QueryService* Engine::query_service() {

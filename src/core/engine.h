@@ -25,6 +25,7 @@
 #define PARISAX_CORE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -32,6 +33,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/types.h"
@@ -39,6 +41,7 @@
 #include "index/ads_index.h"
 #include "index/query_stats.h"
 #include "index/raw_source.h"
+#include "index/segment.h"
 #include "index/tree.h"
 #include "io/dataset.h"
 #include "io/sim_disk.h"
@@ -90,6 +93,11 @@ struct EngineCapabilities {
   /// owned source and indexed without rebuilding. Narrowed to false
   /// when the source cannot grow (a borrowed collection).
   bool append = false;
+  /// A background compactor folds delta segments back into the base
+  /// index off the serving path (see EngineOptions). Narrowed to false
+  /// when append is unavailable or the source is not addressable —
+  /// streamed engines fold synchronously in Save/Compact instead.
+  bool background_compaction = false;
 };
 
 /// The per-algorithm capability table (source-independent limits).
@@ -177,6 +185,25 @@ struct EngineOptions {
   int num_queues = 0;
   /// Distance kernel selection (D4 ablation).
   KernelPolicy kernel = KernelPolicy::kAuto;
+  /// Run the background compactor where
+  /// capabilities().background_compaction allows it: an engine-owned
+  /// thread that folds delta segments into the base index off the
+  /// serving path, so query-side merge cost stays bounded under
+  /// sustained appends.
+  bool background_compaction = true;
+  /// The compactor acts once the serving snapshot holds at least this
+  /// many segments.
+  size_t compaction_trigger_segments = 8;
+  /// Replay-cost budget: once the segments jointly hold this many
+  /// series, the compactor must fold them into the base (bounding how
+  /// much segment data a restart would rehydrate from deltas). 0: no
+  /// budget — the size-tiered rule below decides alone.
+  size_t replay_budget_series = 0;
+  /// Size-tiered pick: segments jointly holding fewer than
+  /// base_count / size_tier_ratio series are merged into one segment
+  /// (cheap, keeps the read-side fan-in small) instead of folded into
+  /// the base (a full base rebuild).
+  double size_tier_ratio = 4.0;
 };
 
 /// Describes where an engine's raw series live. Engine::Build
@@ -254,8 +281,8 @@ struct AppendReport {
   size_t appended = 0;
   /// Collection size after the call.
   size_t total_series = 0;
-  /// Root subtrees that received entries (the delta-snapshot dirty
-  /// set); 0 for scan engines, which have no tree.
+  /// Root subtrees of the published delta segment; 0 for scan engines,
+  /// which have no tree.
   size_t touched_subtrees = 0;
   double wall_seconds = 0.0;
 };
@@ -310,40 +337,48 @@ class Engine {
   /// Thread-safe against concurrent Search and Append calls.
   ///
   /// After Append calls, a Save to a *new* path writes an append-only
-  /// delta — just the touched subtrees (and, for ParIS, the new
-  /// flat-SAX rows) — chained to the previous Save/Open file by header
-  /// back-reference. Engine::Open replays the whole chain; Compact
-  /// rewrites it into one full snapshot. A Save with no snapshot
-  /// lineage, no appends since the last save, to a path the current
-  /// chain already uses, or with the chain at its maximum length (64
-  /// deltas) writes a full snapshot instead — Save never fails for
-  /// lineage reasons, it just compacts.
+  /// delta — one serialized segment covering exactly the series
+  /// appended since the previous head (and, for ParIS, their flat-SAX
+  /// rows) — chained to the previous Save/Open file by header
+  /// back-reference. Engine::Open restores the base and rehydrates the
+  /// deltas as serving segments; Compact rewrites the chain into one
+  /// full snapshot. A Save with no snapshot lineage, no appends since
+  /// the last save, to a path the current chain already uses, with the
+  /// chain at its maximum length (64 deltas), or after compaction
+  /// folded past the previous head writes a full snapshot instead —
+  /// Save never fails for lineage reasons, it just compacts.
   Status Save(const std::string& snapshot_path);
 
-  /// Rewrites the engine's snapshot chain as one fresh full snapshot at
+  /// Folds every live segment into the base index, then rewrites the
+  /// engine's snapshot chain as one fresh full snapshot at
   /// `snapshot_path` (long-lived serving processes bound their chain
   /// length this way; the replaced chain files can then be deleted).
-  /// Subsequent Saves chain deltas to the compacted file.
+  /// Subsequent Saves chain deltas to the compacted file. This is the
+  /// synchronous wrapper around what the background compactor does
+  /// continuously.
   Status Compact(const std::string& snapshot_path);
 
   /// Incremental ingest: appends `batch` (same series length,
   /// z-normalized like the rest of the collection) to the engine's
-  /// owned source and indexes the new series without rebuilding —
-  /// MESSI/ParIS+ run their SAX-summarize -> tree-insert pipeline over
-  /// just the new ids. Requires capabilities().append. Thread-safe:
-  /// concurrent queries serialize against the append on an RW gate
-  /// (queries in flight drain, the append runs exclusively, queries
-  /// resume over the grown index).
+  /// owned source, builds an immutable delta segment over just the new
+  /// ids, and publishes it to the serving snapshot in one atomic epoch
+  /// bump. Requires capabilities().append. Thread-safe — and for the
+  /// index engines over addressable sources, *non-blocking for
+  /// readers*: concurrent queries keep serving the snapshot they
+  /// captured at entry while the append builds off to the side; the
+  /// background compactor later folds segments into the base. Only
+  /// scan engines and streamed sources still drain queries on the RW
+  /// gate (their sources mutate in place).
   ///
-  /// Failure contract: a file-backed source grows *before* the tree is
-  /// extended, so (a) if Append returns an error after the source grew
-  /// (e.g. a LeafStorage write failed mid-insert), the engine is
-  /// inconsistent and must be discarded — rebuild or reopen from the
-  /// last snapshot chain; (b) existing snapshots of a grown dataset
-  /// file only open again once this engine Saves the matching delta
-  /// (Open checks exact collection shape), so a process that dies
-  /// between Append and Save pays a rebuild from the (intact, larger)
-  /// dataset file. See docs/snapshot-format.md.
+  /// Failure contract: a file-backed source grows *before* the segment
+  /// is built, so (a) if Append returns an error after the source grew,
+  /// the serving snapshot is unchanged (nothing was published) but the
+  /// source holds unindexed series — the engine should be discarded or
+  /// reopened; (b) existing snapshots of a grown dataset file only open
+  /// again once this engine Saves the matching delta (Open checks exact
+  /// collection shape), so a process that dies between Append and Save
+  /// pays a rebuild from the (intact, larger) dataset file. See
+  /// docs/snapshot-format.md.
   Result<AppendReport> Append(const Dataset& batch);
 
   /// As above from a raw buffer: `count` series of series_length()
@@ -428,8 +463,20 @@ class Engine {
 
   Status CheckQuery(SeriesView query, const SearchRequest& request) const;
 
-  /// Full snapshot + lineage reset; caller holds pool_mu_.
+  /// Fold-every-segment + full snapshot + lineage reset; caller holds
+  /// append_mu_ and pool_mu_.
   Status SaveFullLocked(const std::string& snapshot_path);
+  /// Folds every live segment into the base index; caller holds
+  /// append_mu_ and pool_mu_ (the fold briefly takes the write side of
+  /// index_gate_ to cover streamed sources and leaf storage).
+  Status FoldAllLocked();
+  /// The segment a delta snapshot serializes: ids [head, count). An
+  /// existing segment with exactly that range is reused; otherwise the
+  /// covering entries are re-sectioned into a fresh segment (merged
+  /// segments may straddle the head). Caller holds append_mu_ and
+  /// pool_mu_.
+  Result<std::shared_ptr<const Segment>> DeltaSegmentLocked(
+      const std::shared_ptr<const ServingState>& snap, uint64_t head);
   /// True when `snapshot_path` names a file of the current on-disk
   /// chain (or the chain cannot be walked): a delta must not overwrite
   /// those. Caller holds pool_mu_ and lineage_ is set.
@@ -442,17 +489,38 @@ class Engine {
   /// must therefore hold pool_mu_ when run on it).
   bool UsesSharedPool(const SearchRequest& request) const;
 
+  /// Background compaction machinery. The thread is started at the end
+  /// of Build/Open (never before the index exists) and stopped first
+  /// thing in the destructor.
+  void StartCompactorIfEnabled();
+  void StopCompactor();
+  void KickCompactor();
+  void CompactorLoop();
+  /// One cost-policy pass: merge or fold the current segment run if the
+  /// trigger is met. Holds append_mu_ (so nothing else publishes) but
+  /// neither pool_mu_ nor index_gate_ — queries are never blocked.
+  Status CompactionPass();
+
   EngineOptions options_;
   size_t series_length_ = 0;
   std::atomic<size_t> series_count_{0};
   std::unique_ptr<ThreadPool> pool_;
+  /// The writer mutex: Append, Save, Compact and compactor passes hold
+  /// it for their whole critical section, so every serving-snapshot
+  /// publication is serialized and the snapshot cannot move under a
+  /// Save. Queries never take it. Lock order: append_mu_ before
+  /// pool_mu_ before index_gate_.
+  std::mutex append_mu_;
   /// Serializes parallel regions on pool_: ThreadPool::Run is not
-  /// reentrant, so concurrent Search calls take turns on it. Also
-  /// mutually excludes Save and Append. Lock order: pool_mu_ before
-  /// index_gate_.
+  /// reentrant, so concurrent Search calls take turns on it (and Save's
+  /// serialization fan-out does too). Lock order: after append_mu_,
+  /// before index_gate_.
   std::mutex pool_mu_;
-  /// The append RW gate: every query path holds it shared, Append holds
-  /// it exclusively while it grows the source and mutates the tree.
+  /// The in-place-mutation RW gate: every query path holds it shared.
+  /// Only writers that mutate state queries read in place — scan-engine
+  /// and streamed-source appends, and synchronous fold-alls — take it
+  /// exclusively; segment appends publish immutable state and leave it
+  /// alone.
   std::shared_mutex index_gate_;
   std::atomic<uint64_t> append_epoch_{0};
   std::mutex service_mu_;
@@ -471,9 +539,18 @@ class Engine {
     std::vector<std::string> chain_paths;
   };
   std::optional<SnapshotLineage> lineage_;
-  /// Root keys Append touched since the last Save (sorted, distinct):
-  /// the next delta's subtree set. Guarded by pool_mu_.
-  std::vector<uint32_t> dirty_roots_;
+
+  /// Compactor thread state (compactor_mu_ guards the flags; the
+  /// passes themselves synchronize through append_mu_).
+  std::thread compactor_;
+  std::mutex compactor_mu_;
+  std::condition_variable compactor_cv_;
+  bool compactor_stop_ = false;
+  bool compactor_kick_ = false;
+  /// First error a background pass hit (the pass publishes nothing on
+  /// failure; the compactor parks itself and synchronous folds take
+  /// over). Guarded by compactor_mu_.
+  Status compactor_error_;
 
   /// Scan engines own their source directly; index engines own it
   /// through the index. query_source_ always points at the live one.

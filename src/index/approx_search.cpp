@@ -8,13 +8,17 @@
 
 namespace parisax {
 
-Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
-                                       LeafStorage* storage,
-                                       const RawSeriesSource& source,
-                                       SeriesView query, const float* paa,
-                                       const SaxSymbols& sax,
-                                       KernelPolicy kernel,
-                                       QueryStats* stats) {
+namespace {
+
+/// Shared core: `fetch(id, &view)` resolves a series id to its raw
+/// values. `seek_bound` enables the probe-limit + position-order
+/// treatment for seek-bound devices.
+template <typename Fetch>
+Result<Neighbor> LeafSearchImpl(const SaxTree& tree, LeafStorage* storage,
+                                bool seek_bound, SeriesView query,
+                                const float* paa, const SaxSymbols& sax,
+                                KernelPolicy kernel, QueryStats* stats,
+                                Fetch&& fetch) {
   Neighbor best{0, std::numeric_limits<float>::infinity()};
   Node* leaf = tree.ApproximateLeaf(sax, paa);
   if (leaf == nullptr) return best;
@@ -26,8 +30,7 @@ Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
   // query (the BSF seed just gets slightly looser, exactness is
   // unaffected).
   constexpr size_t kSeekBoundProbeLimit = 32;
-  if (source.PrefersSequentialAccess() &&
-      entries.size() > kSeekBoundProbeLimit) {
+  if (seek_bound && entries.size() > kSeekBoundProbeLimit) {
     const size_t w = tree.options().segments;
     const size_t n = tree.options().series_length;
     std::partial_sort(
@@ -44,13 +47,9 @@ Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
             [](const LeafEntry& a, const LeafEntry& b) {
               return a.id < b.id;
             });
-  std::vector<Value> buffer(source.length());
   for (const LeafEntry& e : entries) {
-    SeriesView view = source.TryView(e.id);
-    if (view.empty()) {
-      PARISAX_RETURN_IF_ERROR(source.GetSeries(e.id, buffer.data()));
-      view = SeriesView(buffer.data(), buffer.size());
-    }
+    SeriesView view;
+    PARISAX_RETURN_IF_ERROR(fetch(e.id, &view));
     const float d =
         SquaredEuclideanEarlyAbandon(query, view, best.distance_sq, kernel);
     if (stats != nullptr) stats->real_dist_calcs++;
@@ -61,6 +60,43 @@ Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
   }
   if (stats != nullptr) stats->leaves_inspected++;
   return best;
+}
+
+}  // namespace
+
+Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
+                                       LeafStorage* storage,
+                                       const RawSeriesSource& source,
+                                       SeriesView query, const float* paa,
+                                       const SaxSymbols& sax,
+                                       KernelPolicy kernel,
+                                       QueryStats* stats) {
+  std::vector<Value> buffer(source.length());
+  return LeafSearchImpl(
+      tree, storage, source.PrefersSequentialAccess(), query, paa, sax,
+      kernel, stats, [&](SeriesId id, SeriesView* view) -> Status {
+        *view = source.TryView(id);
+        if (view->empty()) {
+          PARISAX_RETURN_IF_ERROR(source.GetSeries(id, buffer.data()));
+          *view = SeriesView(buffer.data(), buffer.size());
+        }
+        return Status::OK();
+      });
+}
+
+Result<Neighbor> ApproximateLeafSearch(const SaxTree& tree,
+                                       LeafStorage* storage,
+                                       const RawDataView& raw,
+                                       SeriesView query, const float* paa,
+                                       const SaxSymbols& sax,
+                                       KernelPolicy kernel,
+                                       QueryStats* stats) {
+  return LeafSearchImpl(tree, storage, /*seek_bound=*/false, query, paa,
+                        sax, kernel, stats,
+                        [&](SeriesId id, SeriesView* view) -> Status {
+                          *view = raw.series(id);
+                          return Status::OK();
+                        });
 }
 
 }  // namespace parisax

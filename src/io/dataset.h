@@ -2,9 +2,11 @@
 #ifndef PARISAX_IO_DATASET_H_
 #define PARISAX_IO_DATASET_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstring>
+#include <vector>
 
 #include "core/types.h"
 #include "util/aligned.h"
@@ -44,15 +46,27 @@ class Dataset {
   const Value* raw() const { return storage_.data(); }
   Value* mutable_raw() { return storage_.data(); }
 
-  /// Appends `count` series (count * length() values, row-major). May
-  /// reallocate the backing buffer: raw()/series() pointers obtained
-  /// before the call are invalidated. Capacity grows geometrically
-  /// (AlignedBuffer::GrowTo), so a long sequence of small appends
-  /// costs amortized O(1) copying per appended series.
+  /// Appends `count` series (count * length() values, row-major). When
+  /// the backing buffer must grow, the old buffer is *retired* — kept
+  /// alive and unchanged for the Dataset's lifetime — rather than
+  /// freed, so raw()/series() pointers obtained before the call remain
+  /// valid views of the first count() series. Readers holding such a
+  /// pinned view race with nothing (the engine's gate-free append path
+  /// relies on this). Capacity grows geometrically, so a long sequence
+  /// of small appends costs amortized O(1) copying per appended series.
   void Append(const Value* values, size_t count) {
     assert(length_ > 0);
-    storage_.GrowTo((count_ + count) * length_, count_ * length_);
-    std::memcpy(storage_.data() + count_ * length_, values,
+    const size_t used = count_ * length_;
+    const size_t need = used + count * length_;
+    if (need > storage_.size()) {
+      AlignedBuffer<Value> grown(std::max(need, 2 * used));
+      if (used > 0) {
+        std::memcpy(grown.data(), storage_.data(), used * sizeof(Value));
+      }
+      retired_.push_back(std::move(storage_));
+      storage_ = std::move(grown);
+    }
+    std::memcpy(storage_.data() + used, values,
                 count * length_ * sizeof(Value));
     count_ += count;
   }
@@ -61,6 +75,8 @@ class Dataset {
   size_t count_ = 0;
   size_t length_ = 0;
   AlignedBuffer<Value> storage_;
+  /// Superseded buffers, pinned for readers of pre-append views.
+  std::vector<AlignedBuffer<Value>> retired_;
 };
 
 }  // namespace parisax

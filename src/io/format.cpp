@@ -1,5 +1,7 @@
 #include "io/format.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
 
@@ -61,13 +63,16 @@ Status AppendToDatasetFile(const std::string& path, const Value* values,
       new_values) {
     return Status::IOError("short write appending series to " + path);
   }
-  // Values reach the OS before the count grows: flush, then patch the
-  // header, so a *process* crash mid-append leaves a valid file with
-  // the old count. (No fsync: like the snapshot writer, power-loss
-  // durability is out of scope — the kernel may reorder the page
-  // writes to stable storage.)
+  // Values reach *stable storage* before the count grows: flush the
+  // stdio buffer, fsync the appended bytes, then patch the header. A
+  // process crash OR power loss mid-append therefore leaves a valid
+  // file with the old count — the header never advertises series whose
+  // values the kernel might still have reordered behind it.
   if (std::fflush(f.get()) != 0) {
     return Status::IOError("flush failed appending to " + path);
+  }
+  if (::fsync(fileno(f.get())) != 0) {
+    return Status::IOError("fsync failed appending to " + path);
   }
   const uint64_t new_count = info.count + count;
   if (std::fseek(f.get(), 8, SEEK_SET) != 0) {

@@ -53,10 +53,11 @@ Status WriteDataset(const Dataset& dataset, const std::string& path,
 
 /// Extends an existing dataset file in place by `count` series
 /// (count * info.length values, row-major): values are written at the
-/// current end first, then the header count is patched, so a process
-/// crash mid-append leaves a valid file with the old count (no fsync:
-/// power-loss durability is out of scope, as for the snapshot writer).
-/// `info` must describe the file's current (pre-append) shape.
+/// current end and fsync-ed to stable storage *before* the header count
+/// is patched, so a process crash or power loss mid-append leaves a
+/// valid file with the old count — the header never advertises series
+/// whose values might not have survived. `info` must describe the
+/// file's current (pre-append) shape.
 Status AppendToDatasetFile(const std::string& path, const Value* values,
                            size_t count, const DatasetFileInfo& info);
 

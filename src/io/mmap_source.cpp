@@ -31,8 +31,12 @@ Status MmapSource::GetSeries(SeriesId id, Value* out) const {
 
 Status MmapSource::AppendSeries(const Value* values, size_t count) {
   // Append-reopen: extend the file on disk, then map the longer file
-  // and swap the mapping in. The old mapping stays valid until file_ is
-  // replaced, so a failed append leaves the source untouched.
+  // and swap the mapping in. The old mapping is *retired* (kept mapped
+  // for the source's lifetime), not unmapped: readers holding views
+  // into it stay valid — the appended bytes and the patched header lie
+  // outside the data region those views cover — so the engine's
+  // gate-free append path never invalidates a pinned raw view. A
+  // failed append leaves the source untouched.
   const std::string path = file_->path();
   PARISAX_RETURN_IF_ERROR(AppendToDatasetFile(path, values, count, info_));
   std::unique_ptr<MmapFile> grown;
@@ -43,6 +47,7 @@ Status MmapSource::AppendSeries(const Value* values, size_t count) {
     return Status::Corruption(
         "dataset file changed size during append: " + path);
   }
+  retired_.push_back(std::move(file_));
   file_ = std::move(grown);
   info_ = info;
   values_ =

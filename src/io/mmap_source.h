@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "index/raw_source.h"
 #include "io/format.h"
@@ -53,6 +54,8 @@ class MmapSource : public RawSeriesSource {
                                                kDatasetHeaderBytes)) {}
 
   std::unique_ptr<MmapFile> file_;
+  /// Superseded mappings, pinned for readers of pre-append views.
+  std::vector<std::unique_ptr<MmapFile>> retired_;
   DatasetFileInfo info_;
   const Value* values_;
 };

@@ -10,7 +10,6 @@
 
 #include "dist/dtw.h"
 #include "index/approx_search.h"
-#include "index/ingest.h"
 #include "index/knn_heap.h"
 #include "messi/isax_buffers.h"
 #include "sax/mindist.h"
@@ -58,8 +57,25 @@ struct AtomicCounters {
   }
 };
 
+/// Root subtrees of one serving snapshot: the base's present roots
+/// followed by every segment's. Stage 3 treats them as one flat forest
+/// pruned against one shared bound — the read-side merge.
+std::vector<Node*> CollectRoots(const ServingState& snap) {
+  std::vector<Node*> roots;
+  for (const uint32_t key : snap.base->PresentRoots()) {
+    roots.push_back(snap.base->RootAt(key));
+  }
+  for (const auto& seg : snap.segments) {
+    for (const uint32_t key : seg->tree.PresentRoots()) {
+      roots.push_back(seg->tree.RootAt(key));
+    }
+  }
+  return roots;
+}
+
 /// Tree traversal + priority-queue consumption shared by the ED-NN,
-/// ED-kNN and DTW-NN searches. `Policy` supplies the pruning bound, the
+/// ED-kNN and DTW-NN searches, over the merged root forest of one
+/// serving snapshot. `Policy` supplies the pruning bound, the
 /// node/entry lower bounds and the entry refinement:
 ///   float Bound() const;
 ///   float NodeLb(const Node&) const;
@@ -68,20 +84,20 @@ struct AtomicCounters {
 /// number of queued searches can run concurrently on different
 /// executors.
 template <typename Policy>
-void RunQueuedSearch(const SaxTree& tree, Policy* policy, int num_queues,
-                     Executor* exec, AtomicCounters* counters) {
+void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
+                     int num_queues, Executor* exec,
+                     AtomicCounters* counters) {
   std::vector<SharedQueue> queues(num_queues);
   std::atomic<uint64_t> round_robin{0};
 
   // Stage 3a: parallel traversal, leaves into queues (round-robin for
   // load balance, as in the paper).
-  const auto& roots = tree.PresentRoots();
   WorkCounter root_counter(roots.size());
   exec->Run([&](int) {
     std::vector<Node*> stack;
     size_t item;
     while (root_counter.NextItem(&item)) {
-      stack.push_back(tree.RootAt(roots[item]));
+      stack.push_back(roots[item]);
       while (!stack.empty()) {
         Node* node = stack.back();
         stack.pop_back();
@@ -262,21 +278,49 @@ struct DtwNnPolicy {
   }
 };
 
+/// Best (distance, id) across `a` and `b`.
+Neighbor BetterNeighbor(const Neighbor& a, const Neighbor& b) {
+  if (b.distance_sq < a.distance_sq ||
+      (b.distance_sq == a.distance_sq && b.id < a.id)) {
+    return b;
+  }
+  return a;
+}
+
+/// Approximate probe merged across the snapshot's base and segments:
+/// the BSF seed for the exact searches.
+Result<Neighbor> ProbeAllTrees(const ServingState& snap, SeriesView query,
+                               const float* paa, const SaxSymbols& sax,
+                               KernelPolicy kernel, QueryStats* stats) {
+  Neighbor best{0, kInf};
+  Neighbor cand;
+  PARISAX_ASSIGN_OR_RETURN(
+      cand, ApproximateLeafSearch(*snap.base, /*storage=*/nullptr, snap.raw,
+                                  query, paa, sax, kernel, stats));
+  best = BetterNeighbor(best, cand);
+  for (const auto& seg : snap.segments) {
+    PARISAX_ASSIGN_OR_RETURN(
+        cand, ApproximateLeafSearch(seg->tree, /*storage=*/nullptr,
+                                    snap.raw, query, paa, sax, kernel,
+                                    stats));
+    best = BetterNeighbor(best, cand);
+  }
+  return best;
+}
+
 }  // namespace
 
 Status MessiIndex::AttachSource(std::unique_ptr<RawSeriesSource> source) {
-  if (source->length() != tree_.options().series_length) {
+  if (source->length() != tree_options_.series_length) {
     return Status::InvalidArgument(
         "raw source length does not match the index");
   }
-  const Value* base = source->ContiguousData();
-  if (base == nullptr && source->count() > 0) {
+  if (source->ContiguousData() == nullptr && source->count() > 0) {
     return Status::NotSupported(
         "MESSI requires a directly addressable raw source (in-memory or "
         "mmap)");
   }
   source_ = std::move(source);
-  raw_ = RawDataView{base, source_->length()};
   return Status::OK();
 }
 
@@ -300,9 +344,11 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
   PARISAX_RETURN_IF_ERROR(index->AttachSource(std::move(source)));
   // Stage 1 reads through the hot-path view, so an mmap-backed source is
   // summarized straight off the page cache (no in-RAM copy).
-  const RawDataView raw = index->raw_;
+  const RawDataView raw{index->source_->ContiguousData(),
+                        options.tree.series_length};
   const int w = options.tree.segments;
 
+  auto base = std::make_shared<SaxTree>(options.tree);
   IsaxBufferSet buffers(w, pool->num_threads(), options.locked_buffers);
 
   // Stage 1: summarization into the iSAX buffers, chunks by Fetch&Inc.
@@ -341,9 +387,9 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
         const uint32_t key = keys[item];
         gathered.clear();
         buffers.Gather(key, &gathered);
-        Node* root = index->tree_.GetOrCreateRoot(key);
+        Node* root = base->GetOrCreateRoot(key);
         for (const LeafEntry& e : gathered) {
-          const Status st = index->tree_.InsertIntoSubtree(root, e, nullptr);
+          const Status st = base->InsertIntoSubtree(root, e, nullptr);
           if (!st.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = st;
@@ -356,54 +402,115 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
   PARISAX_RETURN_IF_ERROR(first_error);
   index->build_stats_.tree_wall_seconds = tree_timer.ElapsedSeconds();
 
-  index->tree_.SealRoots();
-  index->build_stats_.tree = index->tree_.Collect();
+  base->SealRoots();
+  index->build_stats_.tree = base->Collect();
   index->build_stats_.wall_seconds = wall.ElapsedSeconds();
   if (index->build_stats_.tree.total_entries != total_series) {
     return Status::Internal("MESSI build lost series");
   }
+
+  auto state = std::make_shared<ServingState>();
+  state->base = std::move(base);
+  state->base_count = total_series;
+  state->raw = raw;
+  state->count = total_series;
+  index->dock_.Publish(std::move(state));
   return index;
 }
 
 Status MessiIndex::Append(const Value* values, size_t count,
-                          ThreadPool* pool,
+                          Executor* exec,
                           std::vector<uint32_t>* touched_roots) {
   if (touched_roots != nullptr) touched_roots->clear();
   if (count == 0) return Status::OK();
-  const SeriesId first = source_->count();
+  const SeriesId first = dock_.get()->count;
 
+  // Grow the source first (the source retires — never frees — the
+  // buffers behind published raw views), then build the segment from
+  // the caller's values and publish both in one atomic step. Queries
+  // keep whichever snapshot they captured.
   PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
-  // The grown source may have reallocated; re-point the hot-path view.
-  raw_ = RawDataView{source_->ContiguousData(),
-                     tree_.options().series_length};
-
-  PARISAX_RETURN_IF_ERROR(AppendTailToTree(&tree_, values, count, first,
-                                           pool, /*storage=*/nullptr,
-                                           /*cache=*/nullptr,
-                                           touched_roots));
-  // O(batch) bookkeeping: a full tree_.Collect() walk per append would
-  // make ingest O(index size) while queries are gated out. Only
-  // total_entries is maintained incrementally; the other shape stats
-  // reflect the last full build (debug builds still verify the count
-  // against a real walk).
+  std::shared_ptr<const Segment> segment;
+  PARISAX_ASSIGN_OR_RETURN(
+      segment, BuildSegment(values, count, first, tree_options_,
+                            /*with_sax_rows=*/false, exec));
+  if (touched_roots != nullptr) {
+    *touched_roots = segment->tree.PresentRoots();
+  }
+  dock_.PublishAppend(std::move(segment),
+                      RawDataView{source_->ContiguousData(),
+                                  tree_options_.series_length},
+                      source_->count());
+  // O(batch) bookkeeping: only total_entries is maintained
+  // incrementally; the other shape stats reflect the last full build.
   build_stats_.tree.total_entries += count;
-  assert(tree_.Collect().total_entries == source_->count());
+#ifndef NDEBUG
+  {
+    const auto snap = dock_.get();
+    size_t total = snap->base->Collect().total_entries;
+    for (const auto& seg : snap->segments) {
+      total += seg->tree.Collect().total_entries;
+    }
+    assert(total == snap->count);
+  }
+#endif
   return Status::OK();
+}
+
+Result<bool> MessiIndex::FoldSegments(
+    const std::shared_ptr<const ServingState>& snap, size_t folded,
+    Executor* exec) {
+  if (folded == 0) return true;
+  if (folded > snap->segments.size()) {
+    return Status::InvalidArgument("fold count exceeds the segment list");
+  }
+  std::vector<LeafEntry> entries;
+  PARISAX_RETURN_IF_ERROR(
+      CollectTreeEntries(*snap->base, /*storage=*/nullptr, &entries));
+  size_t new_base_count = snap->base_count;
+  for (size_t i = 0; i < folded; ++i) {
+    PARISAX_RETURN_IF_ERROR(CollectTreeEntries(snap->segments[i]->tree,
+                                               /*storage=*/nullptr,
+                                               &entries));
+    new_base_count += snap->segments[i]->count;
+  }
+  auto base = std::make_shared<SaxTree>(tree_options_);
+  PARISAX_RETURN_IF_ERROR(BuildTreeFromEntries(base.get(), entries, exec));
+  if (base->Collect().total_entries != new_base_count) {
+    return Status::Internal("MESSI fold lost series");
+  }
+  return dock_.TryFold(snap, folded, std::move(base), /*cache=*/nullptr,
+                       new_base_count);
+}
+
+Result<bool> MessiIndex::MergeSegmentRun(
+    const std::shared_ptr<const ServingState>& snap, size_t folded,
+    Executor* exec) {
+  if (folded < 2 || folded > snap->segments.size()) {
+    return Status::InvalidArgument("merge run out of range");
+  }
+  const std::vector<std::shared_ptr<const Segment>> parts(
+      snap->segments.begin(), snap->segments.begin() + folded);
+  std::shared_ptr<const Segment> merged;
+  PARISAX_ASSIGN_OR_RETURN(merged,
+                           MergeSegments(parts, tree_options_, exec));
+  return dock_.TryMergeSegments(snap, folded, std::move(merged));
 }
 
 Result<Neighbor> MessiIndex::SearchApproximate(SeriesView query,
                                                QueryStats* stats) const {
-  if (query.size() != tree_.options().series_length) {
+  if (query.size() != tree_options_.series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
   WallTimer timer;
-  const int w = tree_.options().segments;
+  const auto snap = dock_.get();
+  const int w = tree_options_.segments;
   float paa[kMaxSegments];
   ComputePaa(query, w, paa);
   SaxSymbols sax;
   SymbolsFromPaa(paa, w, &sax);
-  auto result = ApproximateLeafSearch(tree_, nullptr, *source_, query, paa,
-                                      sax, KernelPolicy::kAuto, stats);
+  auto result =
+      ProbeAllTrees(*snap, query, paa, sax, KernelPolicy::kAuto, stats);
   if (stats != nullptr) stats->total_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -412,12 +519,13 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
                                          const MessiQueryOptions& options,
                                          Executor* exec,
                                          QueryStats* stats) const {
-  if (query.size() != tree_.options().series_length) {
+  if (query.size() != tree_options_.series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
   WallTimer total;
-  const int w = tree_.options().segments;
-  const size_t n = tree_.options().series_length;
+  const auto snap = dock_.get();
+  const int w = tree_options_.segments;
+  const size_t n = tree_options_.series_length;
   float paa[kMaxSegments];
   ComputePaa(query, w, paa);
   SaxSymbols sax;
@@ -426,18 +534,18 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
   WallTimer approx_timer;
   Neighbor seed;
   PARISAX_ASSIGN_OR_RETURN(
-      seed, ApproximateLeafSearch(tree_, nullptr, *source_, query, paa, sax,
-                                  options.kernel, stats));
+      seed, ProbeAllTrees(*snap, query, paa, sax, options.kernel, stats));
   if (stats != nullptr) {
     stats->approx_phase_seconds = approx_timer.ElapsedSeconds();
   }
 
   BestNeighbor result(seed);
-  EdNnPolicy policy{raw_, paa, w, n, options.kernel, query, &result};
+  EdNnPolicy policy{snap->raw, paa, w, n, options.kernel, query, &result};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
-  RunQueuedSearch(tree_, &policy, num_queues, exec, &counters);
+  const std::vector<Node*> roots = CollectRoots(*snap);
+  RunQueuedSearch(roots, &policy, num_queues, exec, &counters);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
   return result.best;
@@ -446,35 +554,41 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
 Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
     SeriesView query, size_t k, const MessiQueryOptions& options,
     Executor* exec, QueryStats* stats) const {
-  if (query.size() != tree_.options().series_length) {
+  if (query.size() != tree_options_.series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
   WallTimer total;
-  const int w = tree_.options().segments;
-  const size_t n = tree_.options().series_length;
+  const auto snap = dock_.get();
+  const int w = tree_options_.segments;
+  const size_t n = tree_options_.series_length;
   float paa[kMaxSegments];
   ComputePaa(query, w, paa);
   SaxSymbols sax;
   SymbolsFromPaa(paa, w, &sax);
 
-  // Seed the heap with every entry of the approximate-match leaf.
+  // Seed the heap with every entry of the approximate-match leaf of the
+  // base and of each segment.
   KnnHeap heap(k);
-  Node* leaf = tree_.ApproximateLeaf(sax, paa);
-  if (leaf != nullptr) {
+  auto seed_from = [&](const SaxTree& tree) {
+    Node* leaf = tree.ApproximateLeaf(sax, paa);
+    if (leaf == nullptr) return;
     for (const LeafEntry& e : leaf->entries()) {
-      const float d = SquaredEuclidean(query, raw_.series(e.id),
+      const float d = SquaredEuclidean(query, snap->raw.series(e.id),
                                        options.kernel);
       if (stats != nullptr) stats->real_dist_calcs++;
       heap.Update(Neighbor{e.id, d});
     }
-  }
+  };
+  seed_from(*snap->base);
+  for (const auto& seg : snap->segments) seed_from(seg->tree);
 
-  EdKnnPolicy policy{raw_, paa, w, n, options.kernel, query, &heap};
+  EdKnnPolicy policy{snap->raw, paa, w, n, options.kernel, query, &heap};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
-  RunQueuedSearch(tree_, &policy, num_queues, exec, &counters);
+  const std::vector<Node*> roots = CollectRoots(*snap);
+  RunQueuedSearch(roots, &policy, num_queues, exec, &counters);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
   return heap.Sorted();
@@ -484,12 +598,13 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
                                             const MessiQueryOptions& options,
                                             Executor* exec,
                                             QueryStats* stats) const {
-  if (query.size() != tree_.options().series_length) {
+  if (query.size() != tree_options_.series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
   WallTimer total;
-  const int w = tree_.options().segments;
-  const size_t n = tree_.options().series_length;
+  const auto snap = dock_.get();
+  const int w = tree_options_.segments;
+  const size_t n = tree_options_.series_length;
 
   std::vector<Value> env_lower, env_upper;
   ComputeEnvelope(query, options.dtw_band, &env_lower, &env_upper);
@@ -507,12 +622,13 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   // thread_local rows.
   std::vector<DtwScratch> scratches(exec->num_threads());
 
-  // Approximate phase: true DTW against the matching leaf's series.
+  // Approximate phase: true DTW against each tree's matching leaf.
   Neighbor seed{0, kInf};
-  Node* leaf = tree_.ApproximateLeaf(sax, paa);
-  if (leaf != nullptr) {
+  auto seed_from = [&](const SaxTree& tree) {
+    Node* leaf = tree.ApproximateLeaf(sax, paa);
+    if (leaf == nullptr) return;
     for (const LeafEntry& e : leaf->entries()) {
-      const float d = DtwBand(query, raw_.series(e.id),
+      const float d = DtwBand(query, snap->raw.series(e.id),
                               options.dtw_band, seed.distance_sq,
                               &scratches[0]);
       if (stats != nullptr) stats->real_dist_calcs++;
@@ -521,17 +637,20 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
         seed = Neighbor{e.id, d};
       }
     }
-  }
+  };
+  seed_from(*snap->base);
+  for (const auto& seg : snap->segments) seed_from(seg->tree);
 
   BestNeighbor result(seed);
-  DtwNnPolicy policy{raw_,            env_lower_paa, env_upper_paa,
+  DtwNnPolicy policy{snap->raw,       env_lower_paa, env_upper_paa,
                      &env_lower,      &env_upper,    w,
                      n,               options.dtw_band, query,
                      &result,         &scratches};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
-  RunQueuedSearch(tree_, &policy, num_queues, exec, &counters);
+  const std::vector<Node*> roots = CollectRoots(*snap);
+  RunQueuedSearch(roots, &policy, num_queues, exec, &counters);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
   return result.best;

@@ -15,6 +15,13 @@
 // its minimum exceeds the BSF, computing per-entry lower bounds and
 // early-abandoning real distances for what survives.
 //
+// Incremental ingest (beyond the paper): the index serves an immutable
+// snapshot — the bulk-built base tree plus an ordered list of delta
+// segments (src/index/segment.h). Append builds a new segment and
+// publishes it; queries capture one snapshot at entry and run the
+// paper's Stage 3 over the base's and every segment's root subtrees
+// under a single shared bound, so appends never exclude queries.
+//
 // Extensions implemented beyond the exact-ED query: kNN search and DTW
 // search on the unchanged index (the paper's "current work").
 #ifndef PARISAX_MESSI_MESSI_INDEX_H_
@@ -26,6 +33,7 @@
 #include "dist/euclidean.h"
 #include "index/query_stats.h"
 #include "index/raw_source.h"
+#include "index/segment.h"
 #include "index/tree.h"
 #include "util/status.h"
 #include "util/threading.h"
@@ -75,21 +83,23 @@ class MessiIndex {
       const MessiBuildOptions& options, ThreadPool* pool);
 
   /// Incremental ingest: appends `count` series (count * length values,
-  /// row-major, already z-normalized) to the owned source, then runs the
-  /// SAX-summarize -> parallel tree-insert pipeline for just the new
-  /// ids. `touched_roots` (optional) receives the ascending keys of the
-  /// root subtrees that received entries — the delta-snapshot dirty set.
-  /// Callers must exclude concurrent queries for the duration (the
-  /// Engine append gate does); requires source().appendable().
-  Status Append(const Value* values, size_t count, ThreadPool* pool,
+  /// row-major, already z-normalized) to the owned source, then builds
+  /// an immutable delta segment over just the new ids and publishes it
+  /// onto the serving snapshot. `touched_roots` (optional) receives the
+  /// ascending root keys the segment populated. Queries proceed
+  /// concurrently (they keep the snapshot they captured at entry);
+  /// callers serialize appends with each other (the Engine append mutex
+  /// does). Requires source().appendable().
+  Status Append(const Value* values, size_t count, Executor* exec,
                 std::vector<uint32_t>* touched_roots = nullptr);
 
   // Query paths take an Executor rather than owning threads: pass a
   // ThreadPool to fan one query out over every core (the paper's Stage
   // 3), or an InlineExecutor to confine it to the calling thread so many
   // queries can run concurrently (the serve layer's throughput mode).
-  // All per-query state is local to the call, so any number of searches
-  // may run at once as long as each executor supports it.
+  // All per-query state is local to the call (including the serving
+  // snapshot it captures at entry), so any number of searches may run
+  // at once as long as each executor supports it.
 
   /// Exact 1-NN under squared ED. `Neighbor{0, +inf}` if empty.
   Result<Neighbor> SearchExact(SeriesView query,
@@ -110,35 +120,58 @@ class MessiIndex {
                                   Executor* exec,
                                   QueryStats* stats = nullptr) const;
 
-  /// Approximate 1-NN: best real distance within the matching leaf.
+  /// Approximate 1-NN: best real distance within the matching leaf of
+  /// the base and of every segment.
   Result<Neighbor> SearchApproximate(SeriesView query,
                                      QueryStats* stats = nullptr) const;
 
-  const SaxTree& tree() const { return tree_; }
+  /// Current serving snapshot (base + segments). Cheap: copies one
+  /// shared_ptr under a brief lock.
+  std::shared_ptr<const ServingState> serving() const { return dock_.get(); }
+
+  /// Folds the first `folded` segments of `snap` into a fresh base tree
+  /// and splices it in. Runs entirely off the serving path; the splice
+  /// is discarded (returns false) if the serving state's base or folded
+  /// segments changed since `snap` was captured. Safe to run
+  /// concurrently with queries and appends.
+  Result<bool> FoldSegments(const std::shared_ptr<const ServingState>& snap,
+                            size_t folded, Executor* exec);
+
+  /// Minor compaction: merges the first `folded` segments of `snap` into
+  /// one segment (same discard semantics as FoldSegments).
+  Result<bool> MergeSegmentRun(
+      const std::shared_ptr<const ServingState>& snap, size_t folded,
+      Executor* exec);
+
+  /// Base tree of the current snapshot. For quiescent callers (tests,
+  /// invariant checks): the reference is only stable while nothing
+  /// publishes a new snapshot.
+  const SaxTree& tree() const { return *dock_.get()->base; }
+  const SaxTreeOptions& tree_options() const { return tree_options_; }
   const MessiBuildStats& build_stats() const { return build_stats_; }
   /// The raw series the index answers queries against: an InMemorySource
   /// over the build-time dataset, or the source (e.g. an MmapSource)
   /// attached when the index was restored from a snapshot.
   const RawSeriesSource& source() const { return *source_; }
-  /// Series in the indexed collection.
-  size_t series_count() const { return source_->count(); }
+  /// Series in the indexed collection (as of the current snapshot).
+  size_t series_count() const { return dock_.get()->count; }
 
  private:
-  /// Snapshot restore (src/persist/) reconstructs the tree in place.
+  /// Snapshot restore (src/persist/) reconstructs the serving state.
   friend class SnapshotReader;
 
   explicit MessiIndex(const SaxTreeOptions& tree_options)
-      : tree_(tree_options) {}
+      : tree_options_(tree_options) {}
 
-  /// Takes ownership of `source` and points the hot-path view at its
-  /// contiguous block; fails if the source is not directly addressable
-  /// (MESSI computes real distances on raw values in memory).
+  /// Takes ownership of `source`; fails if the source is not directly
+  /// addressable (MESSI computes real distances on raw values in
+  /// memory).
   Status AttachSource(std::unique_ptr<RawSeriesSource> source);
 
-  SaxTree tree_;
+  SaxTreeOptions tree_options_;
   std::unique_ptr<RawSeriesSource> source_;
-  /// Hot-path view over source_'s contiguous block (in-RAM or mmap).
-  RawDataView raw_;
+  /// The serving snapshot publication point (see segment.h).
+  ServingDock dock_;
   MessiBuildStats build_stats_;
 };
 

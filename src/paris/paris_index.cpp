@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,15 +46,66 @@ struct BatchSlot {
   WorkCounter drain{0};              // claims over drain_list
 };
 
+/// Best (distance, id) across `a` and `b`.
+Neighbor BetterNeighbor(const Neighbor& a, const Neighbor& b) {
+  if (b.distance_sq < a.distance_sq ||
+      (b.distance_sq == a.distance_sq && b.id < a.id)) {
+    return b;
+  }
+  return a;
+}
+
+/// Approximate probe merged across the snapshot's base and segments:
+/// the BSF seed for the exact search. Addressable snapshots read
+/// through the pinned raw view (gate-free); streamed ones go through
+/// the source.
+Result<Neighbor> ProbeAllTrees(const ServingState& snap,
+                               const RawSeriesSource& source,
+                               LeafStorage* storage, SeriesView query,
+                               const float* paa, const SaxSymbols& sax,
+                               KernelPolicy kernel, QueryStats* stats) {
+  const bool addressable = snap.raw.base != nullptr;
+  Neighbor best{0, kInf};
+  Neighbor cand;
+  if (addressable) {
+    PARISAX_ASSIGN_OR_RETURN(
+        cand, ApproximateLeafSearch(*snap.base, storage, snap.raw, query,
+                                    paa, sax, kernel, stats));
+  } else {
+    PARISAX_ASSIGN_OR_RETURN(
+        cand, ApproximateLeafSearch(*snap.base, storage, source, query,
+                                    paa, sax, kernel, stats));
+  }
+  best = BetterNeighbor(best, cand);
+  for (const auto& seg : snap.segments) {
+    // Segment leaves are always fully in memory (no flushed chunks).
+    if (addressable) {
+      PARISAX_ASSIGN_OR_RETURN(
+          cand, ApproximateLeafSearch(seg->tree, /*storage=*/nullptr,
+                                      snap.raw, query, paa, sax, kernel,
+                                      stats));
+    } else {
+      PARISAX_ASSIGN_OR_RETURN(
+          cand, ApproximateLeafSearch(seg->tree, /*storage=*/nullptr,
+                                      source, query, paa, sax, kernel,
+                                      stats));
+    }
+    best = BetterNeighbor(best, cand);
+  }
+  return best;
+}
+
 }  // namespace
 
 /// Orchestrates one index build. Owns the transient pipeline state; the
-/// durable result lands in the ParisIndex.
+/// durable result lands in the tree/cache the caller will publish.
 class ParisBuilder {
  public:
-  ParisBuilder(ParisIndex* index, const ParisBuildOptions& options,
-               size_t total_series)
+  ParisBuilder(ParisIndex* index, SaxTree* tree, FlatSaxCache* cache,
+               const ParisBuildOptions& options, size_t total_series)
       : index_(index),
+        tree_(tree),
+        cache_(cache),
         options_(options),
         total_series_(total_series),
         recbufs_(options.tree.segments),
@@ -101,6 +153,8 @@ class ParisBuilder {
   }
 
   ParisIndex* index_;
+  SaxTree* tree_;
+  FlatSaxCache* cache_;
   const ParisBuildOptions& options_;
   const size_t total_series_;
   int64_t total_batches_ = 0;
@@ -251,8 +305,8 @@ Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
     stats.final_flush_wall_seconds = flush.ElapsedSeconds();
   }
 
-  index_->tree_.SealRoots();
-  stats.tree = index_->tree_.Collect();
+  tree_->SealRoots();
+  stats.tree = tree_->Collect();
   stats.summarize_cpu_seconds = summarize_cpu_.TotalSeconds();
   stats.tree_cpu_seconds = tree_cpu_.TotalSeconds();
   if (index_->leaf_storage_ != nullptr) {
@@ -297,7 +351,7 @@ void ParisBuilder::WorkerLoop(int worker_id) {
           LeafEntry entry;
           entry.id = slot.first_id + i;
           SymbolsFromPaa(paa, w, &entry.sax);
-          *index_->cache_.MutableAt(entry.id) = entry.sax;
+          *cache_->MutableAt(entry.id) = entry.sax;
           recbufs_.Append(RootKey(entry.sax, w), entry);
         }
       }
@@ -346,16 +400,15 @@ Status ParisBuilder::DrainKey(uint32_t key, bool flush,
                               std::vector<LeafEntry>* scratch) {
   recbufs_.Drain(key, scratch);
   if (scratch->empty()) return Status::OK();
-  Node* root = index_->tree_.GetOrCreateRoot(key);
+  Node* root = tree_->GetOrCreateRoot(key);
   LeafStorage* storage = index_->leaf_storage_.get();
   for (const LeafEntry& e : *scratch) {
-    PARISAX_RETURN_IF_ERROR(
-        index_->tree_.InsertIntoSubtree(root, e, storage));
+    PARISAX_RETURN_IF_ERROR(tree_->InsertIntoSubtree(root, e, storage));
   }
   if (!flush) return Status::OK();
 
   Status flush_status;
-  index_->tree_.VisitLeaves(root, [&](Node* leaf) {
+  tree_->VisitLeaves(root, [&](Node* leaf) {
     if (!flush_status.ok()) return;
     if (leaf->entries().size() < flush_threshold) return;
     auto ref = storage->AppendChunk(leaf->entries());
@@ -402,7 +455,7 @@ Status ParisBuilder::Stage3Round() {
 Status ParisBuilder::FinalFlush() {
   LeafStorage* storage = index_->leaf_storage_.get();
   Status flush_status;
-  index_->tree_.VisitLeaves(nullptr, [&](Node* leaf) {
+  tree_->VisitLeaves(nullptr, [&](Node* leaf) {
     if (!flush_status.ok() || leaf->entries().empty()) return;
     auto ref = storage->AppendChunk(leaf->entries());
     if (!ref.ok()) {
@@ -427,7 +480,9 @@ Result<std::unique_ptr<ParisIndex>> ParisIndex::Build(
         "streamed (on-disk) ParIS build requires leaf_storage_path");
   }
   auto index = std::unique_ptr<ParisIndex>(new ParisIndex(options.tree));
-  index->cache_ = FlatSaxCache(source->count());
+  const size_t total_series = source->count();
+  auto base = std::make_shared<SaxTree>(options.tree);
+  auto cache = std::make_shared<FlatSaxCache>(total_series);
   if (!options.leaf_storage_path.empty()) {
     PARISAX_ASSIGN_OR_RETURN(
         index->leaf_storage_,
@@ -435,9 +490,19 @@ Result<std::unique_ptr<ParisIndex>> ParisIndex::Build(
                             options.leaf_write_mbps));
   }
 
-  ParisBuilder builder(index.get(), options, source->count());
+  ParisBuilder builder(index.get(), base.get(), cache.get(), options,
+                       total_series);
   PARISAX_RETURN_IF_ERROR(builder.Run(*source));
   index->source_ = std::move(source);
+
+  auto state = std::make_shared<ServingState>();
+  state->base = std::move(base);
+  state->base_count = total_series;
+  state->cache = std::move(cache);
+  state->raw = RawDataView{index->source_->ContiguousData(),
+                           options.tree.series_length};
+  state->count = total_series;
+  index->dock_.Publish(std::move(state));
   return index;
 }
 
@@ -446,38 +511,97 @@ Status ParisIndex::Append(const Value* values, size_t count,
                           std::vector<uint32_t>* touched_roots) {
   if (touched_roots != nullptr) touched_roots->clear();
   if (count == 0) return Status::OK();
-  const SeriesId first = source_->count();
+  const SeriesId first = dock_.get()->count;
 
+  // Grow the source first (the source retires — never frees — the
+  // buffers behind published raw views), then build the segment from
+  // the caller's values and publish both in one atomic step.
   PARISAX_RETURN_IF_ERROR(source_->AppendSeries(values, count));
-  cache_.Grow(first + count);
-
-  PARISAX_RETURN_IF_ERROR(
-      AppendTailToTree(&tree_, values, count, first, exec,
-                       leaf_storage_.get(), &cache_, touched_roots));
-  // O(batch) bookkeeping: a full tree_.Collect() walk per append would
-  // make ingest O(index size) while queries are gated out. Only
-  // total_entries is maintained incrementally; the other shape stats
-  // reflect the last full build (debug builds still verify the count
-  // against a real walk).
+  std::shared_ptr<const Segment> segment;
+  PARISAX_ASSIGN_OR_RETURN(
+      segment, BuildSegment(values, count, first, tree_options_,
+                            /*with_sax_rows=*/true, exec));
+  if (touched_roots != nullptr) {
+    *touched_roots = segment->tree.PresentRoots();
+  }
+  dock_.PublishAppend(std::move(segment),
+                      RawDataView{source_->ContiguousData(),
+                                  tree_options_.series_length},
+                      source_->count());
+  // O(batch) bookkeeping: only total_entries is maintained
+  // incrementally; the other shape stats reflect the last full build.
   build_stats_.tree.total_entries += count;
-  assert(tree_.Collect().total_entries == source_->count());
+#ifndef NDEBUG
+  {
+    const auto snap = dock_.get();
+    size_t total = snap->base->Collect().total_entries;
+    for (const auto& seg : snap->segments) {
+      total += seg->tree.Collect().total_entries;
+    }
+    assert(total == snap->count);
+  }
+#endif
   return Status::OK();
+}
+
+Result<bool> ParisIndex::FoldSegments(
+    const std::shared_ptr<const ServingState>& snap, size_t folded,
+    Executor* exec) {
+  if (folded == 0) return true;
+  if (folded > snap->segments.size()) {
+    return Status::InvalidArgument("fold count exceeds the segment list");
+  }
+  // Collect the base's entries (reading back any flushed chunks) plus
+  // the folded segments'.
+  std::vector<LeafEntry> entries;
+  PARISAX_RETURN_IF_ERROR(
+      CollectTreeEntries(*snap->base, leaf_storage_.get(), &entries));
+  size_t new_base_count = snap->base_count;
+  for (size_t i = 0; i < folded; ++i) {
+    PARISAX_RETURN_IF_ERROR(CollectTreeEntries(snap->segments[i]->tree,
+                                               /*storage=*/nullptr,
+                                               &entries));
+    new_base_count += snap->segments[i]->count;
+  }
+  auto base = std::make_shared<SaxTree>(tree_options_);
+  PARISAX_RETURN_IF_ERROR(BuildTreeFromEntries(base.get(), entries, exec));
+  if (base->Collect().total_entries != new_base_count) {
+    return Status::Internal("ParIS fold lost series");
+  }
+  auto cache = std::make_shared<FlatSaxCache>(new_base_count);
+  for (const LeafEntry& e : entries) *cache->MutableAt(e.id) = e.sax;
+  return dock_.TryFold(snap, folded, std::move(base), std::move(cache),
+                       new_base_count);
+}
+
+Result<bool> ParisIndex::MergeSegmentRun(
+    const std::shared_ptr<const ServingState>& snap, size_t folded,
+    Executor* exec) {
+  if (folded < 2 || folded > snap->segments.size()) {
+    return Status::InvalidArgument("merge run out of range");
+  }
+  const std::vector<std::shared_ptr<const Segment>> parts(
+      snap->segments.begin(), snap->segments.begin() + folded);
+  std::shared_ptr<const Segment> merged;
+  PARISAX_ASSIGN_OR_RETURN(merged,
+                           MergeSegments(parts, tree_options_, exec));
+  return dock_.TryMergeSegments(snap, folded, std::move(merged));
 }
 
 Result<Neighbor> ParisIndex::SearchApproximate(SeriesView query,
                                                QueryStats* stats) const {
-  if (query.size() != tree_.options().series_length) {
+  if (query.size() != tree_options_.series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
   WallTimer timer;
-  const int w = tree_.options().segments;
+  const auto snap = dock_.get();
+  const int w = tree_options_.segments;
   float paa[kMaxSegments];
   ComputePaa(query, w, paa);
   SaxSymbols sax;
   SymbolsFromPaa(paa, w, &sax);
-  auto result =
-      ApproximateLeafSearch(tree_, leaf_storage_.get(), *source_, query, paa,
-                            sax, KernelPolicy::kAuto, stats);
+  auto result = ProbeAllTrees(*snap, *source_, leaf_storage_.get(), query,
+                              paa, sax, KernelPolicy::kAuto, stats);
   if (stats != nullptr) stats->total_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -486,39 +610,52 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
                                          const ParisQueryOptions& options,
                                          Executor* exec,
                                          QueryStats* stats) const {
-  if (query.size() != tree_.options().series_length) {
+  if (query.size() != tree_options_.series_length) {
     return Status::InvalidArgument("query length does not match the index");
   }
   WallTimer total;
-  const int w = tree_.options().segments;
-  const size_t n = tree_.options().series_length;
+  const auto snap = dock_.get();
+  const int w = tree_options_.segments;
+  const size_t n = tree_options_.series_length;
   float paa[kMaxSegments];
   ComputePaa(query, w, paa);
   SaxSymbols sax;
   SymbolsFromPaa(paa, w, &sax);
 
-  // Phase 1: BSF from the approximate-match leaf.
+  // Phase 1: BSF from the approximate-match leaves (base + segments).
   WallTimer approx_timer;
   Neighbor best;
   PARISAX_ASSIGN_OR_RETURN(
-      best, ApproximateLeafSearch(tree_, leaf_storage_.get(), *source_,
-                                  query, paa, sax, options.kernel, stats));
+      best, ProbeAllTrees(*snap, *source_, leaf_storage_.get(), query, paa,
+                          sax, options.kernel, stats));
   if (stats != nullptr) {
     stats->approx_phase_seconds = approx_timer.ElapsedSeconds();
   }
 
-  // Phase 2: lower-bound workers filter the flat SAX array in parallel.
+  // SAX summary of series `id` within the snapshot: the base's flat
+  // array, or the owning segment's rows.
+  const auto sax_at = [&snap](SeriesId id) -> const SaxSymbols* {
+    if (id < snap->base_count) return &snap->cache->At(id);
+    for (const auto& seg : snap->segments) {
+      if (id - seg->first < seg->count) {
+        return &seg->sax_rows[id - seg->first];
+      }
+    }
+    return nullptr;  // unreachable for id < snap->count
+  };
+
+  // Phase 2: lower-bound workers filter the SAX summaries in parallel.
   WallTimer filter_timer;
   const float bsf0 = best.distance_sq;
-  std::vector<SeriesId> candidates(cache_.count());
+  std::vector<SeriesId> candidates(snap->count);
   std::atomic<size_t> tail{0};
   {
-    WorkCounter counter(cache_.count());
+    WorkCounter counter(snap->count);
     exec->Run([&](int) {
       size_t begin, end;
       while (counter.NextBatch(options.filter_grain, &begin, &end)) {
         for (SeriesId i = begin; i < end; ++i) {
-          const float lb = MinDistPaaToSymbolsSq(paa, cache_.At(i), w, n);
+          const float lb = MinDistPaaToSymbolsSq(paa, *sax_at(i), w, n);
           if (lb < bsf0) {
             candidates[tail.fetch_add(1, std::memory_order_relaxed)] = i;
           }
@@ -530,7 +667,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
   // Skip-sequential order for the raw-data reads.
   std::sort(candidates.begin(), candidates.begin() + num_candidates);
   if (stats != nullptr) {
-    stats->lb_checks += cache_.count();
+    stats->lb_checks += snap->count;
     stats->candidates += num_candidates;
     stats->filter_phase_seconds = filter_timer.ElapsedSeconds();
   }
@@ -541,7 +678,30 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
   std::mutex best_mu;
   std::atomic<bool> failed{false};
   Status worker_status;
-  if (source_->PrefersSequentialAccess()) {
+  if (snap->raw.base != nullptr) {
+    // Addressable snapshot: refine straight off the pinned raw view —
+    // no source virtuals, so a concurrent append can't interfere.
+    WorkCounter counter(num_candidates);
+    exec->Run([&](int) {
+      size_t begin, end;
+      while (counter.NextBatch(options.refine_grain, &begin, &end)) {
+        for (size_t c = begin; c < end; ++c) {
+          const SeriesId id = candidates[c];
+          const float bound = bsf.Load();
+          const float d = SquaredEuclideanEarlyAbandon(
+              query, snap->raw.series(id), bound, options.kernel);
+          if (d < bound) {
+            bsf.UpdateMin(d);
+            std::lock_guard<std::mutex> lock(best_mu);
+            if (d < best.distance_sq ||
+                (d == best.distance_sq && id < best.id)) {
+              best = Neighbor{id, d};
+            }
+          }
+        }
+      }
+    });
+  } else if (source_->PrefersSequentialAccess()) {
     // Spinning disk: racing workers would destroy the skip-sequential
     // order and pay a seek per candidate. One I/O stream reads the
     // sorted candidates in chunks; the pool computes distances per

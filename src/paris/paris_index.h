@@ -22,6 +22,15 @@
 // For in-memory datasets the same machinery runs without a coordinator
 // read phase or leaf materialization (used by Figs. 7/9/12).
 //
+// Incremental ingest (beyond the paper): the index serves an immutable
+// snapshot — the bulk-built base (tree + flat SAX array) plus an ordered
+// list of delta segments that carry their own SAX rows
+// (src/index/segment.h). Append builds a new segment and publishes it;
+// queries capture one snapshot at entry, filter the base's SAX array and
+// every segment's rows under one shared bound, and refine against the
+// pinned raw view — so appends over addressable sources never exclude
+// queries.
+//
 // Query answering (both variants): seed the BSF from the approximate-
 // match leaf, filter the flat SAX array in parallel with SIMD mindist,
 // then compute real distances of surviving candidates in parallel with a
@@ -37,6 +46,7 @@
 #include "index/leaf_storage.h"
 #include "index/query_stats.h"
 #include "index/raw_source.h"
+#include "index/segment.h"
 #include "index/tree.h"
 #include "util/status.h"
 #include "util/threading.h"
@@ -110,14 +120,14 @@ class ParisIndex {
       const ParisBuildOptions& options);
 
   /// Incremental ingest: appends `count` series (count * length values,
-  /// row-major, already z-normalized) to the owned source, grows the
-  /// flat SAX array, and inserts just the new ids into their subtrees
-  /// (in parallel on `exec`, one worker per touched root). New entries
-  /// stay in memory; existing flushed chunks are untouched.
-  /// `touched_roots` (optional) receives the ascending keys of the
-  /// subtrees that received entries — the delta-snapshot dirty set.
-  /// Callers must exclude concurrent queries for the duration (the
-  /// Engine append gate does); requires raw_source()->appendable().
+  /// row-major, already z-normalized) to the owned source, then builds
+  /// an immutable delta segment (tree + SAX rows) over just the new ids
+  /// and publishes it onto the serving snapshot. `touched_roots`
+  /// (optional) receives the ascending root keys the segment populated.
+  /// Over an addressable source, queries proceed concurrently (they
+  /// keep the snapshot they captured at entry); callers serialize
+  /// appends with each other (the Engine append mutex does). Requires
+  /// raw_source()->appendable().
   Status Append(const Value* values, size_t count, Executor* exec,
                 std::vector<uint32_t>* touched_roots = nullptr);
 
@@ -125,35 +135,61 @@ class ParisIndex {
   /// `exec` supplies the query's parallelism: a ThreadPool fans the
   /// filter/refine phases out over every core, an InlineExecutor runs
   /// the whole query on the calling thread so many queries can run
-  /// concurrently. All mutable state is per-call.
+  /// concurrently. All mutable state is per-call (including the serving
+  /// snapshot captured at entry).
   Result<Neighbor> SearchExact(SeriesView query,
                                const ParisQueryOptions& options,
                                Executor* exec,
                                QueryStats* stats = nullptr) const;
 
-  /// Approximate 1-NN: real distances within the approximate leaf only.
+  /// Approximate 1-NN: best real distance within the matching leaf of
+  /// the base and of every segment.
   Result<Neighbor> SearchApproximate(SeriesView query,
                                      QueryStats* stats = nullptr) const;
 
-  const SaxTree& tree() const { return tree_; }
-  const FlatSaxCache& cache() const { return cache_; }
+  /// Current serving snapshot (base + segments). Cheap: copies one
+  /// shared_ptr under a brief lock.
+  std::shared_ptr<const ServingState> serving() const { return dock_.get(); }
+
+  /// Folds the first `folded` segments of `snap` into a fresh base
+  /// (tree + flat SAX array) and splices it in. Runs entirely off the
+  /// serving path; the splice is discarded (returns false) if the
+  /// serving state's base or folded segments changed since `snap` was
+  /// captured. Safe to run concurrently with queries and appends.
+  Result<bool> FoldSegments(const std::shared_ptr<const ServingState>& snap,
+                            size_t folded, Executor* exec);
+
+  /// Minor compaction: merges the first `folded` segments of `snap` into
+  /// one segment (same discard semantics as FoldSegments).
+  Result<bool> MergeSegmentRun(
+      const std::shared_ptr<const ServingState>& snap, size_t folded,
+      Executor* exec);
+
+  // Base tree / SAX array of the current snapshot. For quiescent
+  // callers (tests, persistence): the references are only stable while
+  // nothing publishes a new snapshot.
+  const SaxTree& tree() const { return *dock_.get()->base; }
+  const FlatSaxCache& cache() const { return *dock_.get()->cache; }
+  const SaxTreeOptions& tree_options() const { return tree_options_; }
   const ParisBuildStats& build_stats() const { return build_stats_; }
   RawSeriesSource* raw_source() const { return source_.get(); }
   LeafStorage* leaf_storage() const { return leaf_storage_.get(); }
+  /// Series in the indexed collection (as of the current snapshot).
+  size_t series_count() const { return dock_.get()->count; }
 
  private:
   explicit ParisIndex(const SaxTreeOptions& tree_options)
-      : tree_(tree_options) {}
+      : tree_options_(tree_options) {}
 
   friend class ParisBuilder;
-  /// Snapshot restore (src/persist/) rebuilds tree_/cache_/source_ in
-  /// place.
+  /// Snapshot restore (src/persist/) reconstructs the serving state.
   friend class SnapshotReader;
 
-  SaxTree tree_;
-  FlatSaxCache cache_;
+  SaxTreeOptions tree_options_;
   std::unique_ptr<RawSeriesSource> source_;
   std::unique_ptr<LeafStorage> leaf_storage_;
+  /// The serving snapshot publication point (see segment.h).
+  ServingDock dock_;
   ParisBuildStats build_stats_;
 };
 

@@ -358,12 +358,14 @@ Status WriteSnapshotFile(const SnapshotInfo& info, const std::string& link,
 }
 
 /// Serializes the subtrees under `keys` (ascending, with live roots)
-/// plus the flat-SAX rows [sax_first, series_count) and writes a
-/// snapshot file: a version-1 full snapshot when `link` is empty, a
-/// version-2 delta otherwise.
+/// plus `sax_row_count` flat-SAX rows and writes a snapshot file: a
+/// version-1 full snapshot when `link` is empty, a version-3 delta
+/// otherwise. For kParis the caller supplies exactly the rows the
+/// reader will expect: all of them for a full snapshot, the segment's
+/// own rows for a delta.
 Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
-                    const SaxTree& tree, const FlatSaxCache* sax,
-                    uint64_t sax_first, LeafStorage* storage,
+                    const SaxTree& tree, const SaxSymbols* sax_rows,
+                    uint64_t sax_row_count, LeafStorage* storage,
                     uint64_t series_count,
                     const std::vector<uint32_t>& keys,
                     const std::string& link, const std::string& path,
@@ -398,8 +400,6 @@ Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
     payload_bytes += blob.payload.size();
   }
 
-  const uint64_t sax_rows =
-      sax != nullptr ? series_count - sax_first : 0;
   SnapshotInfo info;
   info.version = link.empty() ? kSnapshotVersion : kSnapshotVersionDelta;
   info.kind = kind;
@@ -409,12 +409,11 @@ Status SaveSnapshot(SnapshotKind kind, uint8_t algorithm,
   info.subtree_count = keys.size();
   info.total_entries = total_entries;
   info.file_bytes = kSnapshotHeaderBytes + link.size() +
-                    sax_rows * sizeof(SaxSymbols) +
+                    sax_row_count * sizeof(SaxSymbols) +
                     keys.size() * kDirRecordBytes + topo_bytes +
                     payload_bytes + kTrailerBytes;
-  return WriteSnapshotFile(info, link,
-                           sax_rows > 0 ? &sax->At(sax_first) : nullptr,
-                           sax_rows, blobs, path);
+  return WriteSnapshotFile(info, link, sax_rows, sax_row_count, blobs,
+                           path);
 }
 
 // --- load -------------------------------------------------------------
@@ -499,7 +498,7 @@ Result<VerifiedSnapshot> OpenAndVerify(const std::string& path) {
 }
 
 Status ParseNode(Node* node, Cursor* cursor, const uint8_t* payload,
-                 uint64_t payload_entries, int segments,
+                 uint64_t payload_entries, int segments, uint64_t min_id,
                  uint64_t series_count, const std::string& path) {
   uint8_t tag;
   if (!cursor->Read(&tag)) {
@@ -520,10 +519,10 @@ Status ParseNode(Node* node, Cursor* cursor, const uint8_t* payload,
     }
     node->MakeInner(segment);
     PARISAX_RETURN_IF_ERROR(ParseNode(node->child(0), cursor, payload,
-                                      payload_entries, segments,
+                                      payload_entries, segments, min_id,
                                       series_count, path));
     return ParseNode(node->child(1), cursor, payload, payload_entries,
-                     segments, series_count, path);
+                     segments, min_id, series_count, path);
   }
   if (tag != kTagLeaf) {
     return Status::Corruption("snapshot topology has unknown node tag: " +
@@ -543,7 +542,10 @@ Status ParseNode(Node* node, Cursor* cursor, const uint8_t* payload,
     LeafEntry& e = entries[i];
     std::memcpy(e.sax.symbols, p, sizeof(e.sax.symbols));
     e.id = LoadPod<uint64_t>(p + sizeof(e.sax.symbols));
-    if (e.id >= series_count) {
+    // Deltas may only hold the ids of their own segment range: a stray
+    // base id would corrupt the restored segment's id-range invariant
+    // (ParIS resolves segment SAX rows by `id - segment.first`).
+    if (e.id < min_id || e.id >= series_count) {
       return Status::Corruption("snapshot entry id out of range: " + path);
     }
     if (!WordContains(node->word(), e.sax, segments)) {
@@ -573,13 +575,14 @@ Status RestoreTree(const VerifiedSnapshot& snap, SaxTree* tree,
       const DirRecord r =
           LoadDirRecord(snap.directory + i * kDirRecordBytes);
       // Keys are validated distinct, so each worker owns its root.
-      // Recreate rather than reuse: when this file is a delta, the
-      // stored subtree replaces the base's wholesale.
+      // Each file restores into its own fresh tree (the base's, or a
+      // rehydrated segment's), so roots never collide across files.
       Node* root = tree->RecreateRoot(r.key);
       Cursor cursor{data + r.topo_offset, data + r.topo_offset +
                                               r.topo_bytes};
       Status st = ParseNode(root, &cursor, data + r.payload_offset,
                             r.entry_count, segments,
+                            snap.info.prev_series_count,
                             snap.info.series_count, path);
       if (st.ok() && cursor.remaining() != 0) {
         st = Status::Corruption(
@@ -617,6 +620,68 @@ Status CheckSourceShape(const SnapshotInfo& info,
 /// the index classes; all restore logic funnels through here.
 class SnapshotReader {
  public:
+  /// Restores the chain into a serving snapshot: the base file becomes
+  /// the base tree (and flat-SAX cache for ParIS), each delta a
+  /// rehydrated immutable Segment — deltas are never replayed into the
+  /// base, the serving-side merge covers them. Per-file entry counts
+  /// are verified against the id ranges the chain links declare.
+  static Status RestoreChain(const std::vector<SnapshotChainEntry>& chain,
+                             Executor* exec, ServingState* state,
+                             TreeStats* stats) {
+    const SnapshotInfo& base_info = chain.front().info;
+    const bool paris = base_info.kind == SnapshotKind::kParis;
+    {
+      VerifiedSnapshot snap;
+      PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(chain.front().path));
+      auto base = std::make_shared<SaxTree>(base_info.tree);
+      PARISAX_RETURN_IF_ERROR(RestoreTree(snap, base.get(), exec));
+      *stats = base->Collect();
+      if (stats->total_entries != base_info.series_count) {
+        return Status::Corruption("restored base tree lost entries: " +
+                                  chain.front().path);
+      }
+      if (paris) {
+        auto cache =
+            std::make_shared<FlatSaxCache>(base_info.series_count);
+        if (snap.sax_rows > 0) {
+          std::memcpy(cache->MutableAt(0), snap.sax,
+                      snap.sax_rows * sizeof(SaxSymbols));
+        }
+        state->cache = std::move(cache);
+      }
+      state->base = std::move(base);
+      state->base_count = base_info.series_count;
+    }
+    for (size_t i = 1; i < chain.size(); ++i) {
+      const SnapshotInfo& info = chain[i].info;
+      VerifiedSnapshot snap;
+      PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(chain[i].path));
+      auto segment = std::make_shared<Segment>(info.tree);
+      segment->first = info.prev_series_count;
+      segment->count = info.series_count - info.prev_series_count;
+      PARISAX_RETURN_IF_ERROR(
+          RestoreTree(snap, &segment->tree, exec));
+      const TreeStats segment_stats = segment->tree.Collect();
+      if (segment_stats.total_entries != segment->count) {
+        return Status::Corruption(
+            "restored delta segment lost entries: " + chain[i].path);
+      }
+      if (paris) {
+        // OpenAndVerify bounds the SAX section to exactly the segment's
+        // rows (series_count - prev_series_count).
+        segment->sax_rows.resize(segment->count);
+        if (snap.sax_rows > 0) {
+          std::memcpy(segment->sax_rows.data(), snap.sax,
+                      snap.sax_rows * sizeof(SaxSymbols));
+        }
+      }
+      stats->total_entries += segment_stats.total_entries;
+      state->segments.push_back(std::move(segment));
+    }
+    state->count = chain.back().info.series_count;
+    return Status::OK();
+  }
+
   static Result<std::unique_ptr<MessiIndex>> LoadMessi(
       const std::string& path, std::unique_ptr<RawSeriesSource> source,
       Executor* exec) {
@@ -630,21 +695,12 @@ class SnapshotReader {
     PARISAX_RETURN_IF_ERROR(CheckSourceShape(head, *source));
     auto index = std::unique_ptr<MessiIndex>(new MessiIndex(head.tree));
     PARISAX_RETURN_IF_ERROR(index->AttachSource(std::move(source)));
-    // Replay: the base restores every subtree; each delta then replaces
-    // the subtrees it touched, wholesale.
-    for (const SnapshotChainEntry& entry : chain) {
-      VerifiedSnapshot snap;
-      PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(entry.path));
-      PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
-    }
-    index->build_stats_.tree = index->tree_.Collect();
-    const uint64_t expected = chain.size() == 1
-                                  ? head.total_entries
-                                  : head.series_count;
-    if (index->build_stats_.tree.total_entries != expected) {
-      return Status::Corruption(
-          "restored MESSI tree lost entries: " + path);
-    }
+    auto state = std::make_shared<ServingState>();
+    PARISAX_RETURN_IF_ERROR(RestoreChain(
+        chain, exec, state.get(), &index->build_stats_.tree));
+    state->raw = RawDataView{index->source_->ContiguousData(),
+                             head.tree.series_length};
+    index->dock_.Publish(std::move(state));
     return index;
   }
 
@@ -660,29 +716,17 @@ class SnapshotReader {
     }
     PARISAX_RETURN_IF_ERROR(CheckSourceShape(head, *source));
     auto index = std::unique_ptr<ParisIndex>(new ParisIndex(head.tree));
-    // Sized for the whole chain up front: the base fills [0, base
-    // count), each delta its appended rows.
-    index->cache_ = FlatSaxCache(head.series_count);
     index->source_ = std::move(source);
     // Leaves were inlined at save time; the restored index never needs a
     // LeafStorage.
-    for (const SnapshotChainEntry& entry : chain) {
-      VerifiedSnapshot snap;
-      PARISAX_ASSIGN_OR_RETURN(snap, OpenAndVerify(entry.path));
-      if (snap.sax_rows > 0) {
-        std::memcpy(index->cache_.MutableAt(snap.info.prev_series_count),
-                    snap.sax, snap.sax_rows * sizeof(SaxSymbols));
-      }
-      PARISAX_RETURN_IF_ERROR(RestoreTree(snap, &index->tree_, exec));
-    }
-    index->build_stats_.tree = index->tree_.Collect();
-    const uint64_t expected = chain.size() == 1
-                                  ? head.total_entries
-                                  : head.series_count;
-    if (index->build_stats_.tree.total_entries != expected) {
-      return Status::Corruption(
-          "restored ParIS tree lost entries: " + path);
-    }
+    auto state = std::make_shared<ServingState>();
+    PARISAX_RETURN_IF_ERROR(RestoreChain(
+        chain, exec, state.get(), &index->build_stats_.tree));
+    // Streamed sources have no contiguous block; raw.base stays null and
+    // queries fetch through the source, exactly as after a build.
+    state->raw = RawDataView{index->source_->ContiguousData(),
+                             head.tree.series_length};
+    index->dock_.Publish(std::move(state));
     return index;
   }
 };
@@ -776,14 +820,6 @@ Result<std::vector<SnapshotChainEntry>> ReadSnapshotChain(
 
 namespace {
 
-/// Touched-root sets arrive unordered and possibly duplicated; the
-/// directory format wants ascending distinct keys.
-std::vector<uint32_t> SortedUniqueKeys(std::vector<uint32_t> keys) {
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
-}
-
 Status ValidateDeltaOptions(const SnapshotDeltaSaveOptions& options,
                             uint64_t series_count) {
   if (options.base_path.empty()) {
@@ -810,47 +846,58 @@ Status ValidateDeltaOptions(const SnapshotDeltaSaveOptions& options,
 
 Status SaveIndex(const MessiIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options) {
+  // One coherent snapshot for the whole save (the Engine additionally
+  // holds its append mutex, so nothing publishes meanwhile).
+  const auto snap = index.serving();
+  if (!snap->segments.empty()) {
+    return Status::InvalidArgument(
+        "full snapshot requires a fully folded index: fold the live "
+        "segments first");
+  }
   return SaveSnapshot(SnapshotKind::kMessi, options.algorithm,
-                      index.tree(), /*sax=*/nullptr, /*sax_first=*/0,
-                      /*storage=*/nullptr, index.series_count(),
-                      index.tree().PresentRoots(), /*link=*/"", path,
-                      exec);
+                      *snap->base, /*sax_rows=*/nullptr,
+                      /*sax_row_count=*/0, /*storage=*/nullptr,
+                      snap->count, snap->base->PresentRoots(),
+                      /*link=*/"", path, exec);
 }
 
 Status SaveIndex(const ParisIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options) {
+  const auto snap = index.serving();
+  if (!snap->segments.empty()) {
+    return Status::InvalidArgument(
+        "full snapshot requires a fully folded index: fold the live "
+        "segments first");
+  }
   return SaveSnapshot(SnapshotKind::kParis, options.algorithm,
-                      index.tree(), &index.cache(), /*sax_first=*/0,
-                      index.leaf_storage(), index.cache().count(),
-                      index.tree().PresentRoots(), /*link=*/"", path,
-                      exec);
+                      *snap->base,
+                      snap->cache->count() > 0 ? &snap->cache->At(0)
+                                               : nullptr,
+                      snap->cache->count(), index.leaf_storage(),
+                      snap->count, snap->base->PresentRoots(),
+                      /*link=*/"", path, exec);
 }
 
-Status SaveIndexDelta(const MessiIndex& index,
-                      const std::vector<uint32_t>& touched_roots,
-                      const std::string& path, Executor* exec,
-                      const SnapshotDeltaSaveOptions& options) {
-  PARISAX_RETURN_IF_ERROR(
-      ValidateDeltaOptions(options, index.series_count()));
-  return SaveSnapshot(SnapshotKind::kMessi, options.algorithm,
-                      index.tree(), /*sax=*/nullptr,
-                      options.prev_series_count, /*storage=*/nullptr,
-                      index.series_count(),
-                      SortedUniqueKeys(touched_roots),
-                      EncodeDeltaLink(options), path, exec);
-}
-
-Status SaveIndexDelta(const ParisIndex& index,
-                      const std::vector<uint32_t>& touched_roots,
-                      const std::string& path, Executor* exec,
-                      const SnapshotDeltaSaveOptions& options) {
-  PARISAX_RETURN_IF_ERROR(
-      ValidateDeltaOptions(options, index.cache().count()));
-  return SaveSnapshot(SnapshotKind::kParis, options.algorithm,
-                      index.tree(), &index.cache(),
-                      options.prev_series_count, index.leaf_storage(),
-                      index.cache().count(),
-                      SortedUniqueKeys(touched_roots),
+Status SaveSegmentDelta(SnapshotKind kind, const Segment& segment,
+                        const std::string& path, Executor* exec,
+                        const SnapshotDeltaSaveOptions& options) {
+  const uint64_t series_count = segment.first + segment.count;
+  PARISAX_RETURN_IF_ERROR(ValidateDeltaOptions(options, series_count));
+  if (options.prev_series_count != segment.first) {
+    return Status::InvalidArgument(
+        "delta segment does not start at the predecessor's series "
+        "count");
+  }
+  const bool paris = kind == SnapshotKind::kParis;
+  if (paris && segment.sax_rows.size() != segment.count) {
+    return Status::InvalidArgument(
+        "ParIS delta segment is missing its flat-SAX rows");
+  }
+  return SaveSnapshot(kind, options.algorithm, segment.tree,
+                      paris && segment.count > 0 ? segment.sax_rows.data()
+                                                 : nullptr,
+                      paris ? segment.count : 0, /*storage=*/nullptr,
+                      series_count, segment.tree.PresentRoots(),
                       EncodeDeltaLink(options), path, exec);
 }
 

@@ -12,14 +12,18 @@
 //   version 1 — full snapshot: flat SAX (ParIS only), a directory of
 //     every root subtree, per-subtree pre-order topology streams, leaf
 //     payload, body CRC-32 trailer.
-//   version 2 — delta snapshot (incremental ingest): a chain-link
+//   version 3 — delta snapshot (segment-based ingest): a chain-link
 //     section back-referencing the predecessor file (path + its stored
-//     header CRC + the predecessor's series count), the *new* flat SAX
-//     rows only (ParIS), and the directory/topology/payload of just the
-//     subtrees touched since the predecessor was written. Loading a
-//     delta walks the back-references to the version-1 base, restores
-//     it, then replays each delta in order by replacing its touched
-//     subtrees wholesale.
+//     header CRC + the predecessor's series count), then exactly one
+//     serialized *segment* (src/index/segment.h) covering the series
+//     appended since the predecessor — its flat SAX rows (ParIS only)
+//     and the directory/topology/payload of the segment's own
+//     mini-tree. Deltas map 1:1 onto in-memory segments: loading a
+//     chain restores the version-1 base, rehydrates each delta as an
+//     immutable segment on the serving snapshot, and serves — queries
+//     merge base and segments, so no replay into the base is needed.
+//     (Version 2 — subtree-replacement deltas — is no longer written;
+//     readers reject it with kNotSupported.)
 //
 // Save and load both fan out per root subtree over an Executor (the same
 // no-synchronization-inside-a-subtree discipline the builders use).
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "index/raw_source.h"
+#include "index/segment.h"
 #include "index/tree.h"
 #include "messi/messi_index.h"
 #include "paris/paris_index.h"
@@ -48,9 +53,10 @@ namespace parisax {
 /// no in-place migration).
 inline constexpr uint32_t kSnapshotVersion = 1;
 
-/// Delta-snapshot format version (append-only chain links; see
-/// docs/snapshot-format.md).
-inline constexpr uint32_t kSnapshotVersionDelta = 2;
+/// Delta-snapshot format version (append-only chain links, one segment
+/// per file; see docs/snapshot-format.md). Version 2 — the former
+/// subtree-replacement delta — is retired and rejected.
+inline constexpr uint32_t kSnapshotVersionDelta = 3;
 
 /// Largest accepted delta depth behind one base: a chain holds at most
 /// 1 + kMaxSnapshotChain files. Bounds replay work and makes
@@ -85,15 +91,15 @@ struct SnapshotInfo {
   /// CRC-32 stored in the header (identifies the file in chain links).
   uint32_t header_crc = 0;
 
-  /// True for a version-2 delta snapshot; the link fields below are
+  /// True for a version-3 delta snapshot; the link fields below are
   /// then populated by ReadSnapshotInfo.
   bool is_delta = false;
   /// Chain link (deltas only): the predecessor file this delta extends.
   std::string base_path;
   /// The predecessor's stored header CRC; must match at load time.
   uint32_t base_header_crc = 0;
-  /// The predecessor's series count (the new flat-SAX rows cover
-  /// [prev_series_count, series_count)).
+  /// The predecessor's series count: the delta's segment covers ids
+  /// [prev_series_count, series_count).
   uint64_t prev_series_count = 0;
   /// Links back to the base: 0 for a full snapshot, n for the n-th
   /// delta.
@@ -140,34 +146,31 @@ Result<std::vector<SnapshotChainEntry>> ReadSnapshotChain(
     const std::string& head_path);
 
 /// Serializes a MESSI index to `path`, replacing any existing file.
-/// Subtrees are serialized in parallel on `exec`.
+/// The serving snapshot must be fully folded (no live segments — the
+/// Engine folds before a full save); subtrees are serialized in
+/// parallel on `exec`.
 Status SaveIndex(const MessiIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options = {});
 
-/// Serializes a ParIS/ParIS+ index (tree + flat SAX array). Leaves with
+/// Serializes a ParIS/ParIS+ index (tree + flat SAX array); requires a
+/// fully folded serving snapshot, like the MESSI overload. Leaves with
 /// chunks materialized in LeafStorage are inlined, so the snapshot is
 /// self-contained and the restored index never touches the .leaves file.
 Status SaveIndex(const ParisIndex& index, const std::string& path,
                  Executor* exec, const SnapshotSaveOptions& options = {});
 
-/// Writes a delta snapshot holding only `touched_roots` (the subtrees
-/// Append grew since options.base_path was written), chained to the
-/// predecessor by header back-reference. `touched_roots` need not be
-/// sorted or unique; keys without a live subtree are rejected.
-Status SaveIndexDelta(const MessiIndex& index,
-                      const std::vector<uint32_t>& touched_roots,
-                      const std::string& path, Executor* exec,
-                      const SnapshotDeltaSaveOptions& options);
-
-/// ParIS delta: additionally stores the flat-SAX rows of the series
-/// appended since the predecessor ([prev_series_count, count)).
-Status SaveIndexDelta(const ParisIndex& index,
-                      const std::vector<uint32_t>& touched_roots,
-                      const std::string& path, Executor* exec,
-                      const SnapshotDeltaSaveOptions& options);
+/// Writes a version-3 delta snapshot holding exactly `segment` — the
+/// series appended since options.base_path was written — chained to the
+/// predecessor by header back-reference. `segment.first` must equal
+/// options.prev_series_count; for kParis the segment must carry its
+/// flat-SAX rows.
+Status SaveSegmentDelta(SnapshotKind kind, const Segment& segment,
+                        const std::string& path, Executor* exec,
+                        const SnapshotDeltaSaveOptions& options);
 
 /// Restores a MESSI index from `path` — a full snapshot, or a delta
-/// chain head whose base and links are then replayed in order. `source`
+/// chain head whose base is restored and whose deltas are rehydrated
+/// as serving segments, in chain order. `source`
 /// supplies the raw series (it must match the head's collection shape
 /// and be directly addressable — an InMemorySource or MmapSource); the
 /// index takes ownership. Subtrees are deserialized in parallel on

@@ -69,9 +69,11 @@ int main() {
       "as `—`.\n"
       "\n"
       "| algorithm | residency | buildable | max k | dtw | dtw k-NN | "
-      "approximate | snapshot | streamed build | append |\n"
+      "approximate | snapshot | streamed build | append | background "
+      "compaction |\n"
       "|-----------|-----------|-----------|-------|-----|----------|"
-      "-------------|----------|----------------|--------|\n");
+      "-------------|----------|----------------|--------|"
+      "-----------------------|\n");
 
   for (const Algorithm a : kAlgorithms) {
     for (const SourceResidency r : kResidencies) {
@@ -79,17 +81,18 @@ int main() {
       // cannot drift either.
       if (!CanBuildOver(a, r)) {
         std::printf(
-            "| `%s` | %s | no | — | — | — | — | — | — | — |\n",
+            "| `%s` | %s | no | — | — | — | — | — | — | — | — |\n",
             AlgorithmName(a), SourceResidencyName(r));
         continue;
       }
       const EngineCapabilities caps = NarrowCapabilities(a, r);
       std::printf(
-          "| `%s` | %s | yes | %s | %s | %s | %s | %s | %s | %s |\n",
+          "| `%s` | %s | yes | %s | %s | %s | %s | %s | %s | %s | %s |\n",
           AlgorithmName(a), SourceResidencyName(r),
           MaxK(caps.max_k).c_str(), YesNo(caps.dtw), YesNo(caps.dtw_knn),
           YesNo(caps.approximate), YesNo(caps.snapshot),
-          YesNo(caps.streaming_build), YesNo(caps.append));
+          YesNo(caps.streaming_build), YesNo(caps.append),
+          YesNo(caps.background_compaction));
     }
   }
 
@@ -108,6 +111,13 @@ int main() {
       "- `snapshot` covers `Engine::Save`/`Open`/`Compact`, including\n"
       "  append-only delta chains (see\n"
       "  [snapshot-format.md](snapshot-format.md)).\n"
+      "- `background compaction`: the engine may run the segment\n"
+      "  compactor thread that folds appended delta segments into the\n"
+      "  base index off the serving path (see\n"
+      "  [architecture.md](architecture.md)). Requires `append` and an\n"
+      "  addressable source; `EngineOptions::background_compaction`\n"
+      "  can still turn it off per engine, and ParIS+ engines with\n"
+      "  on-disk leaf storage fall back to synchronous folding.\n"
       "- `SourceSpec::Custom` engines are narrowed at runtime from the\n"
       "  live source (`addressable()`, `appendable()`), not from this\n"
       "  table.\n");
