@@ -608,6 +608,7 @@ Status Engine::FoldAllLocked() {
       return Status::Internal(
           "fold discarded while the append mutex was held");
     }
+    compaction_count_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 
@@ -782,6 +783,13 @@ Result<SearchResponse> Engine::Search(SeriesView query,
   // holds it, is always acquired before this.)
   std::shared_lock<std::shared_mutex> gate(index_gate_);
   PARISAX_RETURN_IF_ERROR(CheckQuery(query, request));
+  // Entry deadline check, covering every algorithm. The index engines
+  // additionally poll the token inside their hot loops (MESSI per leaf
+  // visit, ParIS per batch); the scan engines and ADS+ run to
+  // completion once admitted.
+  if (Expired(request.cancel)) {
+    return Status::DeadlineExceeded("query deadline expired before search");
+  }
 
   SearchResponse response;
   WallTimer timer;
@@ -858,6 +866,7 @@ Result<SearchResponse> Engine::Search(SeriesView query,
         ParisQueryOptions qopts;
         qopts.num_workers = exec->num_threads();
         qopts.kernel = options_.kernel;
+        qopts.cancel = request.cancel;
         PARISAX_ASSIGN_OR_RETURN(
             nn, paris_->SearchExact(query, qopts, exec, &response.stats));
       }
@@ -870,6 +879,7 @@ Result<SearchResponse> Engine::Search(SeriesView query,
       qopts.num_queues = options_.num_queues;
       qopts.kernel = options_.kernel;
       qopts.dtw_band = request.dtw_band;
+      qopts.cancel = request.cancel;
       if (request.approximate) {
         Neighbor nn;
         PARISAX_ASSIGN_OR_RETURN(
@@ -1088,6 +1098,7 @@ Status Engine::CompactionPass() {
       return Status::Internal(
           "compaction fold discarded while the append mutex was held");
     }
+    compaction_count_.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 

@@ -47,6 +47,7 @@
 #include "io/sim_disk.h"
 #include "messi/messi_index.h"
 #include "paris/paris_index.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -258,6 +259,12 @@ struct SearchRequest {
   bool dtw = false;
   /// Sakoe-Chiba radius in points for DTW searches.
   size_t dtw_band = 12;
+  /// Optional cancel/deadline token, owned by the caller and kept alive
+  /// for the whole search. The index engines (MESSI, ParIS/ParIS+) poll
+  /// it at leaf-visit / batch granularity inside their hot loops and the
+  /// search returns kDeadlineExceeded instead of a partial answer; the
+  /// scan engines and ADS+ only check it on entry. Null: never expires.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct SearchResponse {
@@ -389,6 +396,13 @@ class Engine {
   /// append publishes a new index epoch to queries atomically.
   uint64_t append_epoch() const {
     return append_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Number of compaction actions (background passes and synchronous
+  /// folds) that published a merged/folded snapshot. Monotonic;
+  /// exported by the serving metrics layer.
+  uint64_t compaction_count() const {
+    return compaction_count_.load(std::memory_order_acquire);
   }
 
   ~Engine();
@@ -523,6 +537,7 @@ class Engine {
   /// alone.
   std::shared_mutex index_gate_;
   std::atomic<uint64_t> append_epoch_{0};
+  std::atomic<uint64_t> compaction_count_{0};
   std::mutex service_mu_;
   std::unique_ptr<QueryService> service_;  // lazily created
   BuildReport build_report_;

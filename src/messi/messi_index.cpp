@@ -86,12 +86,15 @@ std::vector<Node*> CollectRoots(const ServingState& snap) {
 template <typename Policy>
 void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
                      int num_queues, Executor* exec,
-                     AtomicCounters* counters) {
+                     AtomicCounters* counters,
+                     const CancellationToken* cancel = nullptr) {
   std::vector<SharedQueue> queues(num_queues);
   std::atomic<uint64_t> round_robin{0};
 
   // Stage 3a: parallel traversal, leaves into queues (round-robin for
-  // load balance, as in the paper).
+  // load balance, as in the paper). Workers poll the cancel token per
+  // node visit and bail out; the caller turns an expired token into
+  // kDeadlineExceeded instead of returning the partial bound.
   WorkCounter root_counter(roots.size());
   exec->Run([&](int) {
     std::vector<Node*> stack;
@@ -99,6 +102,7 @@ void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
     while (root_counter.NextItem(&item)) {
       stack.push_back(roots[item]);
       while (!stack.empty()) {
+        if (Expired(cancel)) return;
         Node* node = stack.back();
         stack.pop_back();
         counters->nodes_visited.fetch_add(1, std::memory_order_relaxed);
@@ -149,6 +153,7 @@ void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
             }
             q.pq.pop();
           }
+          if (Expired(cancel)) return;
           all_done = false;
           counters->leaves_inspected.fetch_add(1, std::memory_order_relaxed);
           for (const LeafEntry& e : item.leaf->entries()) {
@@ -545,9 +550,13 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
   const std::vector<Node*> roots = CollectRoots(*snap);
-  RunQueuedSearch(roots, &policy, num_queues, exec, &counters);
+  RunQueuedSearch(roots, &policy, num_queues, exec, &counters,
+                  options.cancel);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
+  if (Expired(options.cancel)) {
+    return Status::DeadlineExceeded("query deadline expired mid-search");
+  }
   return result.best;
 }
 
@@ -588,9 +597,13 @@ Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
   const std::vector<Node*> roots = CollectRoots(*snap);
-  RunQueuedSearch(roots, &policy, num_queues, exec, &counters);
+  RunQueuedSearch(roots, &policy, num_queues, exec, &counters,
+                  options.cancel);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
+  if (Expired(options.cancel)) {
+    return Status::DeadlineExceeded("query deadline expired mid-search");
+  }
   return heap.Sorted();
 }
 
@@ -650,9 +663,13 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
   const std::vector<Node*> roots = CollectRoots(*snap);
-  RunQueuedSearch(roots, &policy, num_queues, exec, &counters);
+  RunQueuedSearch(roots, &policy, num_queues, exec, &counters,
+                  options.cancel);
   counters.FlushInto(stats);
   if (stats != nullptr) stats->total_seconds = total.ElapsedSeconds();
+  if (Expired(options.cancel)) {
+    return Status::DeadlineExceeded("query deadline expired mid-search");
+  }
   return result.best;
 }
 

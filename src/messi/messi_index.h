@@ -35,6 +35,7 @@
 #include "index/raw_source.h"
 #include "index/segment.h"
 #include "index/tree.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -67,6 +68,11 @@ struct MessiQueryOptions {
   KernelPolicy kernel = KernelPolicy::kAuto;
   /// Sakoe-Chiba band radius (points) for DTW searches.
   size_t dtw_band = 12;
+  /// Cancel/deadline token polled at leaf-visit granularity in Stage 3
+  /// (both the traversal and the queue-consumption loops); an expired
+  /// search returns kDeadlineExceeded instead of a partial answer. The
+  /// caller keeps the token alive; null never expires.
+  const CancellationToken* cancel = nullptr;
 };
 
 class SnapshotReader;

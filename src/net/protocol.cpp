@@ -1,0 +1,412 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace parisax {
+
+namespace {
+
+/// Bounds-checked little-endian reader over one frame body. Every Get
+/// reports failure instead of reading past the end, so decoders degrade
+/// to typed errors on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, 1); }
+  bool GetU16(uint16_t* v) { return GetRaw(v, 2); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, 4); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, 8); }
+  bool GetF32(float* v) { return GetRaw(v, 4); }
+
+  bool GetBytes(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  // Serialized layouts are little-endian; so is every platform this
+  // builds for (x86-64, AArch64), so moving raw bytes is the format.
+  bool GetRaw(void* out, size_t n) { return GetBytes(out, n); }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { PutRaw(&v, 1); }
+  void PutU16(uint16_t v) { PutRaw(&v, 2); }
+  void PutU32(uint32_t v) { PutRaw(&v, 4); }
+  void PutU64(uint64_t v) { PutRaw(&v, 8); }
+  void PutF32(float v) { PutRaw(&v, 4); }
+  void PutBytes(const void* data, size_t n) { PutRaw(data, n); }
+
+ private:
+  void PutRaw(const void* data, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), bytes, bytes + n);
+  }
+
+  std::vector<uint8_t>* out_;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what +
+                                 " frame body");
+}
+
+}  // namespace
+
+WireError WireErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireError::kUnknown;  // not representable; callers gate
+    case StatusCode::kInvalidArgument:
+      return WireError::kInvalidArgument;
+    case StatusCode::kIoError:
+      return WireError::kIoError;
+    case StatusCode::kCorruption:
+      return WireError::kCorruption;
+    case StatusCode::kNotFound:
+      return WireError::kNotFound;
+    case StatusCode::kNotSupported:
+      return WireError::kNotSupported;
+    case StatusCode::kInternal:
+      return WireError::kInternal;
+    case StatusCode::kDeadlineExceeded:
+      return WireError::kDeadlineExceeded;
+    case StatusCode::kOverloaded:
+      return WireError::kOverloaded;
+  }
+  return WireError::kUnknown;
+}
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kUnknown:
+      return "unknown";
+    case WireError::kInvalidArgument:
+      return "invalid_argument";
+    case WireError::kIoError:
+      return "io_error";
+    case WireError::kCorruption:
+      return "corruption";
+    case WireError::kNotFound:
+      return "not_found";
+    case WireError::kNotSupported:
+      return "not_supported";
+    case WireError::kInternal:
+      return "internal";
+    case WireError::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case WireError::kOverloaded:
+      return "overloaded";
+    case WireError::kBadFrame:
+      return "bad_frame";
+    case WireError::kFrameTooLarge:
+      return "frame_too_large";
+    case WireError::kBadVersion:
+      return "bad_version";
+  }
+  return "unknown";
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* buf) {
+  ByteReader reader(std::span<const uint8_t>(buf, kFrameHeaderSize));
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint16_t reserved = 0;
+  uint32_t body_len = 0;
+  reader.GetU32(&magic);
+  reader.GetU8(&version);
+  reader.GetU8(&type);
+  reader.GetU16(&reserved);
+  reader.GetU32(&body_len);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "bad protocol version " + std::to_string(version) +
+        " (expected " + std::to_string(kProtocolVersion) + ")");
+  }
+  if (body_len > kMaxBodyLen) {
+    return Status::InvalidArgument(
+        "frame body of " + std::to_string(body_len) +
+        " bytes exceeds the " + std::to_string(kMaxBodyLen) +
+        "-byte limit");
+  }
+  FrameHeader header;
+  header.version = version;
+  header.type = static_cast<FrameType>(type);
+  header.body_len = body_len;
+  return header;
+}
+
+void EncodeFrameHeader(FrameType type, uint32_t body_len, uint8_t* out) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kFrameHeaderSize);
+  ByteWriter writer(&bytes);
+  writer.PutU32(kFrameMagic);
+  writer.PutU8(kProtocolVersion);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU16(0);
+  writer.PutU32(body_len);
+  std::memcpy(out, bytes.data(), kFrameHeaderSize);
+}
+
+namespace {
+
+/// Encodes `body` behind its header in one buffer ready to write.
+std::vector<uint8_t> WithHeader(FrameType type,
+                                const std::vector<uint8_t>& body) {
+  std::vector<uint8_t> frame(kFrameHeaderSize + body.size());
+  EncodeFrameHeader(type, static_cast<uint32_t>(body.size()),
+                    frame.data());
+  std::memcpy(frame.data() + kFrameHeaderSize, body.data(), body.size());
+  return frame;
+}
+
+constexpr uint8_t kFlagApproximate = 1u << 0;
+constexpr uint8_t kFlagHighPriority = 1u << 1;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeQueryFrame(FrameType type,
+                                      const QueryFrame& frame) {
+  std::vector<uint8_t> body;
+  body.reserve(32 + frame.values.size() * sizeof(Value));
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutU32(frame.k);
+  writer.PutU32(frame.dtw_band);
+  uint8_t flags = 0;
+  if (frame.approximate) flags |= kFlagApproximate;
+  if (frame.high_priority) flags |= kFlagHighPriority;
+  writer.PutU8(flags);
+  writer.PutU8(0);
+  writer.PutU16(0);
+  writer.PutU64(frame.timeout_us);
+  writer.PutU32(static_cast<uint32_t>(frame.values.size()));
+  writer.PutBytes(frame.values.data(),
+                  frame.values.size() * sizeof(Value));
+  return WithHeader(type, body);
+}
+
+Result<QueryFrame> DecodeQueryFrame(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  QueryFrame frame;
+  uint8_t flags = 0;
+  uint8_t reserved8 = 0;
+  uint16_t reserved16 = 0;
+  uint32_t series_len = 0;
+  if (!reader.GetU64(&frame.request_id) || !reader.GetU32(&frame.k) ||
+      !reader.GetU32(&frame.dtw_band) || !reader.GetU8(&flags) ||
+      !reader.GetU8(&reserved8) || !reader.GetU16(&reserved16) ||
+      !reader.GetU64(&frame.timeout_us) || !reader.GetU32(&series_len)) {
+    return Truncated("query");
+  }
+  frame.approximate = (flags & kFlagApproximate) != 0;
+  frame.high_priority = (flags & kFlagHighPriority) != 0;
+  if (reader.remaining() !=
+      static_cast<size_t>(series_len) * sizeof(Value)) {
+    return Status::InvalidArgument(
+        "query frame announces " + std::to_string(series_len) +
+        " values but carries " +
+        std::to_string(reader.remaining() / sizeof(Value)));
+  }
+  frame.values.resize(series_len);
+  reader.GetBytes(frame.values.data(), series_len * sizeof(Value));
+  return frame;
+}
+
+std::vector<uint8_t> EncodeAppendFrame(const AppendFrame& frame) {
+  std::vector<uint8_t> body;
+  body.reserve(16 + frame.values.size() * sizeof(Value));
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutU32(frame.count);
+  writer.PutU32(frame.series_len);
+  writer.PutBytes(frame.values.data(),
+                  frame.values.size() * sizeof(Value));
+  return WithHeader(FrameType::kAppend, body);
+}
+
+Result<AppendFrame> DecodeAppendFrame(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  AppendFrame frame;
+  if (!reader.GetU64(&frame.request_id) || !reader.GetU32(&frame.count) ||
+      !reader.GetU32(&frame.series_len)) {
+    return Truncated("append");
+  }
+  const uint64_t expected = static_cast<uint64_t>(frame.count) *
+                            frame.series_len * sizeof(Value);
+  if (reader.remaining() != expected) {
+    return Status::InvalidArgument(
+        "append frame announces " + std::to_string(frame.count) + " x " +
+        std::to_string(frame.series_len) + " values but carries " +
+        std::to_string(reader.remaining()) + " bytes");
+  }
+  frame.values.resize(static_cast<size_t>(frame.count) * frame.series_len);
+  reader.GetBytes(frame.values.data(), expected);
+  return frame;
+}
+
+std::vector<uint8_t> EncodePlainRequest(FrameType type,
+                                        uint64_t request_id) {
+  std::vector<uint8_t> body;
+  ByteWriter writer(&body);
+  writer.PutU64(request_id);
+  return WithHeader(type, body);
+}
+
+Result<uint64_t> DecodePlainRequest(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  uint64_t request_id = 0;
+  if (!reader.GetU64(&request_id)) return Truncated("stats/health");
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("stats/health frame carries a payload");
+  }
+  return request_id;
+}
+
+std::vector<uint8_t> EncodeResultFrame(const ResultFrame& frame) {
+  std::vector<uint8_t> body;
+  body.reserve(16 + frame.neighbors.size() * 12);
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutU32(static_cast<uint32_t>(frame.neighbors.size()));
+  writer.PutU32(0);
+  for (const Neighbor& n : frame.neighbors) {
+    writer.PutU64(n.id);
+    writer.PutF32(n.distance_sq);
+  }
+  return WithHeader(FrameType::kResult, body);
+}
+
+Result<ResultFrame> DecodeResultFrame(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  ResultFrame frame;
+  uint32_t count = 0;
+  uint32_t reserved = 0;
+  if (!reader.GetU64(&frame.request_id) || !reader.GetU32(&count) ||
+      !reader.GetU32(&reserved)) {
+    return Truncated("result");
+  }
+  if (reader.remaining() != static_cast<size_t>(count) * 12) {
+    return Status::InvalidArgument(
+        "result frame announces " + std::to_string(count) + " neighbors");
+  }
+  frame.neighbors.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Neighbor n;
+    reader.GetU64(&n.id);
+    reader.GetF32(&n.distance_sq);
+    frame.neighbors.push_back(n);
+  }
+  return frame;
+}
+
+std::vector<uint8_t> EncodeAppendOkFrame(const AppendOkFrame& frame) {
+  std::vector<uint8_t> body;
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutU64(frame.total_series);
+  writer.PutU64(frame.append_epoch);
+  return WithHeader(FrameType::kAppendOk, body);
+}
+
+Result<AppendOkFrame> DecodeAppendOkFrame(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  AppendOkFrame frame;
+  if (!reader.GetU64(&frame.request_id) ||
+      !reader.GetU64(&frame.total_series) ||
+      !reader.GetU64(&frame.append_epoch) || reader.remaining() != 0) {
+    return Truncated("append-ok");
+  }
+  return frame;
+}
+
+std::vector<uint8_t> EncodeStatsTextFrame(const StatsTextFrame& frame) {
+  std::vector<uint8_t> body;
+  body.reserve(8 + frame.text.size());
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutBytes(frame.text.data(), frame.text.size());
+  return WithHeader(FrameType::kStatsText, body);
+}
+
+Result<StatsTextFrame> DecodeStatsTextFrame(
+    std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  StatsTextFrame frame;
+  if (!reader.GetU64(&frame.request_id)) return Truncated("stats-text");
+  frame.text.resize(reader.remaining());
+  reader.GetBytes(frame.text.data(), frame.text.size());
+  return frame;
+}
+
+std::vector<uint8_t> EncodeHealthOkFrame(const HealthOkFrame& frame) {
+  std::vector<uint8_t> body;
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutU64(frame.series_count);
+  writer.PutU32(frame.series_length);
+  writer.PutU32(static_cast<uint32_t>(frame.algorithm.size()));
+  writer.PutBytes(frame.algorithm.data(), frame.algorithm.size());
+  return WithHeader(FrameType::kHealthOk, body);
+}
+
+Result<HealthOkFrame> DecodeHealthOkFrame(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  HealthOkFrame frame;
+  uint32_t name_len = 0;
+  if (!reader.GetU64(&frame.request_id) ||
+      !reader.GetU64(&frame.series_count) ||
+      !reader.GetU32(&frame.series_length) || !reader.GetU32(&name_len)) {
+    return Truncated("health-ok");
+  }
+  if (reader.remaining() != name_len) return Truncated("health-ok");
+  frame.algorithm.resize(name_len);
+  reader.GetBytes(frame.algorithm.data(), name_len);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeErrorFrame(const ErrorFrame& frame) {
+  std::vector<uint8_t> body;
+  body.reserve(16 + frame.message.size());
+  ByteWriter writer(&body);
+  writer.PutU64(frame.request_id);
+  writer.PutU16(static_cast<uint16_t>(frame.code));
+  writer.PutU16(0);
+  writer.PutU32(static_cast<uint32_t>(frame.message.size()));
+  writer.PutBytes(frame.message.data(), frame.message.size());
+  return WithHeader(FrameType::kError, body);
+}
+
+Result<ErrorFrame> DecodeErrorFrame(std::span<const uint8_t> body) {
+  ByteReader reader(body);
+  ErrorFrame frame;
+  uint16_t code = 0;
+  uint16_t reserved = 0;
+  uint32_t message_len = 0;
+  if (!reader.GetU64(&frame.request_id) || !reader.GetU16(&code) ||
+      !reader.GetU16(&reserved) || !reader.GetU32(&message_len)) {
+    return Truncated("error");
+  }
+  if (reader.remaining() != message_len) return Truncated("error");
+  frame.code = static_cast<WireError>(code);
+  frame.message.resize(message_len);
+  reader.GetBytes(frame.message.data(), message_len);
+  return frame;
+}
+
+}  // namespace parisax

@@ -1,0 +1,198 @@
+// The parisax wire protocol: length-prefixed binary frames over TCP.
+//
+// Every frame is a fixed 12-byte little-endian header followed by
+// `body_len` body bytes:
+//
+//   offset  size  field
+//   0       4     magic     "PSAX" (0x50 0x53 0x41 0x58 on the wire)
+//   4       1     version   kProtocolVersion (currently 1)
+//   5       1     type      FrameType
+//   6       2     reserved  must be 0
+//   8       4     body_len  body bytes to follow (<= kMaxBodyLen)
+//
+// Every body begins with a u64 request id the response echoes back, so
+// clients may pipeline; the server answers each connection's requests
+// in arrival order. Multi-byte integers are little-endian; series
+// values are IEEE-754 binary32. Decoders are bounds-checked and return
+// typed Status errors (never crash) on truncated, oversized or
+// otherwise malformed input; tests/net_test.cpp fuzzes them.
+//
+// Versioning: a header with an unknown version is rejected with
+// kBadVersion before the body is interpreted. Adding request or
+// response types to an existing version is allowed (old peers reject
+// unknown types with kBadFrame); changing the layout of an existing
+// body requires a version bump. docs/serving.md is the normative spec
+// and must be updated with any change here.
+#ifndef PARISAX_NET_PROTOCOL_H_
+#define PARISAX_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace parisax {
+
+/// "PSAX" as on-the-wire bytes (little-endian u32).
+inline constexpr uint32_t kFrameMagic = 0x58415350u;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 12;
+/// Largest accepted body; bigger announcements are rejected with
+/// kFrameTooLarge before any allocation (64 MiB covers ~16M-point
+/// queries and multi-thousand-series appends).
+inline constexpr uint32_t kMaxBodyLen = 64u * 1024u * 1024u;
+
+/// Frame types. Requests have the high bit clear, responses set.
+enum class FrameType : uint8_t {
+  // Requests.
+  kQuery = 0x01,   ///< exact 1-NN (or approximate with the flag)
+  kKnn = 0x02,     ///< exact k-NN
+  kDtw = 0x03,     ///< exact 1-NN under banded DTW
+  kAppend = 0x04,  ///< incremental ingest
+  kStats = 0x05,   ///< Prometheus text metrics
+  kHealth = 0x06,  ///< liveness + collection shape
+  // Responses.
+  kResult = 0x81,     ///< neighbors, for kQuery/kKnn/kDtw
+  kAppendOk = 0x82,   ///< append accepted
+  kStatsText = 0x83,  ///< metrics payload
+  kHealthOk = 0x84,   ///< health payload
+  kError = 0xFF,      ///< typed failure, for any request
+};
+
+/// Wire error codes carried by kError frames: the StatusCode names plus
+/// protocol-level framing errors. Stable on the wire — append only.
+enum class WireError : uint16_t {
+  kUnknown = 0,
+  kInvalidArgument = 1,
+  kIoError = 2,
+  kCorruption = 3,
+  kNotFound = 4,
+  kNotSupported = 5,
+  kInternal = 6,
+  kDeadlineExceeded = 7,
+  kOverloaded = 8,
+  /// Malformed frame: bad magic, unknown type, or a body that does not
+  /// match its type's layout.
+  kBadFrame = 9,
+  /// body_len exceeds kMaxBodyLen.
+  kFrameTooLarge = 10,
+  /// Unknown protocol version.
+  kBadVersion = 11,
+};
+
+/// Maps an engine/service failure to its wire code.
+WireError WireErrorFromStatus(const Status& status);
+/// Short lowercase name ("overloaded", "bad_frame", ...).
+const char* WireErrorName(WireError error);
+
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kError;
+  uint32_t body_len = 0;
+};
+
+/// Validates magic, version and body_len bound. `buf` must hold
+/// kFrameHeaderSize bytes. The Status message distinguishes bad magic /
+/// bad version / oversized bodies (the server maps them to WireError
+/// codes and, for header-level garbage, closes the connection — there
+/// is no way to resynchronize a corrupt stream).
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* buf);
+void EncodeFrameHeader(FrameType type, uint32_t body_len, uint8_t* out);
+
+/// kQuery / kKnn / kDtw body:
+///   u64 request_id, u32 k, u32 dtw_band, u8 flags (bit0: approximate,
+///   bit1: high priority), u8 reserved, u16 reserved, u64 timeout_us
+///   (0: none), u32 series_len, f32 values[series_len].
+struct QueryFrame {
+  uint64_t request_id = 0;
+  uint32_t k = 1;
+  uint32_t dtw_band = 12;
+  bool approximate = false;
+  bool high_priority = false;
+  uint64_t timeout_us = 0;
+  std::vector<Value> values;
+};
+
+std::vector<uint8_t> EncodeQueryFrame(FrameType type,
+                                      const QueryFrame& frame);
+Result<QueryFrame> DecodeQueryFrame(std::span<const uint8_t> body);
+
+/// kAppend body:
+///   u64 request_id, u32 count, u32 series_len,
+///   f32 values[count * series_len].
+struct AppendFrame {
+  uint64_t request_id = 0;
+  uint32_t count = 0;
+  uint32_t series_len = 0;
+  std::vector<Value> values;  // count * series_len, row-major
+};
+
+std::vector<uint8_t> EncodeAppendFrame(const AppendFrame& frame);
+Result<AppendFrame> DecodeAppendFrame(std::span<const uint8_t> body);
+
+/// kStats / kHealth body: u64 request_id.
+std::vector<uint8_t> EncodePlainRequest(FrameType type,
+                                        uint64_t request_id);
+Result<uint64_t> DecodePlainRequest(std::span<const uint8_t> body);
+
+/// kResult body:
+///   u64 request_id, u32 neighbor_count, u32 reserved,
+///   { u64 id, f32 distance_sq } per neighbor.
+struct ResultFrame {
+  uint64_t request_id = 0;
+  std::vector<Neighbor> neighbors;
+};
+
+std::vector<uint8_t> EncodeResultFrame(const ResultFrame& frame);
+Result<ResultFrame> DecodeResultFrame(std::span<const uint8_t> body);
+
+/// kAppendOk body: u64 request_id, u64 total_series, u64 append_epoch.
+struct AppendOkFrame {
+  uint64_t request_id = 0;
+  uint64_t total_series = 0;
+  uint64_t append_epoch = 0;
+};
+
+std::vector<uint8_t> EncodeAppendOkFrame(const AppendOkFrame& frame);
+Result<AppendOkFrame> DecodeAppendOkFrame(std::span<const uint8_t> body);
+
+/// kStatsText body: u64 request_id, UTF-8 Prometheus text to the end.
+struct StatsTextFrame {
+  uint64_t request_id = 0;
+  std::string text;
+};
+
+std::vector<uint8_t> EncodeStatsTextFrame(const StatsTextFrame& frame);
+Result<StatsTextFrame> DecodeStatsTextFrame(std::span<const uint8_t> body);
+
+/// kHealthOk body:
+///   u64 request_id, u64 series_count, u32 series_length,
+///   u32 algorithm_len, bytes algorithm name.
+struct HealthOkFrame {
+  uint64_t request_id = 0;
+  uint64_t series_count = 0;
+  uint32_t series_length = 0;
+  std::string algorithm;
+};
+
+std::vector<uint8_t> EncodeHealthOkFrame(const HealthOkFrame& frame);
+Result<HealthOkFrame> DecodeHealthOkFrame(std::span<const uint8_t> body);
+
+/// kError body:
+///   u64 request_id (0 when the request id could not be decoded),
+///   u16 code, u16 reserved, u32 message_len, bytes message.
+struct ErrorFrame {
+  uint64_t request_id = 0;
+  WireError code = WireError::kUnknown;
+  std::string message;
+};
+
+std::vector<uint8_t> EncodeErrorFrame(const ErrorFrame& frame);
+Result<ErrorFrame> DecodeErrorFrame(std::span<const uint8_t> body);
+
+}  // namespace parisax
+
+#endif  // PARISAX_NET_PROTOCOL_H_

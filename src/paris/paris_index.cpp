@@ -654,6 +654,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     exec->Run([&](int) {
       size_t begin, end;
       while (counter.NextBatch(options.filter_grain, &begin, &end)) {
+        if (Expired(options.cancel)) return;
         for (SeriesId i = begin; i < end; ++i) {
           const float lb = MinDistPaaToSymbolsSq(paa, *sax_at(i), w, n);
           if (lb < bsf0) {
@@ -664,6 +665,9 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     });
   }
   const size_t num_candidates = tail.load();
+  if (Expired(options.cancel)) {
+    return Status::DeadlineExceeded("query deadline expired mid-search");
+  }
   // Skip-sequential order for the raw-data reads.
   std::sort(candidates.begin(), candidates.begin() + num_candidates);
   if (stats != nullptr) {
@@ -685,6 +689,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     exec->Run([&](int) {
       size_t begin, end;
       while (counter.NextBatch(options.refine_grain, &begin, &end)) {
+        if (Expired(options.cancel)) return;
         for (size_t c = begin; c < end; ++c) {
           const SeriesId id = candidates[c];
           const float bound = bsf.Load();
@@ -709,6 +714,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     constexpr size_t kChunk = 256;
     std::vector<Value> chunk_values(kChunk * n);
     for (size_t base = 0; base < num_candidates; base += kChunk) {
+      if (Expired(options.cancel)) break;
       const size_t count = std::min(kChunk, num_candidates - base);
       for (size_t c = 0; c < count; ++c) {
         PARISAX_RETURN_IF_ERROR(source_->GetSeries(
@@ -741,6 +747,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
       size_t begin, end;
       while (counter.NextBatch(options.refine_grain, &begin, &end)) {
         if (failed.load(std::memory_order_acquire)) return;
+        if (Expired(options.cancel)) return;
         for (size_t c = begin; c < end; ++c) {
           const SeriesId id = candidates[c];
           SeriesView view = source_->TryView(id);
@@ -775,6 +782,9 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     stats->real_dist_calcs += num_candidates;
     stats->refine_phase_seconds = refine_timer.ElapsedSeconds();
     stats->total_seconds = total.ElapsedSeconds();
+  }
+  if (Expired(options.cancel)) {
+    return Status::DeadlineExceeded("query deadline expired mid-search");
   }
   return best;
 }

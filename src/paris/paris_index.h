@@ -48,6 +48,7 @@
 #include "index/raw_source.h"
 #include "index/segment.h"
 #include "index/tree.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -103,6 +104,11 @@ struct ParisQueryOptions {
   /// Candidates per Fetch&Inc claim in the refinement phase.
   size_t refine_grain = 4;
   KernelPolicy kernel = KernelPolicy::kAuto;
+  /// Cancel/deadline token polled per claimed batch in the filter and
+  /// refine phases; an expired search returns kDeadlineExceeded instead
+  /// of a partial answer. The caller keeps the token alive; null never
+  /// expires.
+  const CancellationToken* cancel = nullptr;
 };
 
 class ParisIndex {

@@ -1,6 +1,7 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace parisax {
@@ -43,10 +44,33 @@ QueryService::~QueryService() {
 std::future<Result<SearchResponse>> QueryService::Submit(
     SeriesView query, const SearchRequest& request,
     std::optional<SchedulingPolicy> policy) {
+  SubmitOptions submit;
+  submit.policy = policy;
+  // Without the cap enforced SubmitInternal cannot fail.
+  return std::move(
+             SubmitInternal(query, request, submit, /*enforce_cap=*/false))
+      .value();
+}
+
+Result<std::future<Result<SearchResponse>>> QueryService::TrySubmit(
+    SeriesView query, const SearchRequest& request,
+    const SubmitOptions& submit) {
+  return SubmitInternal(query, request, submit, /*enforce_cap=*/true);
+}
+
+Result<std::future<Result<SearchResponse>>> QueryService::SubmitInternal(
+    SeriesView query, const SearchRequest& request,
+    const SubmitOptions& submit, bool enforce_cap) {
   Task task;
   task.query.assign(query.begin(), query.end());
   task.request = request;
-  task.policy = policy.value_or(options_.policy);
+  task.policy = submit.policy.value_or(options_.policy);
+  task.priority = submit.priority;
+  if (submit.timeout.count() > 0 && request.cancel == nullptr) {
+    task.cancel = std::make_shared<CancellationToken>(
+        CancellationToken::Clock::now() + submit.timeout);
+    task.request.cancel = task.cancel.get();
+  }
   std::future<Result<SearchResponse>> future = task.promise.get_future();
 
   {
@@ -55,6 +79,24 @@ std::future<Result<SearchResponse>> QueryService::Submit(
       task.promise.set_value(
           Status::Internal("query service is shutting down"));
       return future;
+    }
+    {
+      // Admission and the submitted/inflight counters move together
+      // under stats_mu_, so the cap is exact: no interleaving of two
+      // TrySubmits can admit past max_inflight.
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      if (enforce_cap && options_.max_inflight > 0 &&
+          stats_.inflight >= options_.max_inflight) {
+        stats_.rejected_overload++;
+        return Status::Overloaded(
+            "in-flight query cap reached (max_inflight=" +
+            std::to_string(options_.max_inflight) + ")");
+      }
+      stats_.submitted++;
+      stats_.inflight++;
+      if (stats_.inflight > stats_.peak_inflight) {
+        stats_.peak_inflight = stats_.inflight;
+      }
     }
     // Registering inside the lock orders this submission before the
     // destructor's Drain/stop sequence.
@@ -68,13 +110,18 @@ std::future<Result<SearchResponse>> QueryService::Submit(
     // still empty and re-checks.
     queued_.fetch_add(1, std::memory_order_relaxed);
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
 
   const size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   {
     std::lock_guard<std::mutex> lock(shards_[shard].mu);
-    shards_[shard].tasks.push_back(std::move(task));
+    // High priority jumps the owner's line (the owner pops the front);
+    // a stealing sibling still takes the back first, which only helps.
+    if (task.priority == QueryPriority::kHigh) {
+      shards_[shard].tasks.push_front(std::move(task));
+    } else {
+      shards_[shard].tasks.push_back(std::move(task));
+    }
   }
   wake_cv_.notify_one();
   return future;
@@ -107,12 +154,9 @@ Result<std::vector<SearchResponse>> QueryService::SearchBatch(
 void QueryService::Drain() { inflight_.Wait(); }
 
 ServeStats QueryService::stats() const {
-  ServeStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.ran_inline = ran_inline_.load(std::memory_order_relaxed);
-  s.ran_parallel = ran_parallel_.load(std::memory_order_relaxed);
-  s.steals = steals_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServeStats s = stats_;
+  s.queued = queued_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -153,7 +197,10 @@ bool QueryService::TryAcquire(int worker, Task* task) {
       *task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
       queued_.fetch_sub(1, std::memory_order_relaxed);
-      steals_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        stats_.steals++;
+      }
       return true;
     }
   }
@@ -175,6 +222,23 @@ double QueryService::EstimateCost(const SearchRequest& request) const {
 }
 
 void QueryService::Execute(Task task) {
+  // Deadline enforcement at dequeue: a task that expired while queued
+  // completes with kDeadlineExceeded without touching the engine, so a
+  // backlog of dead work drains at queue-pop speed instead of
+  // occupying serve lanes.
+  if (Expired(task.request.cancel)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.expired_in_queue++;
+      stats_.completed++;
+      stats_.inflight--;
+    }
+    task.promise.set_value(
+        Status::DeadlineExceeded("query deadline expired while queued"));
+    inflight_.Done();
+    return;
+  }
+
   bool parallel = false;
   switch (task.policy) {
     case SchedulingPolicy::kThroughput:
@@ -208,9 +272,12 @@ void QueryService::Execute(Task task) {
       return Status::Internal("query threw an unknown exception");
     }
   }();
-  (parallel ? ran_parallel_ : ran_inline_)
-      .fetch_add(1, std::memory_order_relaxed);
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    (parallel ? stats_.ran_parallel : stats_.ran_inline)++;
+    stats_.completed++;
+    stats_.inflight--;
+  }
   task.promise.set_value(std::move(response));
   inflight_.Done();
 }

@@ -26,6 +26,7 @@
 #define PARISAX_SERVE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -53,9 +55,41 @@ struct QueryServiceOptions {
   /// the service is otherwise idle. The default (64M point pairs, ~a
   /// 256K x 256 collection) keeps small queries in throughput mode.
   double parallel_cost_threshold = 64.0 * 1024.0 * 1024.0;
+  /// Admission control: the most queries TrySubmit accepts before
+  /// completing some (queued + executing). Further TrySubmits are
+  /// rejected with kOverloaded — typed backpressure instead of an
+  /// unbounded queue. 0: no cap. Plain Submit never rejects.
+  size_t max_inflight = 0;
 };
 
-/// Cumulative service counters (monotonic; read with stats()).
+/// Dequeue order within a worker's deque. High-priority tasks jump the
+/// line; admission control and deadlines apply to both alike.
+enum class QueryPriority {
+  kNormal,  ///< FIFO service order
+  kHigh,    ///< served before queued normal tasks
+};
+
+/// Per-submission controls for TrySubmit (and the Submit overload).
+struct SubmitOptions {
+  /// Overrides the service's default scheduling policy for this query.
+  std::optional<SchedulingPolicy> policy;
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Relative deadline: the service wraps the query in a
+  /// CancellationToken expiring `timeout` after submission. A task
+  /// whose deadline passes while queued completes with
+  /// kDeadlineExceeded at dequeue without running; one that expires
+  /// mid-search is cancelled at leaf/batch granularity by the index
+  /// engines. Zero: no deadline. Ignored when the request already
+  /// carries a caller-owned `cancel` token (that token governs).
+  std::chrono::nanoseconds timeout{0};
+};
+
+/// Service counters, published as one coherent snapshot: stats() reads
+/// every field under the same lock the submit/complete paths update
+/// them under, so cross-field invariants hold in any snapshot
+/// (submitted == completed + inflight; peak_inflight never exceeds the
+/// admission cap). `queued` alone is sampled from the scheduler's
+/// wake counter at snapshot time.
 struct ServeStats {
   uint64_t submitted = 0;
   uint64_t completed = 0;
@@ -65,6 +99,18 @@ struct ServeStats {
   uint64_t ran_parallel = 0;
   /// Tasks executed by a worker other than the one they were queued on.
   uint64_t steals = 0;
+  /// TrySubmit rejections: the in-flight cap was reached (kOverloaded).
+  uint64_t rejected_overload = 0;
+  /// Tasks whose deadline passed while queued: completed with
+  /// kDeadlineExceeded at dequeue, without touching the engine.
+  uint64_t expired_in_queue = 0;
+  /// Queries accepted but not yet completed, at snapshot time.
+  uint64_t inflight = 0;
+  /// Highest `inflight` ever observed.
+  uint64_t peak_inflight = 0;
+  /// Tasks sitting in deques (accepted, not yet picked up), at
+  /// snapshot time.
+  uint64_t queued = 0;
 };
 
 class QueryService {
@@ -90,6 +136,14 @@ class QueryService {
       SeriesView query, const SearchRequest& request = {},
       std::optional<SchedulingPolicy> policy = std::nullopt);
 
+  /// As Submit with per-query priority and deadline, and subject to
+  /// admission control: when `options().max_inflight` queries are
+  /// already in flight the submission is rejected with kOverloaded
+  /// (nothing is enqueued; the caller should shed or retry later).
+  Result<std::future<Result<SearchResponse>>> TrySubmit(
+      SeriesView query, const SearchRequest& request = {},
+      const SubmitOptions& submit = {});
+
   /// Answers a batch of queries concurrently; responses are in query
   /// order. The calling thread helps execute pending tasks instead of
   /// blocking. Fails on the first failing query.
@@ -109,6 +163,10 @@ class QueryService {
     std::vector<Value> query;
     SearchRequest request;
     SchedulingPolicy policy = SchedulingPolicy::kAuto;
+    QueryPriority priority = QueryPriority::kNormal;
+    /// Deadline token the service created for this task (request.cancel
+    /// points at it); heap-allocated so moves keep the pointer valid.
+    std::shared_ptr<CancellationToken> cancel;
     std::promise<Result<SearchResponse>> promise;
   };
 
@@ -119,6 +177,12 @@ class QueryService {
   };
 
   QueryService(Engine* engine, const QueryServiceOptions& options);
+
+  /// Shared Submit/TrySubmit body; `enforce_cap` selects admission
+  /// control. Returns kOverloaded only when it is enforced.
+  Result<std::future<Result<SearchResponse>>> SubmitInternal(
+      SeriesView query, const SearchRequest& request,
+      const SubmitOptions& submit, bool enforce_cap);
 
   void WorkerLoop(int worker);
   /// Pops from shard `worker` or steals from a sibling; false when every
@@ -145,11 +209,13 @@ class QueryService {
 
   TaskGroup inflight_;  // submitted but not yet completed
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> ran_inline_{0};
-  std::atomic<uint64_t> ran_parallel_{0};
-  std::atomic<uint64_t> steals_{0};
+  /// The one coherent counter block: every submit/steal/complete
+  /// transition updates it under stats_mu_ (innermost lock, never held
+  /// across engine calls), and stats() copies it whole — no
+  /// mid-update cross-field tearing. Admission control piggybacks on
+  /// the same lock, so `inflight` can never overshoot the cap.
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
 };
 
 }  // namespace parisax

@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

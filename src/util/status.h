@@ -22,6 +22,8 @@ enum class StatusCode {
   kNotFound,
   kNotSupported,
   kInternal,
+  kDeadlineExceeded,
+  kOverloaded,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "IOError").
@@ -53,6 +55,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,14 +4,17 @@
 Python-stdlib only (the CI lint job needs nothing installed). Scans the
 given markdown files (default: README.md, ROADMAP.md, CHANGES.md and
 docs/*.md relative to the repo root) for `[text](target)` links and
-fails with a listing when a relative target does not exist on disk.
+fails with a listing when a relative target does not exist on disk —
+including `#fragment` anchors, which are checked against the GitHub
+anchor slugs of the target file's headings (same-file for bare
+`#anchor` links).
 
 Skipped targets:
   - absolute URLs (anything with a scheme, e.g. https://, mailto:)
-  - pure intra-page anchors (#section)
   - targets that escape the repository root (e.g. the README CI badge's
     ../../actions/... GitHub-relative path, which only resolves on
     github.com)
+  - fragments pointing into non-markdown files (e.g. source line links)
 
 Usage: check_links.py [--root REPO_ROOT] [file.md ...]
 """
@@ -24,16 +27,49 @@ import sys
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
 SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+INLINE_LINK_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
 
 
-def default_files(root):
-    files = []
-    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
-        path = os.path.join(root, name)
-        if os.path.exists(path):
-            files.append(path)
-    files.extend(sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
-    return files
+def github_slug(heading):
+    """The anchor GitHub generates for a heading (before -N dedup)."""
+    text = INLINE_LINK_RE.sub(r"\1", heading)  # [text](url) -> text
+    text = text.replace("`", "").replace("*", "")
+    text = text.strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "-_ ":
+            out.append(ch)
+    return "".join(out).replace(" ", "-")
+
+
+def heading_anchors(path, cache={}):
+    """The set of valid anchor fragments of a markdown file, with
+    GitHub's -1/-2 suffixes for duplicate headings."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    in_code_fence = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if line.lstrip().startswith("```"):
+                    in_code_fence = not in_code_fence
+                    continue
+                if in_code_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if not match:
+                    continue
+                slug = github_slug(match.group(2))
+                seen = counts.get(slug, 0)
+                counts[slug] = seen + 1
+                anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    except OSError:
+        pass
+    cache[path] = anchors
+    return anchors
 
 
 def check_file(path, root):
@@ -45,15 +81,36 @@ def check_file(path, root):
         for line_number, line in enumerate(f, start=1):
             for match in LINK_RE.finditer(line):
                 target = match.group(1)
-                if SCHEME_RE.match(target) or target.startswith("#"):
+                if SCHEME_RE.match(target):
                     continue
+                if target.startswith("#"):
+                    anchor = target[1:]
+                    if anchor not in heading_anchors(os.path.abspath(path)):
+                        failures.append(
+                            (line_number, target,
+                             f"no heading with anchor '#{anchor}' in "
+                             f"{os.path.basename(path)}")
+                        )
+                    continue
+                file_part, _, fragment = target.partition("#")
                 resolved = os.path.normpath(
-                    os.path.join(base_dir, target.split("#", 1)[0])
+                    os.path.join(base_dir, file_part)
                 )
                 if os.path.commonpath([resolved, root]) != root:
                     continue  # escapes the repo (e.g. GitHub badge paths)
                 if not os.path.exists(resolved):
-                    failures.append((line_number, target, resolved))
+                    failures.append(
+                        (line_number, target,
+                         f"file does not exist ({resolved})")
+                    )
+                    continue
+                if fragment and resolved.endswith(".md"):
+                    if fragment not in heading_anchors(resolved):
+                        failures.append(
+                            (line_number, target,
+                             f"no heading with anchor '#{fragment}' in "
+                             f"{os.path.relpath(resolved, root)}")
+                        )
     return failures
 
 
@@ -71,10 +128,10 @@ def main():
     total_links_failed = 0
     for path in files:
         failures = check_file(path, args.root)
-        for line_number, target, resolved in failures:
+        for line_number, target, reason in failures:
             print(
-                f"FAIL: {path}:{line_number}: link target '{target}' "
-                f"does not resolve ({resolved})",
+                f"FAIL: {path}:{line_number}: link target '{target}': "
+                f"{reason}",
                 file=sys.stderr,
             )
         total_links_failed += len(failures)
@@ -86,8 +143,21 @@ def main():
             file=sys.stderr,
         )
         return 1
-    print(f"PASS: all relative links resolve across {len(files)} file(s)")
+    print(
+        f"PASS: all relative links and anchors resolve across "
+        f"{len(files)} file(s)"
+    )
     return 0
+
+
+def default_files(root):
+    files = []
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        path = os.path.join(root, name)
+        if os.path.exists(path):
+            files.append(path)
+    files.extend(sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
+    return files
 
 
 if __name__ == "__main__":

@@ -15,6 +15,9 @@ dialects are understood:
   append   append_ingest's JSON: results[] rows keyed by "algorithm",
            metric "delta_speedup" (full-save vs delta-save seconds --
            also a hardware-portable ratio), higher is better.
+  frontend serve_frontend's JSON: results[] rows keyed by "regime"
+           (no_overload / overload), metric "qps" measured end-to-end
+           through the TCP front end, higher is better.
 
 Usage:
   compare_bench.py --kind serve --baseline bench/baselines/serve_throughput.json \
@@ -79,8 +82,17 @@ def load_append(path):
     }
 
 
+def load_frontend(path):
+    """regime -> end-to-end qps through the TCP front end. Higher is
+    better."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {row["regime"]: float(row["qps"]) for row in doc["results"]}
+
+
 LOADERS = {
     "serve": (load_serve, "qps", "higher"),
+    "frontend": (load_frontend, "qps", "higher"),
     "micro": (load_micro, "real_time_ns", "lower"),
     "persist": (load_persist, "load_speedup", "higher"),
     "append": (load_append, "delta_speedup", "higher"),

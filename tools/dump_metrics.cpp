@@ -1,0 +1,68 @@
+// Emits docs/metrics.md to stdout: every metric family parisax_server
+// registers (name, type, labels, help), straight from the registry the
+// server actually serves — ServerMetrics registers against a
+// MetricsRegistry and this binary walks MetricsRegistry::List().
+// Because the doc is generated from the code (tools/gen_metrics_docs.py
+// runs this binary; CI diffs the committed file against its output),
+// the reference cannot drift from what a STATS frame reports.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.h"
+
+int main() {
+  parisax::MetricsRegistry registry;
+  parisax::ServerMetrics metrics(&registry);
+  (void)metrics;
+
+  std::printf(
+      "# Serving metrics\n"
+      "\n"
+      "<!-- GENERATED FILE — DO NOT EDIT.\n"
+      "     Produced by tools/gen_metrics_docs.py running\n"
+      "     tools/dump_metrics.cpp, which registers the standard\n"
+      "     ServerMetrics set (src/serve/metrics.h) and walks\n"
+      "     MetricsRegistry::List(). Regenerate with:\n"
+      "       cmake --build build --target dump_metrics\n"
+      "       python3 tools/gen_metrics_docs.py \\\n"
+      "           --binary build/dump_metrics --out docs/metrics.md\n"
+      "     CI fails when this file and the generator disagree. -->\n"
+      "\n"
+      "Every metric `parisax_server` exports, in registration order.\n"
+      "A `STATS` frame (see [serving.md](serving.md)) answers with these\n"
+      "in the Prometheus text exposition format; request-path counters\n"
+      "are updated inline by the server, while engine and query-service\n"
+      "state is mirrored into the registry right before each scrape, so\n"
+      "samples within one scrape are mutually consistent.\n"
+      "\n"
+      "| metric | type | labels | description |\n"
+      "|--------|------|--------|-------------|\n");
+
+  for (const auto& info : registry.List()) {
+    std::string labels;
+    for (const auto& name : info.label_names) {
+      if (!labels.empty()) labels += ", ";
+      labels += "`" + name + "`";
+    }
+    if (labels.empty()) labels = "—";
+    std::printf("| `%s` | %s | %s | %s |\n", info.name.c_str(),
+                parisax::MetricTypeName(info.type), labels.c_str(),
+                info.help.c_str());
+  }
+
+  std::printf(
+      "\n"
+      "Notes:\n"
+      "\n"
+      "- Histograms render as cumulative `_bucket{le=...}` series plus\n"
+      "  `_sum` and `_count`; `parisax_request_seconds` buckets span\n"
+      "  100µs to ~100s in roughly x3 steps.\n"
+      "- `parisax_queries_*` mirror one coherent `ServeStats` snapshot\n"
+      "  (see `src/serve/query_service.h`), so\n"
+      "  `submitted = completed + inflight` holds within a scrape.\n"
+      "- Counters are monotonic across a server's lifetime; gauges\n"
+      "  (`*_inflight`, `*_depth`, `*_open`, engine shape) are sampled\n"
+      "  state.\n");
+  return 0;
+}

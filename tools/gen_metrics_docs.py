@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Generate (or verify) docs/metrics.md from the registered metric set.
+
+Python-stdlib only. The markdown is produced by the compiled helper
+tools/dump_metrics.cpp, which registers the standard ServerMetrics set
+(src/serve/metrics.h) against a MetricsRegistry and walks
+MetricsRegistry::List() — the same families a running parisax_server
+exports — so the committed reference cannot drift from the code without
+CI noticing.
+
+Usage:
+  # Regenerate the doc after changing the metric set:
+  cmake --build build --target dump_metrics
+  python3 tools/gen_metrics_docs.py \
+      --binary build/dump_metrics --out docs/metrics.md
+
+  # CI drift gate (fails when the committed doc and the code disagree):
+  python3 tools/gen_metrics_docs.py \
+      --binary build/dump_metrics --out docs/metrics.md --check
+"""
+
+import argparse
+import subprocess
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--binary", required=True, help="path to the dump_metrics binary"
+    )
+    parser.add_argument(
+        "--out", required=True, help="the markdown file to write or verify"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="do not write; fail (exit 1) if --out differs from the "
+        "generator's output",
+    )
+    args = parser.parse_args()
+
+    proc = subprocess.run(
+        [args.binary], capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        print(
+            f"FAIL: {args.binary} exited {proc.returncode}:\n{proc.stderr}",
+            file=sys.stderr,
+        )
+        return 1
+    generated = proc.stdout
+
+    if args.check:
+        try:
+            with open(args.out, encoding="utf-8") as f:
+                committed = f.read()
+        except FileNotFoundError:
+            print(f"FAIL: {args.out} does not exist; generate it with "
+                  f"--out (no --check)", file=sys.stderr)
+            return 1
+        if committed != generated:
+            print(
+                f"FAIL: {args.out} is out of date with the metric set "
+                "in the code.\nRegenerate it:\n"
+                "  cmake --build build --target dump_metrics\n"
+                f"  python3 tools/gen_metrics_docs.py --binary "
+                f"{args.binary} --out {args.out}",
+                file=sys.stderr,
+            )
+            import difflib
+
+            diff = difflib.unified_diff(
+                committed.splitlines(keepends=True),
+                generated.splitlines(keepends=True),
+                fromfile=f"{args.out} (committed)",
+                tofile=f"{args.out} (generated)",
+            )
+            sys.stderr.writelines(diff)
+            return 1
+        print(f"PASS: {args.out} matches the registered metric set")
+        return 0
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(generated)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
