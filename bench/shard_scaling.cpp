@@ -1,0 +1,225 @@
+// Sharded-engine scaling: build and query throughput at 1/2/4 shards
+// over the same collection, with exactness gated against the
+// single-engine reference.
+//
+// The workload models the `parisax_server --shards=N` configuration:
+// one in-memory collection hash-partitioned over N MESSI shards, each
+// shard building on its own thread pool (so total build threads are
+// N * per-shard threads) and every query fanned across the shards
+// through one shared best-so-far bound. --check gates on (a) every
+// sharded answer (ED and kNN) being byte-identical to the single
+// engine's and (b) the 4-shard build beating the single-engine build
+// by at least kMinBuildSpeedup — (b) only on hosts with spare cores
+// beyond the single build's pool, because shard parallelism cannot
+// show up in wall-clock time on an oversubscribed machine.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "shard/sharded_engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace parisax;
+using namespace parisax::bench;
+
+/// The 4-shard build must beat the single-engine build by at least this
+/// factor for the --check gate (shard-parallel construction, with
+/// CI-noise headroom: the ideal is ~4x on idle cores).
+constexpr double kMinBuildSpeedup = 1.5;
+
+struct Row {
+  size_t shards = 0;
+  double build_seconds = 0.0;
+  double build_speedup = 1.0;  // vs the single-engine build
+  double query_seconds = 0.0;
+  double qps = 0.0;
+  bool results_equal = false;  // byte-identical to the single engine
+};
+
+[[noreturn]] void Die(const std::string& what, const Status& status) {
+  std::cerr << what << ": " << status.ToString() << "\n";
+  std::exit(1);
+}
+
+/// Answers every query (kNN on the odd ones) and appends the responses.
+std::vector<SearchResponse> RunQueries(SearchBackend& backend,
+                                       const Dataset& queries, size_t knn_k,
+                                       double* seconds) {
+  std::vector<SearchResponse> responses;
+  responses.reserve(queries.count());
+  WallTimer timer;
+  for (SeriesId q = 0; q < queries.count(); ++q) {
+    SearchRequest request;
+    if (q % 2 == 1) request.k = knn_k;
+    auto response = backend.Search(queries.series(q), request);
+    if (!response.ok()) Die("query", response.status());
+    responses.push_back(std::move(*response));
+  }
+  *seconds = timer.ElapsedSeconds();
+  return responses;
+}
+
+bool SameNeighbors(const std::vector<SearchResponse>& want,
+                   const std::vector<SearchResponse>& got) {
+  if (want.size() != got.size()) return false;
+  for (size_t q = 0; q < want.size(); ++q) {
+    if (want[q].neighbors != got[q].neighbors) return false;
+  }
+  return true;
+}
+
+void WriteJson(size_t series, size_t length, size_t queries, int threads,
+               unsigned hw, bool speedup_gated, const std::vector<Row>& rows,
+               std::ostream& out) {
+  out << "{\n"
+      << "  \"bench\": \"shard_scaling\",\n"
+      << "  " << JsonMetaFields() << ",\n"
+      << "  \"series\": " << series << ",\n"
+      << "  \"length\": " << length << ",\n"
+      << "  \"queries\": " << queries << ",\n"
+      << "  \"threads_per_shard\": " << threads << ",\n"
+      << "  \"hw_threads\": " << hw << ",\n"
+      << "  \"speedup_gated\": " << (speedup_gated ? "true" : "false")
+      << ",\n"
+      << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"shards\": " << r.shards
+        << ", \"build_seconds\": " << r.build_seconds
+        << ", \"build_speedup\": " << r.build_speedup
+        << ", \"query_seconds\": " << r.query_seconds
+        << ", \"qps\": " << r.qps
+        << ", \"results_equal\": " << (r.results_equal ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv);
+  const size_t series = SeriesOrDefault(args, 100000, 20000);
+  const size_t queries_count = QueriesOrDefault(args, 20, 10);
+  const size_t length = args.length != 0 ? args.length : 128;
+  // Per-shard engine threads: an N-shard build runs N of these pools at
+  // once, which is exactly the configuration under test.
+  const std::vector<int> thread_list = ThreadsOrDefault(args, {2});
+  const int threads = thread_list.front();
+  constexpr size_t kKnn = 8;
+  const std::vector<size_t> shard_counts = {1, 2, 4};
+
+  PrintFigureHeader("shard_scaling",
+                    "sharded engine: build + query throughput at 1/2/4 "
+                    "shards, exact-vs-single equivalence");
+  std::cout << series << " x " << length << " random-walk series, "
+            << queries_count << " queries (ED + " << kKnn << "-NN), "
+            << threads << " threads per shard, messi shards\n\n";
+
+  const Dataset full =
+      MakeDataset(DatasetKind::kRandomWalk, series, length, args.seed);
+  const Dataset queries = MakeQueryWorkload(
+      DatasetKind::kRandomWalk, queries_count, length, args.seed, series);
+
+  EngineOptions eopts;
+  eopts.algorithm = Algorithm::kMessi;
+  eopts.num_threads = threads;
+  eopts.tree.segments = 16;
+
+  std::vector<Row> rows;
+  std::vector<SearchResponse> reference;
+  for (const size_t shards : shard_counts) {
+    Row row;
+    row.shards = shards;
+
+    Dataset copy(full.count(), full.length());
+    std::copy(full.raw(), full.raw() + full.TotalValues(),
+              copy.mutable_raw());
+
+    std::unique_ptr<Engine> single;
+    std::unique_ptr<ShardedEngine> sharded;
+    SearchBackend* backend = nullptr;
+    WallTimer build_timer;
+    if (shards == 1) {
+      auto built = Engine::Build(SourceSpec::InMemory(std::move(copy)),
+                                 eopts);
+      if (!built.ok()) Die("build (single)", built.status());
+      single = std::move(*built);
+      backend = single.get();
+    } else {
+      auto built = ShardedEngine::Build(std::move(copy), shards, eopts);
+      if (!built.ok()) Die("build (sharded)", built.status());
+      sharded = std::move(*built);
+      backend = sharded.get();
+    }
+    row.build_seconds = build_timer.ElapsedSeconds();
+    row.build_speedup = rows.empty()
+                            ? 1.0
+                            : rows.front().build_seconds / row.build_seconds;
+
+    std::vector<SearchResponse> responses =
+        RunQueries(*backend, queries, kKnn, &row.query_seconds);
+    row.qps = row.query_seconds > 0.0
+                  ? static_cast<double>(queries.count()) / row.query_seconds
+                  : 0.0;
+    if (shards == 1) {
+      reference = std::move(responses);
+      row.results_equal = true;
+    } else {
+      row.results_equal = SameNeighbors(reference, responses);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Table table({"shards", "build", "speedup", "queries", "qps",
+               "exact vs single"});
+  for (const Row& r : rows) {
+    table.AddRow({std::to_string(r.shards), FmtSeconds(r.build_seconds),
+                  FmtRatio(r.build_speedup), FmtSeconds(r.query_seconds),
+                  FmtCount(static_cast<uint64_t>(r.qps)),
+                  r.results_equal ? "yes" : "NO"});
+  }
+  table.Print();
+
+  bool all_equal = true;
+  for (const Row& r : rows) all_equal = all_equal && r.results_equal;
+  const double speedup4 = rows.back().build_speedup;
+  // The speedup leg only makes sense with spare cores: the 4-shard
+  // build wants ~2x the single build's threads actually running.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool gate_speedup = hw >= 2u * static_cast<unsigned>(threads);
+  const bool claim_holds =
+      all_equal && (!gate_speedup || speedup4 >= kMinBuildSpeedup);
+  PrintPaperShape(
+      "hash-partitioned shards build in parallel and the query router's "
+      "shared-bound merge stays exact",
+      "4-shard build speedup " + FmtRatio(speedup4) +
+          (gate_speedup ? "" : " (not gated on this host)") +
+          ", sharded results " +
+          (all_equal ? "identical to the single engine" : "DIFFER") + " (" +
+          (claim_holds ? "holds" : "DOES NOT HOLD") + ")");
+  if (!gate_speedup) PrintHardwareNote();
+
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << args.json_path << "\n";
+      return 1;
+    }
+    WriteJson(series, length, queries_count, threads, hw, gate_speedup,
+              rows, out);
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  if (args.check && !claim_holds) {
+    std::cerr << "check failed: shard-scaling claim does not hold\n";
+    return 1;
+  }
+  return 0;
+}

@@ -154,25 +154,6 @@ bool CanBuildOver(Algorithm algorithm, SourceResidency residency) {
                      residency != SourceResidency::kStreamedFile);
 }
 
-const char* SchedulingPolicyName(SchedulingPolicy policy) {
-  switch (policy) {
-    case SchedulingPolicy::kThroughput:
-      return "throughput";
-    case SchedulingPolicy::kLatency:
-      return "latency";
-    case SchedulingPolicy::kAuto:
-      return "auto";
-  }
-  return "unknown";
-}
-
-Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name) {
-  if (name == "throughput") return SchedulingPolicy::kThroughput;
-  if (name == "latency") return SchedulingPolicy::kLatency;
-  if (name == "auto") return SchedulingPolicy::kAuto;
-  return Status::InvalidArgument("unknown scheduling policy: " + name);
-}
-
 // --- SourceSpec -------------------------------------------------------------
 
 SourceSpec SourceSpec::InMemory(Dataset dataset) {
@@ -407,16 +388,6 @@ Result<std::unique_ptr<Engine>> Engine::Build(SourceSpec spec,
   engine->build_report_.details = details.str();
   engine->StartCompactorIfEnabled();
   return engine;
-}
-
-Result<std::unique_ptr<Engine>> Engine::BuildInMemory(
-    const Dataset* dataset, const EngineOptions& options) {
-  return Build(SourceSpec::Borrowed(dataset), options);
-}
-
-Result<std::unique_ptr<Engine>> Engine::BuildFromFile(
-    const std::string& dataset_path, const EngineOptions& options) {
-  return Build(SourceSpec::File(dataset_path), options);
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(
@@ -867,6 +838,7 @@ Result<SearchResponse> Engine::Search(SeriesView query,
         qopts.num_workers = exec->num_threads();
         qopts.kernel = options_.kernel;
         qopts.cancel = request.cancel;
+        qopts.shared_bound = request.shared_bound;
         PARISAX_ASSIGN_OR_RETURN(
             nn, paris_->SearchExact(query, qopts, exec, &response.stats));
       }
@@ -880,6 +852,7 @@ Result<SearchResponse> Engine::Search(SeriesView query,
       qopts.kernel = options_.kernel;
       qopts.dtw_band = request.dtw_band;
       qopts.cancel = request.cancel;
+      qopts.shared_bound = request.shared_bound;
       if (request.approximate) {
         Neighbor nn;
         PARISAX_ASSIGN_OR_RETURN(
@@ -908,14 +881,6 @@ Result<SearchResponse> Engine::Search(SeriesView query,
   }
   response.stats.total_seconds = timer.ElapsedSeconds();
   return response;
-}
-
-Result<AppendReport> Engine::Append(const Dataset& batch) {
-  if (batch.count() > 0 && batch.length() != series_length_) {
-    return Status::InvalidArgument(
-        "appended series length does not match the collection");
-  }
-  return Append(batch.raw(), batch.count());
 }
 
 Result<AppendReport> Engine::Append(const Value* values, size_t count) {
@@ -1113,16 +1078,6 @@ QueryService* Engine::query_service() {
     service_ = std::move(QueryService::Create(this, sopts).value());
   }
   return service_.get();
-}
-
-std::future<Result<SearchResponse>> Engine::Submit(
-    SeriesView query, const SearchRequest& request) {
-  return query_service()->Submit(query, request);
-}
-
-Result<std::vector<SearchResponse>> Engine::SearchBatch(
-    const std::vector<SeriesView>& queries, const SearchRequest& request) {
-  return query_service()->SearchBatch(queries, request);
 }
 
 }  // namespace parisax

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/search_backend.h"
 #include "core/types.h"
 #include "dist/euclidean.h"
 #include "index/ads_index.h"
@@ -70,38 +71,9 @@ const char* AlgorithmName(Algorithm algorithm);
 /// Parses a name produced by AlgorithmName.
 Result<Algorithm> ParseAlgorithm(const std::string& name);
 
-/// What an engine can do. One static table per algorithm (see
-/// AlgorithmCapabilities), narrowed per engine instance by the source it
-/// was built over (Engine::capabilities). CheckQuery, Save and Build
-/// derive every typed kNotSupported rejection from this struct -- there
-/// are no per-call-site whitelists.
-struct EngineCapabilities {
-  /// Largest supported k for exact kNN searches (1: only 1-NN).
-  size_t max_k = 1;
-  /// Exact search under banded DTW.
-  bool dtw = false;
-  /// k > 1 under DTW (currently unimplemented everywhere).
-  bool dtw_knn = false;
-  /// Approximate (leaf-probe) search.
-  bool approximate = false;
-  /// Engine::Save / Engine::Open snapshot support.
-  bool snapshot = false;
-  /// Can build from a streamed, non-addressable source (the paper's
-  /// on-disk pipeline). Every algorithm builds over addressable
-  /// (in-memory or mmap) sources.
-  bool streaming_build = false;
-  /// Engine::Append incremental ingest: new series are added to the
-  /// owned source and indexed without rebuilding. Narrowed to false
-  /// when the source cannot grow (a borrowed collection).
-  bool append = false;
-  /// A background compactor folds delta segments back into the base
-  /// index off the serving path (see EngineOptions). Narrowed to false
-  /// when append is unavailable or the source is not addressable —
-  /// streamed engines fold synchronously in Save/Compact instead.
-  bool background_compaction = false;
-};
-
-/// The per-algorithm capability table (source-independent limits).
+/// The per-algorithm capability table (source-independent limits). The
+/// EngineCapabilities struct itself lives in core/search_backend.h with
+/// the rest of the serving-surface types.
 const EngineCapabilities& AlgorithmCapabilities(Algorithm algorithm);
 
 /// Where an engine's raw series live, as far as the capability model is
@@ -129,30 +101,6 @@ EngineCapabilities NarrowCapabilities(Algorithm algorithm,
 /// The same rule Build applies at runtime, exposed for the generated
 /// docs' `buildable` column.
 bool CanBuildOver(Algorithm algorithm, SourceResidency residency);
-
-/// How the serve layer schedules concurrent queries over the shared
-/// worker pool (see serve/query_service.h).
-enum class SchedulingPolicy {
-  /// Whole-query-per-worker: each query runs serially on one serve
-  /// worker, many queries in flight at once. Maximizes queries/sec.
-  kThroughput,
-  /// Every query fans out over the full thread pool (the paper's
-  /// intra-query parallelism); queries are serialized on the pool.
-  /// Minimizes single-query latency.
-  kLatency,
-  /// Per-query choice by a cost heuristic: expensive queries take the
-  /// parallel path when the service is otherwise idle, everything else
-  /// runs whole-query-per-worker.
-  kAuto,
-};
-
-/// Short lowercase name ("throughput", "latency", "auto").
-const char* SchedulingPolicyName(SchedulingPolicy policy);
-
-/// Parses a name produced by SchedulingPolicyName.
-Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name);
-
-class QueryService;
 
 struct EngineOptions {
   Algorithm algorithm = Algorithm::kMessi;
@@ -249,31 +197,6 @@ class SourceSpec {
   std::unique_ptr<RawSeriesSource> custom_;  // kCustom
 };
 
-struct SearchRequest {
-  /// Number of nearest neighbors (bounded by capabilities().max_k).
-  size_t k = 1;
-  /// Return the approximate answer (index engines only): the best match
-  /// within the query's approximate-match leaf.
-  bool approximate = false;
-  /// Search under banded DTW instead of ED (capabilities().dtw).
-  bool dtw = false;
-  /// Sakoe-Chiba radius in points for DTW searches.
-  size_t dtw_band = 12;
-  /// Optional cancel/deadline token, owned by the caller and kept alive
-  /// for the whole search. The index engines (MESSI, ParIS/ParIS+) poll
-  /// it at leaf-visit / batch granularity inside their hot loops and the
-  /// search returns kDeadlineExceeded instead of a partial answer; the
-  /// scan engines and ADS+ only check it on entry. Null: never expires.
-  const CancellationToken* cancel = nullptr;
-};
-
-struct SearchResponse {
-  /// Ascending (squared distance, id). Exactly min(k, collection size)
-  /// entries for exact searches.
-  std::vector<Neighbor> neighbors;
-  QueryStats stats;
-};
-
 /// Summary of an index build (empty tree stats for scan engines).
 struct BuildReport {
   double wall_seconds = 0.0;
@@ -282,19 +205,7 @@ struct BuildReport {
   std::string details;
 };
 
-/// Summary of one Engine::Append call.
-struct AppendReport {
-  /// Series added by this call.
-  size_t appended = 0;
-  /// Collection size after the call.
-  size_t total_series = 0;
-  /// Root subtrees of the published delta segment; 0 for scan engines,
-  /// which have no tree.
-  size_t touched_subtrees = 0;
-  double wall_seconds = 0.0;
-};
-
-class Engine {
+class Engine : public SearchBackend {
  public:
   /// Builds a search engine over the described source. The engine owns
   /// the materialized source for its whole lifetime. Returns
@@ -302,27 +213,6 @@ class Engine {
   /// residency (see AlgorithmCapabilities().streaming_build).
   static Result<std::unique_ptr<Engine>> Build(SourceSpec spec,
                                                const EngineOptions& options);
-
-  /// Deprecated pre-SourceSpec shim, equivalent to
-  /// Build(SourceSpec::Borrowed(dataset), options): the engine only
-  /// *borrows* `dataset`, so the caller must keep it alive and
-  /// capabilities().append is false (a borrowed collection cannot
-  /// grow). New code should pass a SourceSpec — InMemory (adopting,
-  /// appendable) or Mmap (zero-copy, appendable) remove the lifetime
-  /// rule entirely. See README.md ("Migrating from the old
-  /// constructors") and docs/architecture.md for the full mapping.
-  static Result<std::unique_ptr<Engine>> BuildInMemory(
-      const Dataset* dataset, const EngineOptions& options);
-
-  /// Deprecated pre-SourceSpec shim, equivalent to
-  /// Build(SourceSpec::File(dataset_path), options): the file streams
-  /// through the simulated device described by EngineOptions'
-  /// build/query profiles. New code should say
-  /// Build(SourceSpec::File(path), options) — or SourceSpec::Mmap(path)
-  /// to build any engine straight off the page cache. See README.md
-  /// ("Migrating from the old constructors") and docs/architecture.md.
-  static Result<std::unique_ptr<Engine>> BuildFromFile(
-      const std::string& dataset_path, const EngineOptions& options);
 
   /// Restores an engine from a snapshot written by Save. `data_path` is
   /// the raw dataset file (WriteDataset format) the index was built
@@ -354,7 +244,7 @@ class Engine {
   /// chain at its maximum length (64 deltas), or after compaction
   /// folded past the previous head writes a full snapshot instead —
   /// Save never fails for lineage reasons, it just compacts.
-  Status Save(const std::string& snapshot_path);
+  Status Save(const std::string& snapshot_path) override;
 
   /// Folds every live segment into the base index, then rewrites the
   /// engine's snapshot chain as one fresh full snapshot at
@@ -363,7 +253,7 @@ class Engine {
   /// Subsequent Saves chain deltas to the compacted file. This is the
   /// synchronous wrapper around what the background compactor does
   /// continuously.
-  Status Compact(const std::string& snapshot_path);
+  Status Compact(const std::string& snapshot_path) override;
 
   /// Incremental ingest: appends `batch` (same series length,
   /// z-normalized like the rest of the collection) to the engine's
@@ -386,65 +276,51 @@ class Engine {
   /// collection shape), so a process that dies between Append and Save
   /// pays a rebuild from the (intact, larger) dataset file. See
   /// docs/snapshot-format.md.
-  Result<AppendReport> Append(const Dataset& batch);
-
-  /// As above from a raw buffer: `count` series of series_length()
-  /// values each, row-major.
-  Result<AppendReport> Append(const Value* values, size_t count);
+  Result<AppendReport> Append(const Value* values, size_t count) override;
+  using SearchBackend::Append;  // the Dataset convenience overload
 
   /// Number of Append calls that have completed (monotonic). Each
   /// append publishes a new index epoch to queries atomically.
-  uint64_t append_epoch() const {
+  uint64_t append_epoch() const override {
     return append_epoch_.load(std::memory_order_acquire);
   }
 
   /// Number of compaction actions (background passes and synchronous
   /// folds) that published a merged/folded snapshot. Monotonic;
   /// exported by the serving metrics layer.
-  uint64_t compaction_count() const {
+  uint64_t compaction_count() const override {
     return compaction_count_.load(std::memory_order_acquire);
   }
 
-  ~Engine();
+  ~Engine() override;
 
   /// Answers one similarity-search query with the engine's own thread
   /// pool. Thread-safe: concurrent calls serialize on the pool (use the
   /// serve layer — Submit/SearchBatch — to actually overlap queries).
   Result<SearchResponse> Search(SeriesView query,
-                                const SearchRequest& request = {});
+                                const SearchRequest& request = {}) override;
 
   /// Answers one query on the given executor instead of the engine's
   /// pool. Re-entrant: any number of calls may run concurrently as long
   /// as each uses its own executor (e.g. per-thread InlineExecutors).
   /// The caller is responsible for the executor's own concurrency rules.
-  Result<SearchResponse> Search(SeriesView query,
-                                const SearchRequest& request,
-                                Executor* exec);
-
-  /// Asynchronously answers one query through the engine's query
-  /// service (created on first use with the engine's options). The
-  /// query values are copied, so the view only needs to live until
-  /// Submit returns.
-  std::future<Result<SearchResponse>> Submit(
-      SeriesView query, const SearchRequest& request = {});
-
-  /// Answers a batch of queries concurrently through the query service;
-  /// responses are in query order. Fails on the first failing query.
-  Result<std::vector<SearchResponse>> SearchBatch(
-      const std::vector<SeriesView>& queries,
-      const SearchRequest& request = {});
+  Result<SearchResponse> Search(SeriesView query, const SearchRequest& request,
+                                Executor* exec) override;
 
   /// The engine's query service, created on first use (num_threads
   /// serve workers, kAuto scheduling). Never null.
-  QueryService* query_service();
+  QueryService* query_service() override;
 
   /// What this engine supports: the algorithm's table narrowed by the
   /// source it was built over (e.g. DTW is unavailable when the source
   /// is streamed). Every kNotSupported this engine returns is derived
   /// from this value.
-  EngineCapabilities capabilities() const;
+  EngineCapabilities capabilities() const override;
 
   Algorithm algorithm() const { return options_.algorithm; }
+  const char* algorithm_name() const override {
+    return AlgorithmName(options_.algorithm);
+  }
   const EngineOptions& options() const { return options_; }
   /// The *initial* build/restore report; Append does not update it
   /// (post-append tree stats live on the index's build_stats(), read
@@ -461,10 +337,10 @@ class Engine {
   const RawSeriesSource& source() const { return *query_source_; }
 
   /// Points per series in the indexed collection.
-  size_t series_length() const { return series_length_; }
+  size_t series_length() const override { return series_length_; }
   /// Series in the indexed collection (serve-layer cost heuristics).
   /// Grows under Append; safe to read concurrently.
-  size_t series_count() const {
+  size_t series_count() const override {
     return series_count_.load(std::memory_order_acquire);
   }
 

@@ -1,0 +1,51 @@
+#include "core/search_backend.h"
+
+#include "io/dataset.h"
+#include "serve/query_service.h"
+
+namespace parisax {
+
+const char* SchedulingPolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kThroughput:
+      return "throughput";
+    case SchedulingPolicy::kLatency:
+      return "latency";
+    case SchedulingPolicy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name) {
+  if (name == "throughput") return SchedulingPolicy::kThroughput;
+  if (name == "latency") return SchedulingPolicy::kLatency;
+  if (name == "auto") return SchedulingPolicy::kAuto;
+  return Status::InvalidArgument("unknown scheduling policy: " + name);
+}
+
+std::future<Result<SearchResponse>> SearchBackend::Submit(
+    SeriesView query, const SearchRequest& request) {
+  return query_service()->Submit(query, request);
+}
+
+Result<std::future<Result<SearchResponse>>> SearchBackend::TrySubmit(
+    SeriesView query, const SearchRequest& request,
+    const SubmitOptions& submit) {
+  return query_service()->TrySubmit(query, request, submit);
+}
+
+Result<std::vector<SearchResponse>> SearchBackend::SearchBatch(
+    const std::vector<SeriesView>& queries, const SearchRequest& request) {
+  return query_service()->SearchBatch(queries, request);
+}
+
+Result<AppendReport> SearchBackend::Append(const Dataset& batch) {
+  if (batch.count() > 0 && batch.length() != series_length()) {
+    return Status::InvalidArgument(
+        "appended series length does not match the collection");
+  }
+  return Append(batch.raw(), batch.count());
+}
+
+}  // namespace parisax

@@ -166,13 +166,27 @@ void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
   });
 }
 
-/// Thread-safe single best neighbor (1-NN result set).
+/// Thread-safe single best neighbor (1-NN result set). When a shared
+/// cross-search bound cell is attached, Bound() folds it in with min()
+/// and every improvement (the seed included) is published to it — so
+/// the shard router's other searches prune on this search's progress.
+/// `best` itself only tracks distances computed *here*, which keeps the
+/// merged cross-shard result exact: the cell never drops below the true
+/// global answer, so the globally best series is never pruned on its
+/// own shard.
 struct BestNeighbor {
-  explicit BestNeighbor(Neighbor seed) : bsf(seed.distance_sq), best(seed) {}
+  BestNeighbor(Neighbor seed, AtomicMinFloat* shared)
+      : bsf(seed.distance_sq), shared(shared), best(seed) {
+    if (shared != nullptr) shared->UpdateMin(seed.distance_sq);
+  }
 
-  float Bound() const { return bsf.Load(); }
+  float Bound() const {
+    const float local = bsf.Load();
+    return shared != nullptr ? std::min(local, shared->Load()) : local;
+  }
 
   void Offer(SeriesId id, float d) {
+    if (shared != nullptr) shared->UpdateMin(d);
     if (!bsf.UpdateMin(d) && d > bsf.Load()) return;
     std::lock_guard<std::mutex> lock(mu);
     if (d < best.distance_sq || (d == best.distance_sq && id < best.id)) {
@@ -181,6 +195,7 @@ struct BestNeighbor {
   }
 
   AtomicMinFloat bsf;
+  AtomicMinFloat* shared;
   std::mutex mu;
   Neighbor best;
 };
@@ -213,7 +228,10 @@ struct EdNnPolicy {
   }
 };
 
-/// Exact-ED kNN policy: the bound is the k-th best distance.
+/// Exact-ED kNN policy: the bound is the k-th best distance, optionally
+/// folded with a shared cross-search bound. Publishing the local heap's
+/// bound is sound because every shard's local k-th distance is an upper
+/// bound on the global k-th distance.
 struct EdKnnPolicy {
   RawDataView raw;
   const float* paa;
@@ -222,8 +240,12 @@ struct EdKnnPolicy {
   KernelPolicy kernel;
   SeriesView query;
   KnnHeap* heap;
+  AtomicMinFloat* shared;
 
-  float Bound() const { return heap->Bound(); }
+  float Bound() const {
+    const float local = heap->Bound();
+    return shared != nullptr ? std::min(local, shared->Load()) : local;
+  }
 
   float NodeLb(const Node& node) const {
     return MinDistPaaToWordSq(paa, node.word(), w, n);
@@ -237,7 +259,10 @@ struct EdKnnPolicy {
     counters->real_dist_calcs.fetch_add(1, std::memory_order_relaxed);
     const float d = SquaredEuclideanEarlyAbandon(query, raw.series(e.id),
                                                  bound, kernel);
-    if (d < bound) heap->Update(Neighbor{e.id, d});
+    if (d < bound) {
+      heap->Update(Neighbor{e.id, d});
+      if (shared != nullptr) shared->UpdateMin(heap->Bound());
+    }
   }
 };
 
@@ -544,7 +569,7 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
     stats->approx_phase_seconds = approx_timer.ElapsedSeconds();
   }
 
-  BestNeighbor result(seed);
+  BestNeighbor result(seed, options.shared_bound);
   EdNnPolicy policy{snap->raw, paa, w, n, options.kernel, query, &result};
   AtomicCounters counters;
   const int num_queues =
@@ -591,8 +616,12 @@ Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
   };
   seed_from(*snap->base);
   for (const auto& seg : snap->segments) seed_from(seg->tree);
+  if (options.shared_bound != nullptr) {
+    options.shared_bound->UpdateMin(heap.Bound());
+  }
 
-  EdKnnPolicy policy{snap->raw, paa, w, n, options.kernel, query, &heap};
+  EdKnnPolicy policy{snap->raw, paa,   w,     n,
+                     options.kernel, query, &heap, options.shared_bound};
   AtomicCounters counters;
   const int num_queues =
       options.num_queues > 0 ? options.num_queues : options.num_workers;
@@ -654,7 +683,7 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   seed_from(*snap->base);
   for (const auto& seg : snap->segments) seed_from(seg->tree);
 
-  BestNeighbor result(seed);
+  BestNeighbor result(seed, options.shared_bound);
   DtwNnPolicy policy{snap->raw,       env_lower_paa, env_upper_paa,
                      &env_lower,      &env_upper,    w,
                      n,               options.dtw_band, query,

@@ -73,6 +73,13 @@ struct MessiQueryOptions {
   /// search returns kDeadlineExceeded instead of a partial answer. The
   /// caller keeps the token alive; null never expires.
   const CancellationToken* cancel = nullptr;
+  /// Optional cross-search pruning bound (the shard router's shared
+  /// BSF): folded into the local bound with min() and improved through
+  /// UpdateMin whenever this search tightens its own bound. The caller
+  /// keeps the cell alive and guarantees its value never drops below
+  /// the query's true global answer, so pruning on it stays exact.
+  /// Null: only the local bound prunes.
+  AtomicMinFloat* shared_bound = nullptr;
 };
 
 class SnapshotReader;

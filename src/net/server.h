@@ -1,5 +1,6 @@
 // The parisax serving front end: a TCP server speaking the frame
-// protocol of net/protocol.h in front of one Engine + QueryService.
+// protocol of net/protocol.h in front of one SearchBackend (a single
+// Engine or a ShardedEngine) + QueryService.
 //
 // Threading model: one acceptor thread; per connection, a reader thread
 // (decodes frames, submits queries, answers stats/health/append inline)
@@ -30,7 +31,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/search_backend.h"
 #include "net/protocol.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
@@ -61,9 +62,9 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// Binds, listens and starts serving `engine` (which must outlive the
-  /// server). Returns kIoError when the address cannot be bound.
-  static Result<std::unique_ptr<Server>> Start(Engine* engine,
+  /// Binds, listens and starts serving `backend` (which must outlive
+  /// the server). Returns kIoError when the address cannot be bound.
+  static Result<std::unique_ptr<Server>> Start(SearchBackend* backend,
                                                const ServerOptions& options);
 
   /// Stops accepting, closes every connection, finishes in-flight
@@ -83,7 +84,7 @@ class Server {
   ServerMetrics* server_metrics() { return &metrics_; }
   QueryService* query_service() { return service_.get(); }
 
-  /// Mirrors live engine/service state into the registry and renders
+  /// Mirrors live backend/service state into the registry and renders
   /// the Prometheus text exposition (what a STATS frame answers).
   std::string RenderMetricsText();
 
@@ -111,7 +112,7 @@ class Server {
     std::atomic<bool> finished{false};  // both threads exited
   };
 
-  Server(Engine* engine, const ServerOptions& options);
+  Server(SearchBackend* backend, const ServerOptions& options);
 
   Status Listen();
   void AcceptLoop();
@@ -128,7 +129,7 @@ class Server {
   /// Joins and frees connections whose threads have exited.
   void ReapFinished();
 
-  Engine* const engine_;
+  SearchBackend* const backend_;
   const ServerOptions options_;
   MetricsRegistry registry_;
   ServerMetrics metrics_;

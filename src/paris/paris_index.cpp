@@ -645,8 +645,15 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
   };
 
   // Phase 2: lower-bound workers filter the SAX summaries in parallel.
+  // A shared cross-search bound (the shard router's BSF) tightens the
+  // frozen filter bound: it can never drop below the query's true
+  // global answer, so candidates it prunes can never win.
   WallTimer filter_timer;
-  const float bsf0 = best.distance_sq;
+  AtomicMinFloat* const shared = options.shared_bound;
+  if (shared != nullptr) shared->UpdateMin(best.distance_sq);
+  const float bsf0 = shared != nullptr
+                         ? std::min(best.distance_sq, shared->Load())
+                         : best.distance_sq;
   std::vector<SeriesId> candidates(snap->count);
   std::atomic<size_t> tail{0};
   {
@@ -679,6 +686,10 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
   // Phase 3: real-distance workers refine candidates in parallel.
   WallTimer refine_timer;
   AtomicMinFloat bsf(bsf0);
+  const auto load_bound = [&bsf, shared] {
+    const float local = bsf.Load();
+    return shared != nullptr ? std::min(local, shared->Load()) : local;
+  };
   std::mutex best_mu;
   std::atomic<bool> failed{false};
   Status worker_status;
@@ -692,11 +703,12 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
         if (Expired(options.cancel)) return;
         for (size_t c = begin; c < end; ++c) {
           const SeriesId id = candidates[c];
-          const float bound = bsf.Load();
+          const float bound = load_bound();
           const float d = SquaredEuclideanEarlyAbandon(
               query, snap->raw.series(id), bound, options.kernel);
           if (d < bound) {
             bsf.UpdateMin(d);
+            if (shared != nullptr) shared->UpdateMin(d);
             std::lock_guard<std::mutex> lock(best_mu);
             if (d < best.distance_sq ||
                 (d == best.distance_sq && id < best.id)) {
@@ -724,12 +736,13 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
       exec->Run([&](int) {
         size_t c;
         while (counter.NextItem(&c)) {
-          const float bound = bsf.Load();
+          const float bound = load_bound();
           const float d = SquaredEuclideanEarlyAbandon(
               query.data(), chunk_values.data() + c * n, n, bound,
               options.kernel);
           if (d < bound) {
             bsf.UpdateMin(d);
+            if (shared != nullptr) shared->UpdateMin(d);
             const SeriesId id = candidates[base + c];
             std::lock_guard<std::mutex> lock(best_mu);
             if (d < best.distance_sq ||
@@ -761,12 +774,13 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
             }
             view = SeriesView(buffer.data(), buffer.size());
           }
-          const float bound = bsf.Load();
+          const float bound = load_bound();
           const float d =
               SquaredEuclideanEarlyAbandon(query, view, bound,
                                            options.kernel);
           if (d < bound) {
             bsf.UpdateMin(d);
+            if (shared != nullptr) shared->UpdateMin(d);
             std::lock_guard<std::mutex> lock(best_mu);
             if (d < best.distance_sq ||
                 (d == best.distance_sq && id < best.id)) {

@@ -1,0 +1,185 @@
+#include "persist/shard_manifest.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "persist/checksum.h"
+
+namespace parisax {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'A', 'X', 'S', 'H', 'M', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMaxNameBytes = 4096;
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(bytes));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(bytes));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader over the loaded manifest bytes.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || len > kMaxNameBytes || size_ - pos_ < len) {
+      return false;
+    }
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& path) {
+  if (manifest.shards.empty()) {
+    return Status::InvalidArgument("manifest must describe at least one shard");
+  }
+  uint64_t sum = 0;
+  for (const ShardManifest::Shard& shard : manifest.shards) {
+    if (shard.snapshot_file.empty() || shard.data_file.empty()) {
+      return Status::InvalidArgument("manifest shard file names must be set");
+    }
+    sum += shard.count;
+  }
+  if (sum != manifest.total_count) {
+    return Status::InvalidArgument(
+        "manifest shard counts do not sum to total_count");
+  }
+
+  std::string bytes;
+  bytes.append(kMagic, sizeof(kMagic));
+  PutU32(&bytes, kVersion);
+  PutU32(&bytes, static_cast<uint32_t>(manifest.shards.size()));
+  PutString(&bytes, manifest.algorithm);
+  PutU64(&bytes, manifest.series_length);
+  PutU64(&bytes, manifest.total_count);
+  for (const ShardManifest::Shard& shard : manifest.shards) {
+    PutU64(&bytes, shard.count);
+    PutString(&bytes, shard.snapshot_file);
+    PutString(&bytes, shard.data_file);
+  }
+  PutU32(&bytes, Crc32(bytes.data(), bytes.size()));
+
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create shard manifest: " + tmp_path);
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot write shard manifest: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename shard manifest into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> ReadShardManifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("shard manifest not found: " + path);
+  }
+  std::string bytes;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("cannot read shard manifest: " + path);
+  }
+
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a shard manifest: " + path);
+  }
+  const size_t body_size = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body_size, sizeof(stored_crc));
+  if (Crc32(bytes.data(), body_size) != stored_crc) {
+    return Status::Corruption("shard manifest checksum mismatch: " + path);
+  }
+
+  ByteReader reader(bytes.data() + sizeof(kMagic),
+                    body_size - sizeof(kMagic));
+  uint32_t version = 0;
+  uint32_t num_shards = 0;
+  ShardManifest manifest;
+  if (!reader.ReadU32(&version) || !reader.ReadU32(&num_shards) ||
+      !reader.ReadString(&manifest.algorithm) ||
+      !reader.ReadU64(&manifest.series_length) ||
+      !reader.ReadU64(&manifest.total_count)) {
+    return Status::Corruption("truncated shard manifest: " + path);
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported shard manifest version: " + path);
+  }
+  if (num_shards == 0) {
+    return Status::Corruption("shard manifest has no shards: " + path);
+  }
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    ShardManifest::Shard shard;
+    if (!reader.ReadU64(&shard.count) ||
+        !reader.ReadString(&shard.snapshot_file) ||
+        !reader.ReadString(&shard.data_file)) {
+      return Status::Corruption("truncated shard manifest: " + path);
+    }
+    sum += shard.count;
+    manifest.shards.push_back(std::move(shard));
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes in shard manifest: " + path);
+  }
+  if (sum != manifest.total_count) {
+    return Status::Corruption(
+        "shard manifest counts do not sum to the total: " + path);
+  }
+  return manifest;
+}
+
+}  // namespace parisax

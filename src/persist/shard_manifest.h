@@ -1,0 +1,70 @@
+// On-disk manifest of one ShardedEngine checkpoint.
+//
+// A sharded save produces one small manifest plus, per shard, the
+// shard's own snapshot file (persist/snapshot.h format, delta chains
+// included) and a dataset file with the shard's raw series — so each
+// shard restores independently, exactly as a standalone Engine would.
+// The manifest records which files belong to which shard and the shape
+// the restored collection must have; every field is covered by a
+// trailing CRC-32, and a manifest is written to a temp file renamed
+// into place, so a torn write can never be mistaken for a checkpoint.
+//
+// Layout (little-endian):
+//   [0..7]  magic "PSAXSHM1"
+//   uint32  format version (1)
+//   uint32  shard count
+//   uint32  algorithm name length, then that many bytes
+//   uint64  series length (points per series)
+//   uint64  total series count (sum of the shard counts)
+//   per shard:
+//     uint64  series count
+//     uint32  snapshot file-name length, then that many bytes
+//     uint32  data file-name length, then that many bytes
+//   uint32  CRC-32 of every preceding byte
+//
+// File names are stored relative to the manifest's directory, so a
+// checkpoint directory can be moved or renamed wholesale.
+#ifndef PARISAX_PERSIST_SHARD_MANIFEST_H_
+#define PARISAX_PERSIST_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace parisax {
+
+struct ShardManifest {
+  /// AlgorithmName() of the shards' common algorithm.
+  std::string algorithm;
+  /// Points per series in every shard.
+  uint64_t series_length = 0;
+  /// Series across all shards.
+  uint64_t total_count = 0;
+
+  struct Shard {
+    /// Series this shard holds.
+    uint64_t count = 0;
+    /// Shard snapshot file (persist/snapshot.h), relative to the
+    /// manifest's directory.
+    std::string snapshot_file;
+    /// Shard raw-series file (io/format.h), relative to the manifest's
+    /// directory.
+    std::string data_file;
+  };
+  std::vector<Shard> shards;
+};
+
+/// Writes `manifest` to `path` atomically (temp file + rename).
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& path);
+
+/// Reads and validates a manifest: magic, version, CRC, and that the
+/// per-shard counts sum to total_count. Returns kNotFound when the file
+/// does not exist and kCorruption on any validation failure.
+Result<ShardManifest> ReadShardManifest(const std::string& path);
+
+}  // namespace parisax
+
+#endif  // PARISAX_PERSIST_SHARD_MANIFEST_H_

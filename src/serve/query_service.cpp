@@ -7,9 +7,9 @@
 namespace parisax {
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
-    Engine* engine, const QueryServiceOptions& options) {
-  if (engine == nullptr) {
-    return Status::InvalidArgument("engine must not be null");
+    SearchBackend* backend, const QueryServiceOptions& options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("backend must not be null");
   }
   if (options.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be positive");
@@ -18,12 +18,12 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     return Status::InvalidArgument(
         "parallel_cost_threshold must be positive");
   }
-  return std::unique_ptr<QueryService>(new QueryService(engine, options));
+  return std::unique_ptr<QueryService>(new QueryService(backend, options));
 }
 
-QueryService::QueryService(Engine* engine,
+QueryService::QueryService(SearchBackend* backend,
                            const QueryServiceOptions& options)
-    : engine_(engine), options_(options), shards_(options.num_threads) {
+    : backend_(backend), options_(options), shards_(options.num_threads) {
   workers_.reserve(options_.num_threads);
   for (int i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -209,8 +209,8 @@ bool QueryService::TryAcquire(int worker, Task* task) {
 
 double QueryService::EstimateCost(const SearchRequest& request) const {
   if (request.approximate) return 0.0;  // one leaf probe, always cheap
-  const double count = static_cast<double>(engine_->series_count());
-  const double length = static_cast<double>(engine_->series_length());
+  const double count = static_cast<double>(backend_->series_count());
+  const double length = static_cast<double>(backend_->series_length());
   double per_candidate = length;
   if (request.dtw) {
     // Banded DTW costs ~ (2*band+1) cells per point instead of 1.
@@ -263,9 +263,9 @@ void QueryService::Execute(Task task) {
   // submitter's future breaks and Drain blocks forever.
   Result<SearchResponse> response = [&]() -> Result<SearchResponse> {
     try {
-      if (parallel) return engine_->Search(view, task.request);
+      if (parallel) return backend_->Search(view, task.request);
       InlineExecutor inline_exec;
-      return engine_->Search(view, task.request, &inline_exec);
+      return backend_->Search(view, task.request, &inline_exec);
     } catch (const std::exception& e) {
       return Status::Internal(std::string("query threw: ") + e.what());
     } catch (...) {

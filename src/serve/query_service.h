@@ -1,5 +1,6 @@
 // Concurrent query service: batched / streamed multi-query execution
-// over an already-built engine.
+// over an already-built search backend (a single Engine or a
+// ShardedEngine — the service only speaks SearchBackend).
 //
 // ParIS+/MESSI parallelize *one* query at a time (intra-query worker
 // fan-out); a system serving heavy traffic also needs inter-query
@@ -36,7 +37,8 @@
 #include <thread>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/search_backend.h"
+#include "core/types.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "util/threading.h"
@@ -115,12 +117,12 @@ struct ServeStats {
 
 class QueryService {
  public:
-  /// Starts `options.num_threads` serve workers over `engine`, which
+  /// Starts `options.num_threads` serve workers over `backend`, which
   /// must outlive the service. While a service is attached, route
-  /// queries through it (or through the engine's thread-safe Search,
+  /// queries through it (or through the backend's thread-safe Search,
   /// which serializes on the same pool the kLatency path uses).
   static Result<std::unique_ptr<QueryService>> Create(
-      Engine* engine, const QueryServiceOptions& options);
+      SearchBackend* backend, const QueryServiceOptions& options);
 
   /// Finishes every accepted query, then stops the workers.
   ~QueryService();
@@ -176,7 +178,7 @@ class QueryService {
     std::deque<Task> tasks;
   };
 
-  QueryService(Engine* engine, const QueryServiceOptions& options);
+  QueryService(SearchBackend* backend, const QueryServiceOptions& options);
 
   /// Shared Submit/TrySubmit body; `enforce_cap` selects admission
   /// control. Returns kOverloaded only when it is enforced.
@@ -193,7 +195,7 @@ class QueryService {
   /// for one query against the whole collection.
   double EstimateCost(const SearchRequest& request) const;
 
-  Engine* const engine_;
+  SearchBackend* const backend_;
   const QueryServiceOptions options_;
 
   std::vector<Shard> shards_;

@@ -48,15 +48,15 @@ TEST(EngineTest, BuildReportHasTreeForIndexEngines) {
   const Dataset data = MakeData();
   for (const Algorithm a :
        {Algorithm::kAdsPlus, Algorithm::kParisPlus, Algorithm::kMessi}) {
-    auto engine = Engine::BuildInMemory(&data, BaseOptions(a));
+    auto engine = Engine::Build(SourceSpec::Borrowed(&data), BaseOptions(a));
     ASSERT_TRUE(engine.ok());
     EXPECT_EQ((*engine)->build_report().tree.total_entries, data.count())
         << AlgorithmName(a);
     EXPECT_GT((*engine)->build_report().wall_seconds, 0.0);
     EXPECT_FALSE((*engine)->build_report().details.empty());
   }
-  auto scan = Engine::BuildInMemory(&data,
-                                    BaseOptions(Algorithm::kUcrSerial));
+  auto scan = Engine::Build(SourceSpec::Borrowed(&data),
+                            BaseOptions(Algorithm::kUcrSerial));
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ((*scan)->build_report().tree.total_entries, 0u);
 }
@@ -65,19 +65,21 @@ TEST(EngineTest, RejectsBadOptions) {
   const Dataset data = MakeData();
   EngineOptions bad = BaseOptions(Algorithm::kMessi);
   bad.num_threads = 0;
-  EXPECT_EQ(Engine::BuildInMemory(&data, bad).status().code(),
+  EXPECT_EQ(Engine::Build(SourceSpec::Borrowed(&data), bad).status().code(),
             StatusCode::kInvalidArgument);
 
   EngineOptions wrong_len = BaseOptions(Algorithm::kMessi);
   wrong_len.tree.series_length = 32;
-  EXPECT_EQ(Engine::BuildInMemory(&data, wrong_len).status().code(),
+  EXPECT_EQ(
+      Engine::Build(SourceSpec::Borrowed(&data), wrong_len).status().code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST(EngineTest, RejectsWrongQueryShapes) {
   const Dataset data = MakeData();
   auto engine =
-      Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+      Engine::Build(SourceSpec::Borrowed(&data),
+                    BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(engine.ok());
   std::vector<float> short_query(32, 0.0f);
   EXPECT_EQ((*engine)
@@ -101,8 +103,8 @@ TEST(EngineTest, CapabilityGating) {
   const SeriesView q(query.data(), 64);
 
   // kNN > 1 unsupported on ParIS+.
-  auto paris = Engine::BuildInMemory(&data,
-                                     BaseOptions(Algorithm::kParisPlus));
+  auto paris = Engine::Build(SourceSpec::Borrowed(&data),
+                             BaseOptions(Algorithm::kParisPlus));
   ASSERT_TRUE(paris.ok());
   SearchRequest knn;
   knn.k = 5;
@@ -110,7 +112,8 @@ TEST(EngineTest, CapabilityGating) {
             StatusCode::kNotSupported);
 
   // DTW unsupported on ADS+.
-  auto ads = Engine::BuildInMemory(&data, BaseOptions(Algorithm::kAdsPlus));
+  auto ads = Engine::Build(SourceSpec::Borrowed(&data),
+                           BaseOptions(Algorithm::kAdsPlus));
   ASSERT_TRUE(ads.ok());
   SearchRequest dtw;
   dtw.dtw = true;
@@ -118,8 +121,8 @@ TEST(EngineTest, CapabilityGating) {
             StatusCode::kNotSupported);
 
   // Approximate unsupported on scans.
-  auto ucr = Engine::BuildInMemory(&data,
-                                   BaseOptions(Algorithm::kUcrParallel));
+  auto ucr = Engine::Build(SourceSpec::Borrowed(&data),
+                           BaseOptions(Algorithm::kUcrParallel));
   ASSERT_TRUE(ucr.ok());
   SearchRequest approx;
   approx.approximate = true;
@@ -133,7 +136,9 @@ TEST(EngineTest, OnDiskRejectsInMemoryOnlyEngines) {
   ASSERT_TRUE(WriteDataset(data, path).ok());
   for (const Algorithm a :
        {Algorithm::kBruteForce, Algorithm::kUcrParallel, Algorithm::kMessi}) {
-    EXPECT_EQ(Engine::BuildFromFile(path, BaseOptions(a)).status().code(),
+    EXPECT_EQ(Engine::Build(SourceSpec::File(path), BaseOptions(a))
+                  .status()
+                  .code(),
               StatusCode::kNotSupported)
         << AlgorithmName(a);
   }
@@ -144,7 +149,7 @@ TEST(EngineTest, OnDiskDefaultsLeafStoragePath) {
   const std::string path = ::testing::TempDir() + "/engine_leafdflt.psax";
   ASSERT_TRUE(WriteDataset(data, path).ok());
   auto engine =
-      Engine::BuildFromFile(path, BaseOptions(Algorithm::kParisPlus));
+      Engine::Build(SourceSpec::File(path), BaseOptions(Algorithm::kParisPlus));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->options().leaf_storage_path, path + ".leaves");
 }
@@ -379,7 +384,8 @@ TEST(EngineTest, AdoptedSourceOutlivesCallerScope) {
 TEST(EngineTest, SearchReportsStats) {
   const Dataset data = MakeData(1000);
   auto engine =
-      Engine::BuildInMemory(&data, BaseOptions(Algorithm::kMessi));
+      Engine::Build(SourceSpec::Borrowed(&data),
+                    BaseOptions(Algorithm::kMessi));
   ASSERT_TRUE(engine.ok());
   const Dataset queries =
       GenerateQueries(DatasetKind::kRandomWalk, 1, 64, 71);

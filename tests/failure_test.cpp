@@ -32,8 +32,8 @@ TEST(FailureTest, EngineRejectsMissingFile) {
   EngineOptions options;
   options.algorithm = Algorithm::kParisPlus;
   options.tree.segments = 8;
-  auto engine = Engine::BuildFromFile(TempPath("missing_engine.psax"),
-                                      options);
+  auto engine = Engine::Build(
+      SourceSpec::File(TempPath("missing_engine.psax")), options);
   EXPECT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
 }
@@ -46,7 +46,7 @@ TEST(FailureTest, EngineRejectsCorruptHeader) {
   EngineOptions options;
   options.algorithm = Algorithm::kAdsPlus;
   options.tree.segments = 8;
-  auto engine = Engine::BuildFromFile(path, options);
+  auto engine = Engine::Build(SourceSpec::File(path), options);
   EXPECT_FALSE(engine.ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kCorruption);
 }
@@ -161,15 +161,15 @@ TEST(FailureTest, EngineSearchAfterFailedOptionsNeverCrashes) {
   options.algorithm = Algorithm::kMessi;
   options.tree.segments = 8;
   options.tree.leaf_capacity = 0;  // nonsense
-  auto engine = Engine::BuildInMemory(&data, options);
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
   EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
 
   options.tree.leaf_capacity = 128;
   options.tree.segments = 0;  // also nonsense
-  EXPECT_EQ(Engine::BuildInMemory(&data, options).status().code(),
+  EXPECT_EQ(Engine::Build(SourceSpec::Borrowed(&data), options).status().code(),
             StatusCode::kInvalidArgument);
   options.tree.segments = 17;  // beyond kMaxSegments
-  EXPECT_EQ(Engine::BuildInMemory(&data, options).status().code(),
+  EXPECT_EQ(Engine::Build(SourceSpec::Borrowed(&data), options).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -177,8 +177,8 @@ TEST(FailureTest, UcrDiskScanPropagatesOpenFailure) {
   std::vector<float> query(64, 0.0f);
   EngineOptions options;
   options.algorithm = Algorithm::kUcrSerial;
-  auto engine = Engine::BuildFromFile(TempPath("missing_ucr.psax"),
-                                      options);
+  auto engine = Engine::Build(
+      SourceSpec::File(TempPath("missing_ucr.psax")), options);
   EXPECT_FALSE(engine.ok());
 }
 
@@ -194,7 +194,7 @@ TEST(FailureTest, DeletedFileAfterOpenIsHandledAtQueryTime) {
   options.num_threads = 2;
   options.tree.segments = 8;
   options.leaf_storage_path = TempPath("deleted_under_fd.leaves");
-  auto engine = Engine::BuildFromFile(path, options);
+  auto engine = Engine::Build(SourceSpec::File(path), options);
   ASSERT_TRUE(engine.ok());
   ASSERT_EQ(std::remove(path.c_str()), 0);
 
@@ -215,7 +215,7 @@ TEST(FailureTest, ZeroLengthQuerySpanRejectedEverywhere) {
     options.algorithm = algorithm;
     options.num_threads = 2;
     options.tree.segments = 8;
-    auto engine = Engine::BuildInMemory(&data, options);
+    auto engine = Engine::Build(SourceSpec::Borrowed(&data), options);
     ASSERT_TRUE(engine.ok()) << AlgorithmName(algorithm);
     auto response = (*engine)->Search(SeriesView(), {});
     EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument)

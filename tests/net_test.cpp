@@ -24,6 +24,7 @@
 #include "net/server.h"
 #include "scan/ucr_scan.h"
 #include "serve/query_service.h"
+#include "shard/sharded_engine.h"
 #include "util/cancellation.h"
 
 namespace parisax {
@@ -459,13 +460,18 @@ class TestClient {
 
 struct ServerFixture {
   Dataset oracle;  // mirror of the served collection
-  std::unique_ptr<Engine> engine;
+  std::unique_ptr<Engine> engine;          // num_shards == 1
+  std::unique_ptr<ShardedEngine> sharded;  // num_shards > 1
+  SearchBackend* backend = nullptr;
   std::unique_ptr<Server> server;
 };
 
-/// Serves `count` series; `oracle` stays an exact client-side mirror
-/// (Dataset::Append keeps it in lockstep after wire appends).
-ServerFixture StartServer(size_t count, uint64_t seed,
+/// Serves `count` series over `num_shards` engine shards (1: a plain
+/// Engine); `oracle` stays an exact client-side mirror (Dataset::Append
+/// keeps it in lockstep after wire appends). The server speaks
+/// SearchBackend either way — the wire tests cannot tell the backends
+/// apart, which is exactly the property under test.
+ServerFixture StartServer(size_t count, uint64_t seed, size_t num_shards,
                           ServerOptions sopts = {}) {
   ServerFixture fx;
   fx.oracle = MakeData(count, seed);
@@ -473,14 +479,26 @@ ServerFixture StartServer(size_t count, uint64_t seed,
   eopts.num_threads = 2;
   eopts.tree.segments = 8;
   eopts.tree.leaf_capacity = 32;
-  auto engine = Engine::Build(SourceSpec::InMemory(MakeData(count, seed)),
-                              eopts);
-  if (!engine.ok()) {
-    ADD_FAILURE() << engine.status().ToString();
-    return fx;
+  if (num_shards > 1) {
+    auto sharded =
+        ShardedEngine::Build(MakeData(count, seed), num_shards, eopts);
+    if (!sharded.ok()) {
+      ADD_FAILURE() << sharded.status().ToString();
+      return fx;
+    }
+    fx.sharded = std::move(*sharded);
+    fx.backend = fx.sharded.get();
+  } else {
+    auto engine = Engine::Build(SourceSpec::InMemory(MakeData(count, seed)),
+                                eopts);
+    if (!engine.ok()) {
+      ADD_FAILURE() << engine.status().ToString();
+      return fx;
+    }
+    fx.engine = std::move(*engine);
+    fx.backend = fx.engine.get();
   }
-  fx.engine = std::move(*engine);
-  auto server = Server::Start(fx.engine.get(), sopts);
+  auto server = Server::Start(fx.backend, sopts);
   if (!server.ok()) {
     ADD_FAILURE() << server.status().ToString();
     return fx;
@@ -489,6 +507,10 @@ ServerFixture StartServer(size_t count, uint64_t seed,
   return fx;
 }
 
+/// The live-server suite runs identically over a single engine and a
+/// 4-shard router: same frames, same oracle-exact answers.
+class ServerShardTest : public ::testing::TestWithParam<size_t> {};
+
 QueryFrame WireQuery(uint64_t request_id, SeriesView query) {
   QueryFrame q;
   q.request_id = request_id;
@@ -496,8 +518,8 @@ QueryFrame WireQuery(uint64_t request_id, SeriesView query) {
   return q;
 }
 
-TEST(ServerTest, AnswersMixedQueriesExactly) {
-  ServerFixture fx = StartServer(2000, 101);
+TEST_P(ServerShardTest, AnswersMixedQueriesExactly) {
+  ServerFixture fx = StartServer(2000, 101, GetParam());
   ASSERT_NE(fx.server, nullptr);
   const Dataset queries = MakeQueries(9, 101);
 
@@ -545,8 +567,8 @@ TEST(ServerTest, AnswersMixedQueriesExactly) {
   }
 }
 
-TEST(ServerTest, AppendsThenServesGrownCollection) {
-  ServerFixture fx = StartServer(1000, 103);
+TEST_P(ServerShardTest, AppendsThenServesGrownCollection) {
+  ServerFixture fx = StartServer(1000, 103, GetParam());
   ASSERT_NE(fx.server, nullptr);
   const Dataset extra = MakeData(50, 9103);
 
@@ -586,8 +608,8 @@ TEST(ServerTest, AppendsThenServesGrownCollection) {
   EXPECT_FLOAT_EQ(result->neighbors[0].distance_sq, 0.0f);
 }
 
-TEST(ServerTest, StatsAndHealthAnswer) {
-  ServerFixture fx = StartServer(600, 107);
+TEST_P(ServerShardTest, StatsAndHealthAnswer) {
+  ServerFixture fx = StartServer(600, 107, GetParam());
   ASSERT_NE(fx.server, nullptr);
 
   TestClient client(fx.server->port());
@@ -618,8 +640,8 @@ TEST(ServerTest, StatsAndHealthAnswer) {
             std::string::npos);
 }
 
-TEST(ServerTest, MalformedFramesGetTypedErrors) {
-  ServerFixture fx = StartServer(500, 109);
+TEST_P(ServerShardTest, MalformedFramesGetTypedErrors) {
+  ServerFixture fx = StartServer(500, 109, GetParam());
   ASSERT_NE(fx.server, nullptr);
 
   {  // bad magic: one error frame, then close — the stream cannot resync
@@ -716,11 +738,11 @@ TEST(ServerTest, MalformedFramesGetTypedErrors) {
 // An overload storm must yield typed kOverloaded rejections, responses
 // for every request in order, an in-flight count that never exceeds the
 // cap — and oracle-exact answers once the storm passes.
-TEST(ServerTest, OverloadStormRejectsTypedThenRecovers) {
+TEST_P(ServerShardTest, OverloadStormRejectsTypedThenRecovers) {
   ServerOptions sopts;
   sopts.serve_threads = 1;
   sopts.max_inflight = 2;
-  ServerFixture fx = StartServer(4000, 113, sopts);
+  ServerFixture fx = StartServer(4000, 113, GetParam(), sopts);
   ASSERT_NE(fx.server, nullptr);
   const Dataset queries = MakeQueries(8, 113);
 
@@ -779,10 +801,10 @@ TEST(ServerTest, OverloadStormRejectsTypedThenRecovers) {
 // Queries carrying microsecond deadlines through a saturated
 // single-worker server must answer deadline_exceeded, not hang or
 // crash; an undeadlined query afterwards succeeds.
-TEST(ServerTest, WireDeadlinesAnswerTyped) {
+TEST_P(ServerShardTest, WireDeadlinesAnswerTyped) {
   ServerOptions sopts;
   sopts.serve_threads = 1;
-  ServerFixture fx = StartServer(4000, 127, sopts);
+  ServerFixture fx = StartServer(4000, 127, GetParam(), sopts);
   ASSERT_NE(fx.server, nullptr);
   const Dataset queries = MakeQueries(4, 127);
 
@@ -825,11 +847,11 @@ TEST(ServerTest, WireDeadlinesAnswerTyped) {
 // separate connections. Zero crashes, every response well-formed, and
 // settled-phase answers byte-identical to the brute-force oracle over
 // the grown collection.
-TEST(ServerTest, ConcurrentQueryAppendStatsStorm) {
+TEST_P(ServerShardTest, ConcurrentQueryAppendStatsStorm) {
   ServerOptions sopts;
   sopts.serve_threads = 2;
   sopts.max_inflight = 16;
-  ServerFixture fx = StartServer(1500, 131, sopts);
+  ServerFixture fx = StartServer(1500, 131, GetParam(), sopts);
   ASSERT_NE(fx.server, nullptr);
   const Dataset queries = MakeQueries(12, 131);
   const Dataset extra = MakeData(60, 9131);
@@ -914,7 +936,7 @@ TEST(ServerTest, ConcurrentQueryAppendStatsStorm) {
 
   // Settled phase over the grown collection.
   fx.oracle.Append(extra.raw(), extra.count());
-  ASSERT_EQ(fx.engine->series_count(), fx.oracle.count());
+  ASSERT_EQ(fx.backend->series_count(), fx.oracle.count());
   TestClient client(fx.server->port());
   ASSERT_TRUE(client.connected());
   for (size_t q = 0; q < queries.count(); ++q) {
@@ -936,6 +958,13 @@ TEST(ServerTest, ConcurrentQueryAppendStatsStorm) {
   // would be the failure).
   fx.server->Stop();
 }
+
+INSTANTIATE_TEST_SUITE_P(Shards, ServerShardTest,
+                         ::testing::Values<size_t>(1, 4),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::to_string(info.param) + "Shard" +
+                                  (info.param == 1 ? "" : "s");
+                         });
 
 }  // namespace
 }  // namespace parisax
