@@ -497,8 +497,8 @@ Status Engine::Save(const std::string& snapshot_path) {
   // and other saves all hold it); pool_mu_ covers the serialization
   // fan-out on the shared pool and guards the lineage. Queries keep
   // running throughout — they hold neither lock.
-  std::lock_guard<std::mutex> append_lock(append_mu_);
-  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  MutexLock append_lock(&append_mu_);
+  MutexLock pool_lock(&pool_mu_);
 
   const auto snap = messi_ != nullptr ? messi_->serving()
                                       : paris_ != nullptr
@@ -550,8 +550,8 @@ Status Engine::Compact(const std::string& snapshot_path) {
   // Fold-all + full save *is* the compaction: the written file contains
   // every subtree, so the previous chain files are no longer needed to
   // restore this engine.
-  std::lock_guard<std::mutex> append_lock(append_mu_);
-  std::lock_guard<std::mutex> pool_lock(pool_mu_);
+  MutexLock append_lock(&append_mu_);
+  MutexLock pool_lock(&pool_mu_);
   return SaveFullLocked(snapshot_path);
 }
 
@@ -563,7 +563,7 @@ Status Engine::FoldAllLocked() {
   // with queries in place (streamed raw fetches, leaf-storage
   // readbacks); for purely addressable engines it is uncontended in
   // practice.
-  std::unique_lock<std::shared_mutex> gate(index_gate_);
+  WriterLock gate(&index_gate_);
   for (;;) {
     const auto snap =
         messi_ != nullptr ? messi_->serving() : paris_->serving();
@@ -741,7 +741,7 @@ Result<SearchResponse> Engine::Search(SeriesView query,
   if (!UsesSharedPool(request)) {
     return Search(query, request, pool_.get());
   }
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(&pool_mu_);
   return Search(query, request, pool_.get());
 }
 
@@ -752,7 +752,7 @@ Result<SearchResponse> Engine::Search(SeriesView query,
   // Append drains them, mutates the index exclusively, and the next
   // queries see the new epoch. (Lock order: pool_mu_, when the caller
   // holds it, is always acquired before this.)
-  std::shared_lock<std::shared_mutex> gate(index_gate_);
+  ReaderLock gate(&index_gate_);
   PARISAX_RETURN_IF_ERROR(CheckQuery(query, request));
   // Entry deadline check, covering every algorithm. The index engines
   // additionally poll the token inside their hot loops (MESSI per leaf
@@ -904,7 +904,7 @@ Result<AppendReport> Engine::Append(const Value* values, size_t count) {
 
   // append_mu_ serializes this append with other appends, Save/Compact
   // and compactor passes; queries are NOT excluded.
-  std::lock_guard<std::mutex> append_lock(append_mu_);
+  MutexLock append_lock(&append_mu_);
 
   std::vector<uint32_t> touched;
   // Index engines over addressable sources publish the new segment as
@@ -926,8 +926,8 @@ Result<AppendReport> Engine::Append(const Value* values, size_t count) {
     // path — both still need the exclusive side of the RW gate:
     // in-flight queries drain, new ones wait. pool_mu_ first (lock
     // order; Save must not run mid-append), then the gate.
-    std::lock_guard<std::mutex> pool_lock(pool_mu_);
-    std::unique_lock<std::shared_mutex> gate(index_gate_);
+    MutexLock pool_lock(&pool_mu_);
+    WriterLock gate(&index_gate_);
     switch (options_.algorithm) {
       case Algorithm::kBruteForce:
       case Algorithm::kUcrSerial:
@@ -981,28 +981,29 @@ void Engine::StartCompactorIfEnabled() {
 void Engine::StopCompactor() {
   if (!compactor_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(compactor_mu_);
+    MutexLock lock(&compactor_mu_);
     compactor_stop_ = true;
   }
-  compactor_cv_.notify_all();
+  compactor_cv_.NotifyAll();
   compactor_.join();
 }
 
 void Engine::KickCompactor() {
   if (!compactor_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lock(compactor_mu_);
+    MutexLock lock(&compactor_mu_);
     compactor_kick_ = true;
   }
-  compactor_cv_.notify_one();
+  compactor_cv_.NotifyOne();
 }
 
 void Engine::CompactorLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(compactor_mu_);
-      compactor_cv_.wait(
-          lock, [this] { return compactor_stop_ || compactor_kick_; });
+      MutexLock lock(&compactor_mu_);
+      while (!compactor_stop_ && !compactor_kick_) {
+        compactor_cv_.Wait(compactor_mu_);
+      }
       if (compactor_stop_) return;
       compactor_kick_ = false;
       // A pass that failed parks the thread: state is still correct
@@ -1012,7 +1013,7 @@ void Engine::CompactorLoop() {
     }
     const Status pass = CompactionPass();
     if (!pass.ok()) {
-      std::lock_guard<std::mutex> lock(compactor_mu_);
+      MutexLock lock(&compactor_mu_);
       compactor_error_ = pass;
     }
   }
@@ -1021,7 +1022,7 @@ void Engine::CompactorLoop() {
 Status Engine::CompactionPass() {
   // Serialize with appends and saves so the compare-and-publish folds
   // below cannot race another publication (and thus never discard).
-  std::lock_guard<std::mutex> append_lock(append_mu_);
+  MutexLock append_lock(&append_mu_);
   InlineExecutor inline_exec;
   for (;;) {
     const auto snap =
@@ -1068,7 +1069,7 @@ Status Engine::CompactionPass() {
 }
 
 QueryService* Engine::query_service() {
-  std::lock_guard<std::mutex> lock(service_mu_);
+  MutexLock lock(&service_mu_);
   if (service_ == nullptr) {
     QueryServiceOptions sopts;
     sopts.num_threads = options_.num_threads;

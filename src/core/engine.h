@@ -25,13 +25,10 @@
 #define PARISAX_CORE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,6 +46,7 @@
 #include "messi/messi_index.h"
 #include "paris/paris_index.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -355,25 +353,29 @@ class Engine : public SearchBackend {
 
   /// Fold-every-segment + full snapshot + lineage reset; caller holds
   /// append_mu_ and pool_mu_.
-  Status SaveFullLocked(const std::string& snapshot_path);
+  Status SaveFullLocked(const std::string& snapshot_path)
+      PARISAX_REQUIRES(append_mu_, pool_mu_);
   /// Folds every live segment into the base index; caller holds
   /// append_mu_ and pool_mu_ (the fold briefly takes the write side of
   /// index_gate_ to cover streamed sources and leaf storage).
-  Status FoldAllLocked();
+  Status FoldAllLocked() PARISAX_REQUIRES(append_mu_, pool_mu_);
   /// The segment a delta snapshot serializes: ids [head, count). An
   /// existing segment with exactly that range is reused; otherwise the
   /// covering entries are re-sectioned into a fresh segment (merged
   /// segments may straddle the head). Caller holds append_mu_ and
   /// pool_mu_.
   Result<std::shared_ptr<const Segment>> DeltaSegmentLocked(
-      const std::shared_ptr<const ServingState>& snap, uint64_t head);
+      const std::shared_ptr<const ServingState>& snap, uint64_t head)
+      PARISAX_REQUIRES(append_mu_, pool_mu_);
   /// True when `snapshot_path` names a file of the current on-disk
   /// chain (or the chain cannot be walked): a delta must not overwrite
   /// those. Caller holds pool_mu_ and lineage_ is set.
-  bool PathIsInLineageChain(const std::string& snapshot_path) const;
+  bool PathIsInLineageChain(const std::string& snapshot_path) const
+      PARISAX_REQUIRES(pool_mu_);
   /// Re-reads the just-written head and installs it as the lineage the
   /// next Save chains to; caller holds pool_mu_.
-  Status AdoptLineageHead(const std::string& snapshot_path);
+  Status AdoptLineageHead(const std::string& snapshot_path)
+      PARISAX_REQUIRES(pool_mu_);
 
   /// True when this request's path fans out over the shared pool (and
   /// must therefore hold pool_mu_ when run on it).
@@ -383,13 +385,13 @@ class Engine : public SearchBackend {
   /// of Build/Open (never before the index exists) and stopped first
   /// thing in the destructor.
   void StartCompactorIfEnabled();
-  void StopCompactor();
-  void KickCompactor();
-  void CompactorLoop();
+  void StopCompactor() PARISAX_EXCLUDES(compactor_mu_);
+  void KickCompactor() PARISAX_EXCLUDES(compactor_mu_);
+  void CompactorLoop() PARISAX_EXCLUDES(compactor_mu_, append_mu_);
   /// One cost-policy pass: merge or fold the current segment run if the
   /// trigger is met. Holds append_mu_ (so nothing else publishes) but
   /// neither pool_mu_ nor index_gate_ — queries are never blocked.
-  Status CompactionPass();
+  Status CompactionPass() PARISAX_EXCLUDES(append_mu_);
 
   EngineOptions options_;
   size_t series_length_ = 0;
@@ -399,23 +401,28 @@ class Engine : public SearchBackend {
   /// it for their whole critical section, so every serving-snapshot
   /// publication is serialized and the snapshot cannot move under a
   /// Save. Queries never take it. Lock order: append_mu_ before
-  /// pool_mu_ before index_gate_.
-  std::mutex append_mu_;
+  /// pool_mu_ before index_gate_ (ranks kEngineAppend < kEnginePool <
+  /// kIndexGate; KickCompactor also takes compactor_mu_ under it).
+  Mutex append_mu_{"Engine::append_mu_", LockRank::kEngineAppend}
+      PARISAX_ACQUIRED_BEFORE(compactor_mu_, pool_mu_, index_gate_);
   /// Serializes parallel regions on pool_: ThreadPool::Run is not
   /// reentrant, so concurrent Search calls take turns on it (and Save's
   /// serialization fan-out does too). Lock order: after append_mu_,
   /// before index_gate_.
-  std::mutex pool_mu_;
+  Mutex pool_mu_{"Engine::pool_mu_", LockRank::kEnginePool}
+      PARISAX_ACQUIRED_BEFORE(index_gate_);
   /// The in-place-mutation RW gate: every query path holds it shared.
   /// Only writers that mutate state queries read in place — scan-engine
   /// and streamed-source appends, and synchronous fold-alls — take it
   /// exclusively; segment appends publish immutable state and leave it
   /// alone.
-  std::shared_mutex index_gate_;
+  SharedMutex index_gate_{"Engine::index_gate_", LockRank::kIndexGate};
   std::atomic<uint64_t> append_epoch_{0};
   std::atomic<uint64_t> compaction_count_{0};
-  std::mutex service_mu_;
-  std::unique_ptr<QueryService> service_;  // lazily created
+  Mutex service_mu_{"Engine::service_mu_", LockRank::kServiceInit};
+  /// Lazily created; the pointee is internally synchronized, only the
+  /// pointer itself is guarded.
+  std::unique_ptr<QueryService> service_ PARISAX_GUARDED_BY(service_mu_);
   BuildReport build_report_;
 
   /// Snapshot lineage: the chain head the next Save extends (set by
@@ -429,19 +436,19 @@ class Engine : public SearchBackend {
     /// write a delta over a chain member without re-walking the disk).
     std::vector<std::string> chain_paths;
   };
-  std::optional<SnapshotLineage> lineage_;
+  std::optional<SnapshotLineage> lineage_ PARISAX_GUARDED_BY(pool_mu_);
 
   /// Compactor thread state (compactor_mu_ guards the flags; the
   /// passes themselves synchronize through append_mu_).
   std::thread compactor_;
-  std::mutex compactor_mu_;
-  std::condition_variable compactor_cv_;
-  bool compactor_stop_ = false;
-  bool compactor_kick_ = false;
+  Mutex compactor_mu_{"Engine::compactor_mu_", LockRank::kCompactor};
+  CondVar compactor_cv_;
+  bool compactor_stop_ PARISAX_GUARDED_BY(compactor_mu_) = false;
+  bool compactor_kick_ PARISAX_GUARDED_BY(compactor_mu_) = false;
   /// First error a background pass hit (the pass publishes nothing on
   /// failure; the compactor parks itself and synchronous folds take
-  /// over). Guarded by compactor_mu_.
-  Status compactor_error_;
+  /// over).
+  Status compactor_error_ PARISAX_GUARDED_BY(compactor_mu_);
 
   /// Scan engines own their source directly; index engines own it
   /// through the index. query_source_ always points at the live one.

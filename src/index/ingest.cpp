@@ -1,7 +1,6 @@
 #include "index/ingest.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "sax/paa.h"
@@ -63,7 +62,7 @@ Status AppendTailToTree(SaxTree* tree, const Value* values, size_t count,
 
   // Whole root subtrees claimed by Fetch&Inc, no synchronization
   // inside a subtree.
-  std::mutex error_mu;
+  Mutex error_mu{"error_mu", LockRank::kFirstError};
   Status first_error;
   {
     WorkCounter range_counter(ranges.size());
@@ -76,7 +75,7 @@ Status AppendTailToTree(SaxTree* tree, const Value* values, size_t count,
           const Status st =
               tree->InsertIntoSubtree(root, keyed[i].entry, storage);
           if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
+            MutexLock lock(&error_mu);
             if (first_error.ok()) first_error = st;
             return;
           }

@@ -8,10 +8,10 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <mutex>
 #include <vector>
 
 #include "core/types.h"
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -44,7 +44,7 @@ class KnnHeap {
         cached_bound_.load(std::memory_order_relaxed)) {
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (heap_.size() == k_ && !Closer(candidate, heap_.front())) return;
     // Refuse duplicates (the same id can reach the heap via the
     // approximate phase and again via refinement).
@@ -62,7 +62,7 @@ class KnnHeap {
 
   /// Results sorted ascending by (distance, id). Thread-safe.
   std::vector<Neighbor> Sorted() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<Neighbor> out = heap_;
     std::sort(out.begin(), out.end(), Closer);
     return out;
@@ -78,14 +78,14 @@ class KnnHeap {
            (a.distance_sq == b.distance_sq && a.id < b.id);
   }
 
-  float BoundLocked() const {
+  float BoundLocked() const PARISAX_REQUIRES(mu_) {
     return heap_.size() == k_ ? heap_.front().distance_sq
                               : std::numeric_limits<float>::infinity();
   }
 
   const size_t k_;
-  mutable std::mutex mu_;
-  std::vector<Neighbor> heap_;  // max-heap via Closer
+  mutable Mutex mu_{"KnnHeap::mu_", LockRank::kResultMerge};
+  std::vector<Neighbor> heap_ PARISAX_GUARDED_BY(mu_);  // max-heap via Closer
   /// Copy of BoundLocked() refreshed under mu_ after every insert; read
   /// without the lock by Update's fast reject path.
   std::atomic<float> cached_bound_{std::numeric_limits<float>::infinity()};

@@ -35,7 +35,7 @@ Result<LeafChunkRef> LeafStorage::AppendChunk(
     return Status::InvalidArgument("cannot append an empty leaf chunk");
   }
   WallTimer timer;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t bytes = entries.size() * sizeof(LeafEntry);
   LeafChunkRef ref;
   ref.offset = tail_;

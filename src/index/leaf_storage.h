@@ -10,11 +10,11 @@
 #define PARISAX_INDEX_LEAF_STORAGE_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "index/node.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace parisax {
@@ -53,14 +53,15 @@ class LeafStorage {
  private:
   LeafStorage(int fd, std::string path, double write_mbps);
 
-  std::mutex mu_;
+  mutable Mutex mu_{"LeafStorage::mu_", LockRank::kLeafStorage};
+  // fd_, path_ and ns_per_byte_ are immutable after construction.
   int fd_;
   std::string path_;
   double ns_per_byte_ = 0.0;
-  uint64_t tail_ = 0;
-  uint64_t bytes_written_ = 0;
-  double write_seconds_ = 0.0;
-  int64_t sleep_debt_ns_ = 0;  // guarded by mu_
+  uint64_t tail_ PARISAX_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ PARISAX_GUARDED_BY(mu_) = 0;
+  double write_seconds_ PARISAX_GUARDED_BY(mu_) = 0.0;
+  int64_t sleep_debt_ns_ PARISAX_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> chunks_appended_{0};
   std::atomic<uint64_t> chunks_read_{0};
 };

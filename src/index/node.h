@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/types.h"
 #include "sax/word.h"
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -78,7 +78,9 @@ class Node {
 
   /// Lock serializing leaf mutation against concurrent flushing (only
   /// exercised by the ParIS+ build pipeline).
-  std::mutex& leaf_mutex() { return leaf_mutex_; }
+  Mutex& leaf_mutex() PARISAX_RETURN_CAPABILITY(leaf_mutex_) {
+    return leaf_mutex_;
+  }
 
   // --- Structure mutation (single-threaded per subtree) ----------------
 
@@ -93,7 +95,7 @@ class Node {
   std::unique_ptr<Node> children_[2];
   std::vector<LeafEntry> entries_;
   std::vector<LeafChunkRef> flushed_chunks_;
-  std::mutex leaf_mutex_;
+  Mutex leaf_mutex_{"Node::leaf_mutex_", LockRank::kLeafNode};
 };
 
 }  // namespace parisax

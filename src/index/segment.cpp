@@ -128,7 +128,7 @@ Status BuildTreeFromEntries(SaxTree* tree,
     i = j;
   }
 
-  std::mutex error_mu;
+  Mutex error_mu{"error_mu", LockRank::kFirstError};
   Status first_error;
   {
     WorkCounter range_counter(ranges.size());
@@ -141,7 +141,7 @@ Status BuildTreeFromEntries(SaxTree* tree,
           const Status st =
               tree->InsertIntoSubtree(root, keyed[i].entry, nullptr);
           if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
+            MutexLock lock(&error_mu);
             if (first_error.ok()) first_error = st;
             return;
           }

@@ -16,7 +16,6 @@
 #define PARISAX_INDEX_SEGMENT_H_
 
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "index/leaf_storage.h"
 #include "index/raw_source.h"
 #include "index/tree.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -82,12 +82,12 @@ struct ServingState {
 class ServingDock {
  public:
   std::shared_ptr<const ServingState> get() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return state_;
   }
 
   void Publish(std::shared_ptr<const ServingState> next) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     state_ = std::move(next);
   }
 
@@ -95,7 +95,7 @@ class ServingDock {
   /// refreshes the raw view / collection size in the same atomic step.
   void PublishAppend(std::shared_ptr<const Segment> segment,
                      RawDataView raw, size_t count) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto next = std::make_shared<ServingState>(*state_);
     next->segments.push_back(std::move(segment));
     next->raw = raw;
@@ -113,7 +113,7 @@ class ServingDock {
                size_t folded, std::shared_ptr<const SaxTree> base,
                std::shared_ptr<const FlatSaxCache> cache,
                size_t base_count) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!FoldInputsLive(expected, folded)) return false;
     auto next = std::make_shared<ServingState>(*state_);
     next->base = std::move(base);
@@ -131,7 +131,7 @@ class ServingDock {
   bool TryMergeSegments(const std::shared_ptr<const ServingState>& expected,
                         size_t folded,
                         std::shared_ptr<const Segment> merged) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!FoldInputsLive(expected, folded)) return false;
     auto next = std::make_shared<ServingState>(*state_);
     next->segments.erase(next->segments.begin(),
@@ -143,7 +143,7 @@ class ServingDock {
 
  private:
   bool FoldInputsLive(const std::shared_ptr<const ServingState>& expected,
-                      size_t folded) const {
+                      size_t folded) const PARISAX_REQUIRES(mu_) {
     if (state_->base != expected->base) return false;
     if (state_->segments.size() < folded) return false;
     for (size_t i = 0; i < folded; ++i) {
@@ -152,8 +152,8 @@ class ServingDock {
     return true;
   }
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const ServingState> state_;
+  mutable Mutex mu_{"ServingDock::mu_", LockRank::kServingDock};
+  std::shared_ptr<const ServingState> state_ PARISAX_GUARDED_BY(mu_);
 };
 
 /// Builds a segment over `count` series whose raw values are `values`

@@ -12,10 +12,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "index/node.h"
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -29,7 +29,7 @@ class IsaxBufferSet {
         locked_(locked_mode) {
     if (locked_) {
       shared_parts_.resize(num_keys_);
-      locks_ = std::make_unique<std::mutex[]>(num_keys_);
+      locks_ = std::make_unique<KeyLock[]>(num_keys_);
       listed_.assign(num_keys_, 0);
       touched_per_worker_.resize(num_workers);
     } else {
@@ -42,7 +42,7 @@ class IsaxBufferSet {
   /// Appends an entry produced by `worker` to buffer `key`.
   void Append(int worker, uint32_t key, const LeafEntry& entry) {
     if (locked_) {
-      std::lock_guard<std::mutex> lock(locks_[key]);
+      MutexLock lock(&locks_[key].mu);
       shared_parts_[key].push_back(entry);
       if (listed_[key] == 0) {
         listed_[key] = 1;
@@ -88,11 +88,18 @@ class IsaxBufferSet {
   const int num_workers_;
   const bool locked_;
 
+  /// Wrapper so the per-key lock array can be built with new[]: Mutex
+  /// has no default constructor (every lock needs a name and rank), so
+  /// the element supplies them as default member initializers.
+  struct KeyLock {
+    Mutex mu{"IsaxBufferSet::locks_[key]", LockRank::kBuildBuffer};
+  };
+
   // Partitioned mode: parts_[worker][key].
   std::vector<std::vector<std::vector<LeafEntry>>> parts_;
   // Locked mode: one shared vector per key.
   std::vector<std::vector<LeafEntry>> shared_parts_;
-  std::unique_ptr<std::mutex[]> locks_;
+  std::unique_ptr<KeyLock[]> locks_;
   std::vector<uint8_t> listed_;  // guarded by locks_[key]
 
   std::vector<std::vector<uint32_t>> touched_per_worker_;

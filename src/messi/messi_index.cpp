@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cassert>
 #include <limits>
-#include <mutex>
 #include <queue>
 #include <utility>
 
@@ -14,6 +13,7 @@
 #include "messi/isax_buffers.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace parisax {
@@ -35,9 +35,10 @@ struct QueueItemGreater {
 
 /// One of the K shared minimum priority queues of Stage 3.
 struct SharedQueue {
-  std::mutex mu;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueItemGreater> pq;
-  bool done = false;  // guarded by mu
+  Mutex mu{"SharedQueue::mu", LockRank::kQueryQueue};
+  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueItemGreater> pq
+      PARISAX_GUARDED_BY(mu);
+  bool done PARISAX_GUARDED_BY(mu) = false;
 };
 
 struct AtomicCounters {
@@ -113,7 +114,7 @@ void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
           const uint64_t slot =
               round_robin.fetch_add(1, std::memory_order_relaxed);
           SharedQueue& q = queues[slot % queues.size()];
-          std::lock_guard<std::mutex> lock(q.mu);
+          MutexLock lock(&q.mu);
           q.pq.push(QueueItem{lb, node});
         } else {
           stack.push_back(node->child(0));
@@ -138,7 +139,7 @@ void RunQueuedSearch(const std::vector<Node*>& roots, Policy* policy,
         for (;;) {
           QueueItem item;
           {
-            std::lock_guard<std::mutex> lock(q.mu);
+            MutexLock lock(&q.mu);
             if (q.done) break;
             if (q.pq.empty()) {
               q.done = true;
@@ -188,16 +189,24 @@ struct BestNeighbor {
   void Offer(SeriesId id, float d) {
     if (shared != nullptr) shared->UpdateMin(d);
     if (!bsf.UpdateMin(d) && d > bsf.Load()) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (d < best.distance_sq || (d == best.distance_sq && id < best.id)) {
       best = Neighbor{id, d};
     }
   }
 
+  /// Final answer; the searches read it only after the worker fan-in
+  /// (Executor::Run has joined), but it still locks for the analysis
+  /// and for any future streaming reader.
+  Neighbor Take() const {
+    MutexLock lock(&mu);
+    return best;
+  }
+
   AtomicMinFloat bsf;
   AtomicMinFloat* shared;
-  std::mutex mu;
-  Neighbor best;
+  mutable Mutex mu{"BestNeighbor::mu", LockRank::kResultMerge};
+  Neighbor best PARISAX_GUARDED_BY(mu);
 };
 
 /// Exact-ED 1-NN policy.
@@ -405,7 +414,7 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
   // Stage 2: each worker builds whole root subtrees, claimed by
   // Fetch&Inc; no synchronization inside a subtree.
   WallTimer tree_timer;
-  std::mutex error_mu;
+  Mutex error_mu{"error_mu", LockRank::kFirstError};
   Status first_error;
   {
     const std::vector<uint32_t> keys = buffers.CollectKeys();
@@ -421,7 +430,7 @@ Result<std::unique_ptr<MessiIndex>> MessiIndex::Build(
         for (const LeafEntry& e : gathered) {
           const Status st = base->InsertIntoSubtree(root, e, nullptr);
           if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
+            MutexLock lock(&error_mu);
             if (first_error.ok()) first_error = st;
             return;
           }
@@ -582,7 +591,7 @@ Result<Neighbor> MessiIndex::SearchExact(SeriesView query,
   if (Expired(options.cancel)) {
     return Status::DeadlineExceeded("query deadline expired mid-search");
   }
-  return result.best;
+  return result.Take();
 }
 
 Result<std::vector<Neighbor>> MessiIndex::SearchKnn(
@@ -699,7 +708,7 @@ Result<Neighbor> MessiIndex::SearchExactDtw(SeriesView query,
   if (Expired(options.cancel)) {
     return Status::DeadlineExceeded("query deadline expired mid-search");
   }
-  return result.best;
+  return result.Take();
 }
 
 }  // namespace parisax

@@ -133,7 +133,7 @@ void Server::Stop() {
 
   std::vector<std::unique_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     conns.swap(conns_);
   }
   for (auto& conn : conns) {
@@ -162,7 +162,7 @@ void Server::AcceptLoop() {
     }
     ReapFinished();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
         // Over the connection cap: refuse with a typed error so the
         // client can tell backpressure from a network failure.
@@ -189,7 +189,7 @@ void Server::AcceptLoop() {
 void Server::ReapFinished() {
   std::vector<std::unique_ptr<Connection>> finished;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if ((*it)->finished.load(std::memory_order_acquire)) {
         finished.push_back(std::move(*it));
@@ -244,9 +244,9 @@ void Server::ReaderLoop(Connection* conn) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(conn->mu);
+  MutexLock lock(&conn->mu);
   conn->reader_done = true;
-  conn->cv.notify_all();
+  conn->cv.NotifyAll();
 }
 
 bool Server::HandleFrame(Connection* conn, const FrameHeader& header,
@@ -396,10 +396,10 @@ bool Server::HandleFrame(Connection* conn, const FrameHeader& header,
 
 void Server::Enqueue(Connection* conn, Outgoing outgoing) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     conn->outbox.push_back(std::move(outgoing));
   }
-  conn->cv.notify_one();
+  conn->cv.NotifyOne();
 }
 
 void Server::EnqueueError(Connection* conn, uint64_t request_id,
@@ -418,10 +418,10 @@ void Server::WriterLoop(Connection* conn) {
   for (;;) {
     Outgoing out;
     {
-      std::unique_lock<std::mutex> lock(conn->mu);
-      conn->cv.wait(lock, [conn] {
-        return !conn->outbox.empty() || conn->reader_done;
-      });
+      MutexLock lock(&conn->mu);
+      while (conn->outbox.empty() && !conn->reader_done) {
+        conn->cv.Wait(conn->mu);
+      }
       if (conn->outbox.empty()) break;  // reader done and outbox drained
       out = std::move(conn->outbox.front());
       conn->outbox.pop_front();
@@ -464,7 +464,7 @@ void Server::WriterLoop(Connection* conn) {
 
     bool failed;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       failed = conn->write_failed;
     }
     if (!failed) {
@@ -473,7 +473,7 @@ void Server::WriterLoop(Connection* conn) {
       } else {
         // Keep draining futures (their queries must still complete) but
         // stop writing to the dead socket.
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(&conn->mu);
         conn->write_failed = true;
       }
     }

@@ -20,13 +20,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <span>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +33,7 @@
 #include "net/protocol.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace parisax {
@@ -104,11 +103,11 @@ class Server {
     int fd = -1;
     std::thread reader;
     std::thread writer;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Outgoing> outbox;   // guarded by mu
-    bool reader_done = false;      // guarded by mu
-    bool write_failed = false;     // guarded by mu
+    Mutex mu{"Server::Connection::mu", LockRank::kNetConnection};
+    CondVar cv;
+    std::deque<Outgoing> outbox PARISAX_GUARDED_BY(mu);
+    bool reader_done PARISAX_GUARDED_BY(mu) = false;
+    bool write_failed PARISAX_GUARDED_BY(mu) = false;
     std::atomic<bool> finished{false};  // both threads exited
   };
 
@@ -140,8 +139,9 @@ class Server {
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;  // guarded by conns_mu_
+  Mutex conns_mu_{"Server::conns_mu_", LockRank::kNetConnections};
+  std::vector<std::unique_ptr<Connection>> conns_
+      PARISAX_GUARDED_BY(conns_mu_);
 };
 
 }  // namespace parisax

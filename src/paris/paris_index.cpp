@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -15,6 +13,7 @@
 #include "paris/recbuf.h"
 #include "sax/mindist.h"
 #include "sax/paa.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace parisax {
@@ -25,8 +24,8 @@ constexpr float kInf = std::numeric_limits<float>::infinity();
 
 /// One half of the double-buffered raw data buffer (Stage 1 <-> Stage 2).
 struct BatchSlot {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu{"ParisBuilder::BatchSlot::mu", LockRank::kBuildSlot};
+  CondVar cv;
 
   // Buffer contents. `storage` backs streamed builds; addressable
   // sources point `values` straight into the contiguous block.
@@ -35,11 +34,15 @@ struct BatchSlot {
   SeriesId first_id = 0;
   size_t count = 0;
 
-  // Protocol state (guarded by mu unless noted).
-  int64_t published = -1;    ///< batch index currently in the buffer
-  bool free = true;          ///< coordinator may refill
-  int arrived = 0;           ///< workers done summarizing `published`
-  int64_t drain_ready = -1;  ///< batch whose drain work list is ready
+  // Protocol state. The remaining fields (buffer contents, work
+  // counters, drain list) are handed off by the protocol itself: the
+  // coordinator writes them while it holds exclusive buffer access
+  // (between observing `free` and re-publishing) and workers read them
+  // only after the publication / barrier edges below.
+  int64_t published PARISAX_GUARDED_BY(mu) = -1;  ///< batch in the buffer
+  bool free PARISAX_GUARDED_BY(mu) = true;   ///< coordinator may refill
+  int arrived PARISAX_GUARDED_BY(mu) = 0;    ///< workers done summarizing
+  int64_t drain_ready PARISAX_GUARDED_BY(mu) = -1;  ///< drain list ready
 
   WorkCounter summarize{0};          // claims over [0, count)
   std::vector<uint32_t> drain_list;  // ParIS+: keys to drain this batch
@@ -140,12 +143,12 @@ class ParisBuilder {
 
   void RecordError(const Status& status) {
     {
-      std::lock_guard<std::mutex> lock(error_mu_);
+      MutexLock lock(&error_mu_);
       if (first_error_.ok()) first_error_ = status;
       failed_.store(true, std::memory_order_release);
     }
     // Wake anyone blocked on a slot so the pipeline can unwind.
-    for (BatchSlot& s : slots_) s.cv.notify_all();
+    for (BatchSlot& s : slots_) s.cv.NotifyAll();
   }
 
   bool materialize_leaves() const {
@@ -168,8 +171,8 @@ class ParisBuilder {
   StageAccumulator summarize_cpu_;
   StageAccumulator tree_cpu_;
 
-  std::mutex error_mu_;
-  Status first_error_;
+  Mutex error_mu_{"ParisBuilder::error_mu_", LockRank::kFirstError};
+  Status first_error_ PARISAX_GUARDED_BY(error_mu_);
   std::atomic<bool> failed_{false};
 };
 
@@ -217,10 +220,10 @@ Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
       if (failed_.load(std::memory_order_acquire)) break;
       BatchSlot& slot = slots_[b % 2];
       {
-        std::unique_lock<std::mutex> lock(slot.mu);
-        slot.cv.wait(lock, [&] {
-          return slot.free || failed_.load(std::memory_order_acquire);
-        });
+        MutexLock lock(&slot.mu);
+        while (!slot.free && !failed_.load(std::memory_order_acquire)) {
+          slot.cv.Wait(slot.mu);
+        }
       }
       if (failed_.load(std::memory_order_acquire)) break;
       // Exclusive buffer access between `free` and re-publication.
@@ -248,7 +251,7 @@ Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
                                  options_.tree.series_length;
       }
       {
-        std::lock_guard<std::mutex> lock(slot.mu);
+        MutexLock lock(&slot.mu);
         slot.first_id = first;
         slot.count = count;
         slot.free = false;
@@ -256,17 +259,17 @@ Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
         slot.summarize.Reset(count);
         slot.published = b;
       }
-      slot.cv.notify_all();
+      slot.cv.NotifyAll();
 
       // ParIS: "main memory full" -> pause reading, run stage 3.
       if (!options_.plus_mode &&
           ((b + 1) % static_cast<int64_t>(options_.batches_per_round) == 0 ||
            b + 1 == total_batches_)) {
         for (BatchSlot& s : slots_) {
-          std::unique_lock<std::mutex> lock(s.mu);
-          s.cv.wait(lock, [&] {
-            return s.free || failed_.load(std::memory_order_acquire);
-          });
+          MutexLock lock(&s.mu);
+          while (!s.free && !failed_.load(std::memory_order_acquire)) {
+            s.cv.Wait(s.mu);
+          }
         }
         if (failed_.load(std::memory_order_acquire)) break;
         WallTimer stage3;
@@ -280,7 +283,7 @@ Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
       }
     }
     // Ensure workers blocked on publication observe the end state.
-    for (BatchSlot& s : slots_) s.cv.notify_all();
+    for (BatchSlot& s : slots_) s.cv.NotifyAll();
   });
 
   bulk_pool.Run([&](int worker) { WorkerLoop(worker); });
@@ -288,7 +291,7 @@ Status ParisBuilder::CoordinatorLoop(SeriesStream* stream,
 
   PARISAX_RETURN_IF_ERROR(coord_status);
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(&error_mu_);
     PARISAX_RETURN_IF_ERROR(first_error_);
   }
 
@@ -329,11 +332,11 @@ void ParisBuilder::WorkerLoop(int worker_id) {
   for (int64_t b = 0; b < total_batches_; ++b) {
     BatchSlot& slot = slots_[b % 2];
     {
-      std::unique_lock<std::mutex> lock(slot.mu);
-      slot.cv.wait(lock, [&] {
-        return slot.published >= b ||
-               failed_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(&slot.mu);
+      while (slot.published < b &&
+             !failed_.load(std::memory_order_acquire)) {
+        slot.cv.Wait(slot.mu);
+      }
     }
     if (failed_.load(std::memory_order_acquire)) return;
 
@@ -360,7 +363,7 @@ void ParisBuilder::WorkerLoop(int worker_id) {
     // Per-batch barrier; the last arriver frees the buffer for the
     // coordinator and, in ParIS+ mode, snapshots the drain work list.
     {
-      std::unique_lock<std::mutex> lock(slot.mu);
+      MutexLock lock(&slot.mu);
       if (++slot.arrived == options_.num_workers) {
         slot.free = true;
         if (options_.plus_mode) {
@@ -368,12 +371,12 @@ void ParisBuilder::WorkerLoop(int worker_id) {
           slot.drain.Reset(slot.drain_list.size());
         }
         slot.drain_ready = b;
-        slot.cv.notify_all();
+        slot.cv.NotifyAll();
       } else {
-        slot.cv.wait(lock, [&] {
-          return slot.drain_ready >= b ||
-                 failed_.load(std::memory_order_acquire);
-        });
+        while (slot.drain_ready < b &&
+               !failed_.load(std::memory_order_acquire)) {
+          slot.cv.Wait(slot.mu);
+        }
         if (failed_.load(std::memory_order_acquire)) return;
       }
     }
@@ -448,7 +451,7 @@ Status ParisBuilder::Stage3Round() {
   } else {
     drain_all(0);
   }
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(&error_mu_);
   return first_error_;
 }
 
@@ -690,7 +693,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
     const float local = bsf.Load();
     return shared != nullptr ? std::min(local, shared->Load()) : local;
   };
-  std::mutex best_mu;
+  Mutex best_mu{"best_mu", LockRank::kResultMerge};
   std::atomic<bool> failed{false};
   Status worker_status;
   if (snap->raw.base != nullptr) {
@@ -709,7 +712,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
           if (d < bound) {
             bsf.UpdateMin(d);
             if (shared != nullptr) shared->UpdateMin(d);
-            std::lock_guard<std::mutex> lock(best_mu);
+            MutexLock lock(&best_mu);
             if (d < best.distance_sq ||
                 (d == best.distance_sq && id < best.id)) {
               best = Neighbor{id, d};
@@ -744,7 +747,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
             bsf.UpdateMin(d);
             if (shared != nullptr) shared->UpdateMin(d);
             const SeriesId id = candidates[base + c];
-            std::lock_guard<std::mutex> lock(best_mu);
+            MutexLock lock(&best_mu);
             if (d < best.distance_sq ||
                 (d == best.distance_sq && id < best.id)) {
               best = Neighbor{id, d};
@@ -767,7 +770,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
           if (view.empty()) {
             const Status st = source_->GetSeries(id, buffer.data());
             if (!st.ok()) {
-              std::lock_guard<std::mutex> lock(best_mu);
+              MutexLock lock(&best_mu);
               if (worker_status.ok()) worker_status = st;
               failed.store(true, std::memory_order_release);
               return;
@@ -781,7 +784,7 @@ Result<Neighbor> ParisIndex::SearchExact(SeriesView query,
           if (d < bound) {
             bsf.UpdateMin(d);
             if (shared != nullptr) shared->UpdateMin(d);
-            std::lock_guard<std::mutex> lock(best_mu);
+            MutexLock lock(&best_mu);
             if (d < best.distance_sq ||
                 (d == best.distance_sq && id < best.id)) {
               best = Neighbor{id, d};

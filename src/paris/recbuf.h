@@ -10,10 +10,10 @@
 #define PARISAX_PARIS_RECBUF_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "index/node.h"
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -28,7 +28,7 @@ class RecBufSet {
     RecBuf& rb = bufs_[key];
     bool newly_listed = false;
     {
-      std::lock_guard<std::mutex> lock(rb.mu);
+      MutexLock lock(&rb.mu);
       rb.entries.push_back(entry);
       if (!rb.listed) {
         rb.listed = true;
@@ -36,7 +36,7 @@ class RecBufSet {
       }
     }
     if (newly_listed) {
-      std::lock_guard<std::mutex> lock(touched_mu_);
+      MutexLock lock(&touched_mu_);
       touched_.push_back(key);
     }
   }
@@ -47,7 +47,7 @@ class RecBufSet {
   void Drain(uint32_t key, std::vector<LeafEntry>* out) {
     RecBuf& rb = bufs_[key];
     out->clear();
-    std::lock_guard<std::mutex> lock(rb.mu);
+    MutexLock lock(&rb.mu);
     out->swap(rb.entries);
     rb.listed = false;
   }
@@ -55,25 +55,25 @@ class RecBufSet {
   /// Atomically takes the current touched-key list (the drain work list
   /// for one construction round).
   std::vector<uint32_t> TakeTouched() {
-    std::lock_guard<std::mutex> lock(touched_mu_);
+    MutexLock lock(&touched_mu_);
     return std::move(touched_);
   }
 
   bool HasTouched() {
-    std::lock_guard<std::mutex> lock(touched_mu_);
+    MutexLock lock(&touched_mu_);
     return !touched_.empty();
   }
 
  private:
   struct RecBuf {
-    std::mutex mu;
-    std::vector<LeafEntry> entries;
-    bool listed = false;  // guarded by mu
+    Mutex mu{"RecBufSet::RecBuf::mu", LockRank::kBuildBuffer};
+    std::vector<LeafEntry> entries PARISAX_GUARDED_BY(mu);
+    bool listed PARISAX_GUARDED_BY(mu) = false;
   };
 
   std::vector<RecBuf> bufs_;
-  std::mutex touched_mu_;
-  std::vector<uint32_t> touched_;
+  Mutex touched_mu_{"RecBufSet::touched_mu_", LockRank::kBuildBufferSet};
+  std::vector<uint32_t> touched_ PARISAX_GUARDED_BY(touched_mu_);
 };
 
 }  // namespace parisax

@@ -3,7 +3,6 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "io/mmap_file.h"
 #include "persist/checksum.h"
 #include "sax/word.h"
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -562,14 +562,14 @@ Status RestoreTree(const VerifiedSnapshot& snap, SaxTree* tree,
   const std::string& path = snap.file->path();
   const int segments = snap.info.tree.segments;
 
-  std::mutex error_mu;
+  Mutex error_mu{"error_mu", LockRank::kFirstError};
   Status first_error;
   WorkCounter counter(snap.info.subtree_count);
   exec->Run([&](int) {
     size_t i;
     while (counter.NextItem(&i)) {
       {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(&error_mu);
         if (!first_error.ok()) return;
       }
       const DirRecord r =
@@ -589,7 +589,7 @@ Status RestoreTree(const VerifiedSnapshot& snap, SaxTree* tree,
             "snapshot topology has trailing garbage: " + path);
       }
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(&error_mu);
         if (first_error.ok()) first_error = st;
         return;
       }

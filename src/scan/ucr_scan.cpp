@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <mutex>
 
 #include "dist/dtw.h"
 #include "index/knn_heap.h"
+#include "util/mutex.h"
 #include "util/timer.h"
 
 namespace parisax {
@@ -104,7 +104,7 @@ Neighbor UcrScanParallel(const RawSeriesSource& source, SeriesView query,
   const ScanView view = ViewOf(source);
   const RawDataView raw = view.raw;
   AtomicMinFloat bsf(kInf);
-  std::mutex best_mu;
+  Mutex best_mu{"best_mu", LockRank::kResultMerge};
   Neighbor best{0, kInf};
   std::atomic<uint64_t> abandoned{0};
 
@@ -120,7 +120,7 @@ Neighbor UcrScanParallel(const RawSeriesSource& source, SeriesView query,
                                                      bound, kernel);
         if (d < bound) {
           bsf.UpdateMin(d);
-          std::lock_guard<std::mutex> lock(best_mu);
+          MutexLock lock(&best_mu);
           if (Improves({i, d}, best)) best = {i, d};
         } else {
           ++local_abandoned;
@@ -260,7 +260,7 @@ Neighbor DtwScanParallel(const RawSeriesSource& source, SeriesView query,
   ComputeEnvelope(query, band, &lower, &upper);
 
   AtomicMinFloat bsf(kInf);
-  std::mutex best_mu;
+  Mutex best_mu{"best_mu", LockRank::kResultMerge};
   Neighbor best{0, kInf};
   std::atomic<uint64_t> dtw_calcs{0}, abandoned{0};
 
@@ -281,7 +281,7 @@ Neighbor DtwScanParallel(const RawSeriesSource& source, SeriesView query,
         ++local_calcs;
         if (d < bound) {
           bsf.UpdateMin(d);
-          std::lock_guard<std::mutex> lock(best_mu);
+          MutexLock lock(&best_mu);
           if (Improves({i, d}, best)) best = {i, d};
         }
       }

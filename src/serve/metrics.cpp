@@ -117,7 +117,7 @@ const char* MetricTypeName(MetricType type) {
 MetricFamily* MetricsRegistry::AddFamily(
     const std::string& name, const std::string& help, MetricType type,
     std::vector<std::string> label_names, std::vector<double> buckets) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& family : families_) {
     if (family->name == name) {
       assert(family->type == type);
@@ -151,7 +151,7 @@ MetricFamily* MetricsRegistry::AddCounterFamily(
 Gauge* MetricsRegistry::AddGauge(const std::string& name,
                                  const std::string& help) {
   MetricFamily* family = AddFamily(name, help, MetricType::kGauge, {}, {});
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = family->gauges[{}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -162,7 +162,7 @@ Histogram* MetricsRegistry::AddHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
   MetricFamily* family = AddFamily(name, help, MetricType::kHistogram, {},
                                    upper_bounds);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = family->histograms[{}];
   if (slot == nullptr) slot = std::make_unique<Histogram>(upper_bounds);
   return slot.get();
@@ -180,7 +180,7 @@ Counter* MetricsRegistry::CounterWithLabels(
     MetricFamily* family, std::vector<std::string> values) {
   assert(family->type == MetricType::kCounter);
   assert(values.size() == family->label_names.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = family->counters[std::move(values)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -190,14 +190,14 @@ Histogram* MetricsRegistry::HistogramWithLabels(
     MetricFamily* family, std::vector<std::string> values) {
   assert(family->type == MetricType::kHistogram);
   assert(values.size() == family->label_names.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = family->histograms[std::move(values)];
   if (slot == nullptr) slot = std::make_unique<Histogram>(family->buckets);
   return slot.get();
 }
 
 std::string MetricsRegistry::RenderPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& family : families_) {
     out += "# HELP " + family->name + " " + family->help + "\n";
@@ -243,7 +243,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
 }
 
 std::vector<MetricsRegistry::MetricInfo> MetricsRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<MetricInfo> infos;
   infos.reserve(families_.size());
   for (const auto& family : families_) {

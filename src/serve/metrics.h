@@ -21,9 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -186,9 +187,10 @@ class MetricsRegistry {
                           std::vector<std::string> label_names,
                           std::vector<double> buckets);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"MetricsRegistry::mu_", LockRank::kMetrics};
   /// Registration order preserved for rendering and List().
-  std::vector<std::unique_ptr<MetricFamily>> families_;
+  std::vector<std::unique_ptr<MetricFamily>> families_
+      PARISAX_GUARDED_BY(mu_);
 };
 
 /// The standard parisax_server metric set, registered against one

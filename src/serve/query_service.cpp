@@ -34,10 +34,10 @@ QueryService::~QueryService() {
   // Finish accepted work first so no promise is left unfulfilled.
   Drain();
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     stopping_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -74,7 +74,7 @@ Result<std::future<Result<SearchResponse>>> QueryService::SubmitInternal(
   std::future<Result<SearchResponse>> future = task.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(&wake_mu_);
     if (stopping_) {
       task.promise.set_value(
           Status::Internal("query service is shutting down"));
@@ -84,7 +84,7 @@ Result<std::future<Result<SearchResponse>>> QueryService::SubmitInternal(
       // Admission and the submitted/inflight counters move together
       // under stats_mu_, so the cap is exact: no interleaving of two
       // TrySubmits can admit past max_inflight.
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(&stats_mu_);
       if (enforce_cap && options_.max_inflight > 0 &&
           stats_.inflight >= options_.max_inflight) {
         stats_.rejected_overload++;
@@ -114,7 +114,7 @@ Result<std::future<Result<SearchResponse>>> QueryService::SubmitInternal(
   const size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   {
-    std::lock_guard<std::mutex> lock(shards_[shard].mu);
+    MutexLock lock(&shards_[shard].mu);
     // High priority jumps the owner's line (the owner pops the front);
     // a stealing sibling still takes the back first, which only helps.
     if (task.priority == QueryPriority::kHigh) {
@@ -123,7 +123,7 @@ Result<std::future<Result<SearchResponse>>> QueryService::SubmitInternal(
       shards_[shard].tasks.push_back(std::move(task));
     }
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
   return future;
 }
 
@@ -154,7 +154,7 @@ Result<std::vector<SearchResponse>> QueryService::SearchBatch(
 void QueryService::Drain() { inflight_.Wait(); }
 
 ServeStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   ServeStats s = stats_;
   s.queued = queued_.load(std::memory_order_relaxed);
   return s;
@@ -167,10 +167,10 @@ void QueryService::WorkerLoop(int worker) {
       Execute(std::move(task));
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stopping_ || queued_.load(std::memory_order_relaxed) > 0;
-    });
+    MutexLock lock(&wake_mu_);
+    while (!stopping_ && queued_.load(std::memory_order_relaxed) == 0) {
+      wake_cv_.Wait(wake_mu_);
+    }
     if (stopping_ && queued_.load(std::memory_order_relaxed) == 0) return;
   }
 }
@@ -180,7 +180,7 @@ bool QueryService::TryAcquire(int worker, Task* task) {
   // Own deque first (front: oldest, FIFO service order) ...
   {
     Shard& own = shards_[worker];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(&own.mu);
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -192,13 +192,13 @@ bool QueryService::TryAcquire(int worker, Task* task) {
   // owner's end of the deque.
   for (int offset = 1; offset < n; ++offset) {
     Shard& victim = shards_[(worker + offset) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(&victim.mu);
     if (!victim.tasks.empty()) {
       *task = std::move(victim.tasks.back());
       victim.tasks.pop_back();
       queued_.fetch_sub(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(&stats_mu_);
         stats_.steals++;
       }
       return true;
@@ -228,7 +228,7 @@ void QueryService::Execute(Task task) {
   // occupying serve lanes.
   if (Expired(task.request.cancel)) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(&stats_mu_);
       stats_.expired_in_queue++;
       stats_.completed++;
       stats_.inflight--;
@@ -273,7 +273,7 @@ void QueryService::Execute(Task task) {
     }
   }();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     (parallel ? stats_.ran_parallel : stats_.ran_inline)++;
     stats_.completed++;
     stats_.inflight--;

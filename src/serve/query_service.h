@@ -28,11 +28,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -40,6 +38,7 @@
 #include "core/search_backend.h"
 #include "core/types.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/threading.h"
 
@@ -174,8 +173,8 @@ class QueryService {
 
   /// One worker's deque; siblings steal from the back under `mu`.
   struct Shard {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu{"QueryService::Shard::mu", LockRank::kServeDeque};
+    std::deque<Task> tasks PARISAX_GUARDED_BY(mu);
   };
 
   QueryService(SearchBackend* backend, const QueryServiceOptions& options);
@@ -205,9 +204,9 @@ class QueryService {
   /// Tasks sitting in deques (not yet acquired). Guards the sleep/wake
   /// protocol together with wake_mu_.
   std::atomic<size_t> queued_{0};
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stopping_ = false;  // guarded by wake_mu_
+  Mutex wake_mu_{"QueryService::wake_mu_", LockRank::kServeWake};
+  CondVar wake_cv_;
+  bool stopping_ PARISAX_GUARDED_BY(wake_mu_) = false;
 
   TaskGroup inflight_;  // submitted but not yet completed
 
@@ -216,8 +215,8 @@ class QueryService {
   /// across engine calls), and stats() copies it whole — no
   /// mid-update cross-field tearing. Admission control piggybacks on
   /// the same lock, so `inflight` can never overshoot the cap.
-  mutable std::mutex stats_mu_;
-  ServeStats stats_;
+  mutable Mutex stats_mu_{"QueryService::stats_mu_", LockRank::kServeStats};
+  ServeStats stats_ PARISAX_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace parisax

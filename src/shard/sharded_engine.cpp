@@ -254,7 +254,7 @@ Result<SearchResponse> ShardedEngine::Search(SeriesView query,
 }
 
 QueryService* ShardedEngine::query_service() {
-  std::lock_guard<std::mutex> lock(service_mu_);
+  MutexLock lock(&service_mu_);
   if (service_ == nullptr) {
     QueryServiceOptions sopts;
     sopts.num_threads = options_.num_threads;
@@ -277,7 +277,7 @@ Result<AppendReport> ShardedEngine::Append(const Value* values, size_t count) {
     return Status::InvalidArgument("appended values must not be null");
   }
   WallTimer wall;
-  std::lock_guard<std::mutex> lock(append_mu_);
+  MutexLock lock(&append_mu_);
   const size_t n = shards_.size();
   const size_t length = series_length_;
   const size_t old_count = series_count_.load(std::memory_order_acquire);
@@ -334,7 +334,7 @@ Status ShardedEngine::Checkpoint(const std::string& manifest_path,
         std::string(algorithm_name()) +
         " does not support snapshots (capabilities().snapshot is false)");
   }
-  std::lock_guard<std::mutex> lock(append_mu_);
+  MutexLock lock(&append_mu_);
   const std::string dir = DirOf(manifest_path);
   const std::string base = BaseOf(manifest_path);
   const size_t n = shards_.size();

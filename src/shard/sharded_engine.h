@@ -35,13 +35,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/search_backend.h"
 #include "io/dataset.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace parisax {
@@ -148,10 +148,13 @@ class ShardedEngine : public SearchBackend {
   std::atomic<size_t> series_count_{0};
   std::atomic<uint64_t> append_epoch_{0};
   /// Serializes Append, Save and Compact: global id assignment and
-  /// checkpoint consistency. Queries never take it.
-  std::mutex append_mu_;
-  std::mutex service_mu_;
-  std::unique_ptr<QueryService> service_;  // lazily created
+  /// checkpoint consistency. Queries never take it. Ranked before any
+  /// per-shard Engine lock (kRouterAppend < kEngineAppend): the holder
+  /// fans out into Engine::Append/Save, which take the engine chain.
+  Mutex append_mu_{"ShardedEngine::append_mu_", LockRank::kRouterAppend};
+  Mutex service_mu_{"ShardedEngine::service_mu_", LockRank::kServiceInit};
+  std::unique_ptr<QueryService> service_
+      PARISAX_GUARDED_BY(service_mu_);  // lazily created
   /// Absolute data-file path backing each shard when this engine was
   /// restored by Open (MmapSource appends keep that file current, so
   /// Checkpoint can skip rewriting it); empty for built engines.

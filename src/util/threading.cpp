@@ -16,15 +16,15 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Run(const std::function<void(int)>& fn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (task_ != nullptr) {
     // A Run from inside a parallel region (or a concurrent Run from a
     // second thread) would data-race on task_ and deadlock the phase
@@ -38,8 +38,8 @@ void ThreadPool::Run(const std::function<void(int)>& fn) {
   task_ = &fn;
   active_ = num_threads_;
   ++generation_;
-  start_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return active_ == 0; });
+  start_cv_.NotifyAll();
+  while (active_ != 0) done_cv_.Wait(mu_);
   task_ = nullptr;
 }
 
@@ -60,18 +60,18 @@ void ThreadPool::WorkerLoop(int id) {
   for (;;) {
     const std::function<void(int)>* task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        start_cv_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       task = task_;
     }
     (*task)(id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_ == 0) done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--active_ == 0) done_cv_.NotifyAll();
     }
   }
 }

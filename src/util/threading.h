@@ -11,13 +11,13 @@
 #define PARISAX_UTIL_THREADING_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace parisax {
 
@@ -154,30 +154,30 @@ class InlineExecutor : public Executor {
 class TaskGroup {
  public:
   void Add(size_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     outstanding_ += n;
   }
 
   void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--outstanding_ == 0) cv_.notify_all();
+    MutexLock lock(&mu_);
+    if (--outstanding_ == 0) cv_.NotifyAll();
   }
 
   /// Blocks until every added task has called Done().
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return outstanding_ == 0; });
+    MutexLock lock(&mu_);
+    while (outstanding_ != 0) cv_.Wait(mu_);
   }
 
   size_t outstanding() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return outstanding_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  size_t outstanding_ = 0;
+  mutable Mutex mu_{"TaskGroup::mu_", LockRank::kTaskGroup};
+  CondVar cv_;
+  size_t outstanding_ PARISAX_GUARDED_BY(mu_) = 0;
 };
 
 /// A pool of `num_threads` persistent workers executing parallel regions.
@@ -207,13 +207,13 @@ class ThreadPool : public Executor {
   const int num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* task_ = nullptr;
-  uint64_t generation_ = 0;
-  int active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{"ThreadPool::mu_", LockRank::kPool};
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* task_ PARISAX_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ PARISAX_GUARDED_BY(mu_) = 0;
+  int active_ PARISAX_GUARDED_BY(mu_) = 0;
+  bool shutdown_ PARISAX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace parisax

@@ -1,0 +1,25 @@
+// Control for the negative-compile probe: the same guarded-field access
+// with the lock correctly held. This file MUST COMPILE cleanly under
+// `clang++ -Wthread-safety -Werror`; if it does not, the probe harness
+// is broken (wrong flags or include path), not the analysis.
+#include "util/mutex.h"
+
+namespace {
+
+struct Guarded {
+  parisax::Mutex mu{"negative_compile::mu", parisax::LockRank::kLeaf};
+  int value PARISAX_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  int out;
+  {
+    parisax::MutexLock lock(&g.mu);
+    g.value = 1;
+    out = g.value;
+  }
+  return out;
+}

@@ -1,0 +1,22 @@
+// Negative-compile probe: touching a PARISAX_GUARDED_BY field without
+// holding its lock. Under `clang++ -Wthread-safety -Werror` this file
+// MUST FAIL to compile; CMake's configure step asserts that it does
+// (and that the control snippet next to it still compiles), proving the
+// thread-safety analysis is actually armed rather than silently
+// expanding to no-ops.
+#include "util/mutex.h"
+
+namespace {
+
+struct Guarded {
+  parisax::Mutex mu{"negative_compile::mu", parisax::LockRank::kLeaf};
+  int value PARISAX_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.value = 1;  // guarded-field write without g.mu held: must not compile
+  return g.value;
+}
