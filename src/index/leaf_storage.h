@@ -37,10 +37,16 @@ class LeafStorage {
   Status ReadChunk(const LeafChunkRef& ref, std::vector<LeafEntry>* out);
 
   /// Total bytes appended so far.
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const {
+    MutexLock lock(&mu_);
+    return bytes_written_;
+  }
 
   /// Wall seconds spent inside (metered) appends.
-  double write_seconds() const { return write_seconds_; }
+  double write_seconds() const {
+    MutexLock lock(&mu_);
+    return write_seconds_;
+  }
 
   /// Chunks appended / read back so far (thread-safe counters).
   uint64_t chunks_appended() const {
