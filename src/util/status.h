@@ -33,7 +33,10 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Failed statuses carry a code and a
 /// free-form message. Statuses are cheap to move and to copy.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error; callers that
+/// genuinely cannot act on a failure must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -83,9 +86,10 @@ class Status {
 };
 
 /// Either a value of type T or a failed Status. Analogous to
-/// arrow::Result / absl::StatusOr.
+/// arrow::Result / absl::StatusOr. [[nodiscard]] for the same reason as
+/// Status: discarding one silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in functions returning
   /// Result<T>.
