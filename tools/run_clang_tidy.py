@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over compile_commands.json and gate on a baseline.
+
+Stdlib-only. The committed .clang-tidy selects the checks; this script
+runs them over every first-party translation unit, normalizes the
+findings to stable keys, and compares them against the committed
+baseline (tools/clang_tidy_baseline.txt):
+
+  * a finding NOT covered by the baseline fails the run (new debt);
+  * a baseline line matching nothing is reported so the baseline can be
+    tightened (stale entries never fail the run).
+
+Finding keys deliberately omit line/column numbers — `path [check] message`
+— so unrelated edits shifting code downward do not churn the baseline.
+Baseline lines are glob patterns matched against the key (`*` and `?`
+only; brackets are literal, since every key contains a [check] name), so
+one line can cover a family of accepted findings.
+
+Usage:
+  tools/run_clang_tidy.py --build-dir build            # gate
+  tools/run_clang_tidy.py --build-dir build --update-baseline
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE_HEADER = """\
+# clang-tidy baseline: accepted pre-existing findings.
+#
+# One shell-style glob pattern per line, matched against the normalized
+# finding key `path [check] message` (no line numbers; paths relative to
+# the repo root). Regenerate with:
+#   tools/run_clang_tidy.py --build-dir build --update-baseline
+# Tighten by deleting lines; the gate fails only on findings no pattern
+# covers.
+"""
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):\d+:\d+:\s+(?:warning|error):\s+"
+    r"(?P<message>.*?)\s+\[(?P<check>[^\]\s]+)\]\s*$")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def first_party_sources(build_dir, root):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        sys.exit(f"error: {path} not found; configure with "
+                 "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first")
+    with open(path) as f:
+        entries = json.load(f)
+    sources = []
+    for entry in entries:
+        src = os.path.realpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        rel = os.path.relpath(src, root)
+        # First-party TUs only: vendored/fetched dependencies under the
+        # build tree (e.g. _deps/googletest) are not ours to lint.
+        if rel.startswith(".."):
+            continue
+        top = rel.split(os.sep, 1)[0]
+        if top in ("src", "tests", "bench", "examples", "tools"):
+            sources.append(src)
+    return sorted(set(sources))
+
+
+def run_one(clang_tidy, build_dir, src):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", src],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    return proc.stdout
+
+
+def normalize(output, root):
+    keys = set()
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = os.path.realpath(m.group("path"))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            continue  # finding in a system or vendored header
+        keys.add(f"{rel} [{m.group('check')}] {m.group('message')}")
+    return keys
+
+
+def pattern_to_regex(pattern):
+    """Glob -> regex with only `*` and `?` special: finding keys contain
+    literal brackets ([check-name]), so fnmatch's character classes
+    would silently never match."""
+    parts = []
+    for ch in pattern:
+        if ch == "*":
+            parts.append(".*")
+        elif ch == "?":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+def load_baseline(path):
+    patterns = []
+    if not os.path.exists(path):
+        return patterns
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                patterns.append(line)
+    return patterns
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--baseline",
+                        default="tools/clang_tidy_baseline.txt")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: autodetect)")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 4)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's "
+                             "findings instead of gating")
+    args = parser.parse_args()
+
+    root = os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if clang_tidy is None:
+        sys.exit("error: no clang-tidy binary found on PATH "
+                 "(install clang-tidy or pass --clang-tidy)")
+
+    sources = first_party_sources(args.build_dir, root)
+    if not sources:
+        sys.exit("error: no first-party sources in compile_commands.json")
+    print(f"clang-tidy ({clang_tidy}): {len(sources)} translation units, "
+          f"{args.jobs} jobs")
+
+    findings = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, clang_tidy, args.build_dir, src)
+            for src in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            findings |= normalize(future.result(), root)
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update_baseline:
+        with open(baseline_path, "w") as f:
+            f.write(BASELINE_HEADER)
+            for key in sorted(findings):
+                f.write(key + "\n")
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    patterns = load_baseline(baseline_path)
+    compiled = [(p, pattern_to_regex(p)) for p in patterns]
+    matched_patterns = set()
+    new_findings = []
+    for key in sorted(findings):
+        for pattern, regex in compiled:
+            if regex.match(key):
+                matched_patterns.add(pattern)
+                break
+        else:
+            new_findings.append(key)
+
+    stale = [p for p in patterns if p not in matched_patterns]
+    if stale:
+        print(f"note: {len(stale)} baseline pattern(s) matched nothing "
+              "(fixed findings? tighten the baseline):")
+        for pattern in stale:
+            print(f"  {pattern}")
+
+    if new_findings:
+        print(f"FAIL: {len(new_findings)} finding(s) not covered by "
+              f"{args.baseline}:")
+        for key in new_findings:
+            print(f"  {key}")
+        print("fix them, or (for accepted debt) refresh the baseline "
+              "with --update-baseline and justify the diff in review")
+        return 1
+
+    print(f"OK: {len(findings)} finding(s), all covered by the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
