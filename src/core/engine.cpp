@@ -691,36 +691,12 @@ EngineCapabilities Engine::capabilities() const {
 
 Status Engine::CheckQuery(SeriesView query,
                           const SearchRequest& request) const {
-  if (query.size() != series_length_) {
-    return Status::InvalidArgument("query length does not match the data");
-  }
-  if (request.k == 0) return Status::InvalidArgument("k must be positive");
-
-  const EngineCapabilities caps = capabilities();
-  if (request.k > 1 && request.dtw && !caps.dtw_knn) {
-    return Status::NotSupported(
-        std::string(AlgorithmName(options_.algorithm)) +
-        " does not support k > 1 under DTW");
-  }
-  if (request.k > caps.max_k) {
-    return Status::NotSupported(
-        std::string(AlgorithmName(options_.algorithm)) +
-        " supports k <= " + std::to_string(caps.max_k) +
-        " (capabilities().max_k)");
-  }
-  if (request.dtw && !caps.dtw) {
-    return Status::NotSupported(
-        std::string(AlgorithmName(options_.algorithm)) +
-        " does not support DTW search over this source "
-        "(capabilities().dtw is false)");
-  }
-  if (request.approximate && !caps.approximate) {
-    return Status::NotSupported(
-        std::string(AlgorithmName(options_.algorithm)) +
-        " does not support approximate search (capabilities().approximate "
-        "is false)");
-  }
-  return Status::OK();
+  // The shared admission rule (core/search_backend.h): keeping it one
+  // free function lets external oracles predict this engine's typed
+  // rejections exactly.
+  return CheckRequestAgainstCapabilities(capabilities(), series_length_,
+                                         AlgorithmName(options_.algorithm),
+                                         query, request);
 }
 
 bool Engine::UsesSharedPool(const SearchRequest& request) const {

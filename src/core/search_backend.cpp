@@ -24,6 +24,39 @@ Result<SchedulingPolicy> ParseSchedulingPolicy(const std::string& name) {
   return Status::InvalidArgument("unknown scheduling policy: " + name);
 }
 
+Status CheckRequestAgainstCapabilities(const EngineCapabilities& caps,
+                                       size_t series_length,
+                                       const char* algorithm_name,
+                                       SeriesView query,
+                                       const SearchRequest& request) {
+  const std::string name(algorithm_name);
+  if (query.size() != series_length) {
+    return Status::InvalidArgument("query length does not match the data");
+  }
+  if (request.k == 0) return Status::InvalidArgument("k must be positive");
+  if (request.k > 1 && request.dtw && !caps.dtw_knn) {
+    return Status::NotSupported(name + " does not support k > 1 under DTW");
+  }
+  if (request.k > caps.max_k) {
+    return Status::NotSupported(name + " supports k <= " +
+                                std::to_string(caps.max_k) +
+                                " (capabilities().max_k)");
+  }
+  if (request.dtw && !caps.dtw) {
+    return Status::NotSupported(
+        name +
+        " does not support DTW search over this source "
+        "(capabilities().dtw is false)");
+  }
+  if (request.approximate && !caps.approximate) {
+    return Status::NotSupported(
+        name +
+        " does not support approximate search (capabilities().approximate "
+        "is false)");
+  }
+  return Status::OK();
+}
+
 std::future<Result<SearchResponse>> SearchBackend::Submit(
     SeriesView query, const SearchRequest& request) {
   return query_service()->Submit(query, request);

@@ -122,6 +122,20 @@ struct SearchResponse {
   QueryStats stats;
 };
 
+/// The one request-admission rule: validates `query`/`request` against a
+/// backend's shape and capabilities and returns the typed rejection
+/// (kInvalidArgument for malformed requests, kNotSupported for
+/// capability gaps) every backend answers with, or OK when the request
+/// must be served. Engine::Search applies exactly this function, so
+/// external oracles (the storm harness, tests/capability_gap_test.cpp)
+/// can predict a backend's rejection without a per-call-site whitelist.
+/// `algorithm_name` only flavors the error message.
+Status CheckRequestAgainstCapabilities(const EngineCapabilities& caps,
+                                       size_t series_length,
+                                       const char* algorithm_name,
+                                       SeriesView query,
+                                       const SearchRequest& request);
+
 /// Summary of one SearchBackend::Append call.
 struct AppendReport {
   /// Series added by this call.

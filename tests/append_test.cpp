@@ -21,6 +21,7 @@
 #include "io/generator.h"
 #include "persist/snapshot.h"
 #include "serve/query_service.h"
+#include "support/temp_dir.h"
 
 namespace parisax {
 namespace {
@@ -28,7 +29,8 @@ namespace {
 constexpr size_t kLength = 64;
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/append_" + name;
+  static testsupport::ScopedTempDir dir("parisax_append");
+  return dir.Path(name);
 }
 
 Dataset MakeData(size_t count, uint64_t seed = 37) {

@@ -1,0 +1,278 @@
+// Capability-table gap sweep: every capabilities()==false cell must
+// come back as the documented typed Status — never a crash, a silent
+// wrong answer, or an undifferentiated error — through all three
+// surfaces: Engine, ShardedEngine, and the wire protocol. The expected
+// Status for each probe is taken from CheckRequestAgainstCapabilities,
+// the single shared gate, so this sweep fails if an implementation
+// drifts from the documented table (docs/capabilities.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/search_backend.h"
+#include "io/generator.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "shard/sharded_engine.h"
+#include "storm/wire_client.h"
+#include "support/temp_dir.h"
+
+namespace parisax {
+namespace {
+
+constexpr size_t kLength = 64;
+
+Dataset MakeData(size_t count = 160, uint64_t seed = 97) {
+  GeneratorOptions gen;
+  gen.count = count;
+  gen.length = kLength;
+  gen.seed = seed;
+  return GenerateDataset(gen);
+}
+
+SeriesView ProbeQuery() {
+  static const Dataset* queries = new Dataset(
+      GenerateQueries(DatasetKind::kRandomWalk, 1, kLength, 11));
+  return queries->series(0);
+}
+
+EngineOptions BaseOptions(Algorithm algorithm) {
+  EngineOptions o;
+  o.algorithm = algorithm;
+  o.num_threads = 2;
+  o.tree.segments = 8;
+  o.tree.leaf_capacity = 32;
+  return o;
+}
+
+struct GapProbe {
+  std::string name;
+  SearchRequest request;
+};
+
+/// One probe per false search-capability cell of `caps`. (The append
+/// cell is probed separately — it is not a SearchRequest.)
+std::vector<GapProbe> GapProbes(const EngineCapabilities& caps) {
+  std::vector<GapProbe> probes;
+  if (caps.max_k != SIZE_MAX) {
+    SearchRequest r;
+    r.k = caps.max_k + 1;
+    probes.push_back({"k-beyond-max", r});
+  }
+  if (!caps.dtw) {
+    SearchRequest r;
+    r.dtw = true;
+    probes.push_back({"dtw", r});
+  }
+  if (!caps.dtw_knn && caps.dtw && caps.max_k >= 2) {
+    // Only reachable as a *distinct* gap where dtw and k=2 are each
+    // individually legal; elsewhere an earlier check owns the error.
+    SearchRequest r;
+    r.dtw = true;
+    r.k = 2;
+    probes.push_back({"dtw-knn", r});
+  }
+  if (!caps.approximate) {
+    SearchRequest r;
+    r.approximate = true;
+    probes.push_back({"approximate", r});
+  }
+  return probes;
+}
+
+/// Every gap probe must fail with exactly the Status the shared
+/// capability gate documents, and that Status must be kNotSupported.
+void ExpectGapsTyped(SearchBackend* backend) {
+  const EngineCapabilities caps = backend->capabilities();
+  for (const GapProbe& probe : GapProbes(caps)) {
+    const Status want = CheckRequestAgainstCapabilities(
+        caps, backend->series_length(), backend->algorithm_name(),
+        ProbeQuery(), probe.request);
+    ASSERT_FALSE(want.ok()) << backend->algorithm_name() << " " << probe.name;
+    EXPECT_EQ(want.code(), StatusCode::kNotSupported)
+        << backend->algorithm_name() << " " << probe.name;
+    auto got = backend->Search(ProbeQuery(), probe.request);
+    ASSERT_FALSE(got.ok()) << backend->algorithm_name() << " " << probe.name;
+    EXPECT_EQ(got.status().code(), want.code())
+        << backend->algorithm_name() << " " << probe.name << ": "
+        << got.status().ToString();
+  }
+}
+
+/// A backend whose capabilities say no appends must reject them typed.
+void ExpectAppendGapTyped(SearchBackend* backend) {
+  if (backend->capabilities().append) return;
+  const Dataset extra = MakeData(2, 41);
+  auto report = backend->Append(extra);
+  ASSERT_FALSE(report.ok()) << backend->algorithm_name();
+  EXPECT_EQ(report.status().code(), StatusCode::kNotSupported)
+      << backend->algorithm_name();
+}
+
+TEST(CapabilityGapTest, EngineEveryFalseCellIsTyped) {
+  for (const Algorithm algorithm :
+       {Algorithm::kBruteForce, Algorithm::kUcrSerial,
+        Algorithm::kUcrParallel, Algorithm::kAdsPlus, Algorithm::kParis,
+        Algorithm::kParisPlus, Algorithm::kMessi}) {
+    auto engine =
+        Engine::Build(SourceSpec::InMemory(MakeData()), BaseOptions(algorithm));
+    ASSERT_TRUE(engine.ok())
+        << AlgorithmName(algorithm) << ": " << engine.status().ToString();
+    ExpectGapsTyped(engine->get());
+    ExpectAppendGapTyped(engine->get());  // covers the ADS+ append cell
+  }
+}
+
+TEST(CapabilityGapTest, BorrowedSourceNarrowsAppendToTypedRejection) {
+  // Borrowed collections cannot grow, so append narrows to false even
+  // for algorithms whose table row says true.
+  const Dataset data = MakeData();
+  auto engine = Engine::Build(SourceSpec::Borrowed(&data),
+                              BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_FALSE((*engine)->capabilities().append);
+  ExpectAppendGapTyped(engine->get());
+}
+
+TEST(CapabilityGapTest, StreamedSourceNarrowsDtwToTypedRejection) {
+  // A streamed (non-addressable) source drops dtw even where the
+  // algorithm's own row supports it: the refine path cannot random-read
+  // raw series. ucr-s is the streaming-capable row with base dtw=true.
+  testsupport::ScopedTempDir dir("parisax_capgap");
+  const std::string path = dir.Path("streamed.psax");
+  ASSERT_TRUE(WriteDataset(MakeData(), path).ok());
+  auto engine = Engine::Build(SourceSpec::File(path),
+                              BaseOptions(Algorithm::kUcrSerial));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_FALSE((*engine)->capabilities().dtw);
+  ExpectGapsTyped(engine->get());
+}
+
+TEST(CapabilityGapTest, ShardedEngineEveryFalseCellIsTyped) {
+  for (const Algorithm algorithm :
+       {Algorithm::kParis, Algorithm::kParisPlus, Algorithm::kMessi}) {
+    auto sharded =
+        ShardedEngine::Build(MakeData(), 4, BaseOptions(algorithm));
+    ASSERT_TRUE(sharded.ok())
+        << AlgorithmName(algorithm) << ": " << sharded.status().ToString();
+    ExpectGapsTyped(sharded->get());
+    ExpectAppendGapTyped(sharded->get());
+  }
+}
+
+// --- the wire surface -------------------------------------------------------
+
+std::vector<Value> ProbeValues() {
+  const SeriesView view = ProbeQuery();
+  return std::vector<Value>(view.data(), view.data() + view.size());
+}
+
+/// Sends one query frame and expects a kError reply carrying the wire
+/// mapping of kNotSupported, echoing the request id.
+void ExpectWireNotSupported(uint16_t port, FrameType type,
+                            const QueryFrame& frame) {
+  storm::WireClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  ASSERT_TRUE(client.SendFrame(EncodeQueryFrame(type, frame)).ok());
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->header.type, FrameType::kError);
+  auto error = DecodeErrorFrame(reply->body);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->request_id, frame.request_id);
+  EXPECT_EQ(error->code, WireErrorFromStatus(Status::NotSupported("")));
+}
+
+TEST(CapabilityGapTest, WireRejectsMaxKAndDtwGapsTyped) {
+  // ParIS carries both "k > max_k" and "no dtw" false cells.
+  auto engine = Engine::Build(SourceSpec::InMemory(MakeData()),
+                              BaseOptions(Algorithm::kParis));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto server = Server::Start(engine->get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  QueryFrame knn;
+  knn.request_id = 21;
+  knn.k = 2;
+  knn.values = ProbeValues();
+  ExpectWireNotSupported((*server)->port(), FrameType::kKnn, knn);
+
+  QueryFrame dtw;
+  dtw.request_id = 22;
+  dtw.values = ProbeValues();
+  ExpectWireNotSupported((*server)->port(), FrameType::kDtw, dtw);
+}
+
+TEST(CapabilityGapTest, WireRejectsApproximateGapTyped) {
+  auto engine = Engine::Build(SourceSpec::InMemory(MakeData()),
+                              BaseOptions(Algorithm::kBruteForce));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto server = Server::Start(engine->get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  QueryFrame approx;
+  approx.request_id = 23;
+  approx.approximate = true;
+  approx.values = ProbeValues();
+  ExpectWireNotSupported((*server)->port(), FrameType::kQuery, approx);
+}
+
+TEST(CapabilityGapTest, WireRejectsAppendGapTyped) {
+  auto engine = Engine::Build(SourceSpec::InMemory(MakeData()),
+                              BaseOptions(Algorithm::kAdsPlus));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_FALSE((*engine)->capabilities().append);
+  auto server = Server::Start(engine->get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  AppendFrame append;
+  append.request_id = 24;
+  append.count = 1;
+  append.series_len = kLength;
+  append.values = ProbeValues();
+  storm::WireClient client;
+  ASSERT_TRUE(client.Connect((*server)->port()).ok());
+  ASSERT_TRUE(client.SendFrame(EncodeAppendFrame(append)).ok());
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->header.type, FrameType::kError);
+  auto error = DecodeErrorFrame(reply->body);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->request_id, 24u);
+  EXPECT_EQ(error->code, WireErrorFromStatus(Status::NotSupported("")));
+}
+
+TEST(CapabilityGapTest, WireCannotExpressDtwKnn) {
+  // The dtw_knn=false cell is unreachable over the wire by
+  // construction: kDtw frames are served as 1-NN regardless of the
+  // frame's k field, so a k>1 DTW request degrades to a legal query
+  // instead of an error. Pin that mapping down so a protocol change
+  // that opens the gap has to revisit this test.
+  auto engine = Engine::Build(SourceSpec::InMemory(MakeData()),
+                              BaseOptions(Algorithm::kMessi));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto server = Server::Start(engine->get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  QueryFrame dtw_knn;
+  dtw_knn.request_id = 25;
+  dtw_knn.k = 3;  // ignored by the server for kDtw
+  dtw_knn.values = ProbeValues();
+  storm::WireClient client;
+  ASSERT_TRUE(client.Connect((*server)->port()).ok());
+  ASSERT_TRUE(
+      client.SendFrame(EncodeQueryFrame(FrameType::kDtw, dtw_knn)).ok());
+  auto reply = client.ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->header.type, FrameType::kResult);
+  auto result = DecodeResultFrame(reply->body);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->request_id, 25u);
+  EXPECT_EQ(result->neighbors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parisax

@@ -12,12 +12,18 @@
 #include "io/format.h"
 #include "io/generator.h"
 #include "paris/paris_index.h"
+#include "support/failing_source.h"
+#include "support/temp_dir.h"
 
 namespace parisax {
 namespace {
 
+using testsupport::FailingSource;
+using testsupport::FailingSourceOptions;
+
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  static testsupport::ScopedTempDir dir("parisax_failure");
+  return dir.Path(name);
 }
 
 Dataset MakeData(size_t count = 1000, size_t length = 64) {
@@ -82,30 +88,6 @@ TEST(FailureTest, ParisBuildSurvivesTruncatedDataset) {
             StatusCode::kCorruption);
 }
 
-/// Non-addressable source whose reads start failing mid-collection:
-/// drives the build pipelines' error-unwinding paths deterministically.
-class FailingSource : public RawSeriesSource {
- public:
-  FailingSource(size_t count, size_t length, size_t fail_after)
-      : count_(count), length_(length), fail_after_(fail_after) {}
-
-  size_t count() const override { return count_; }
-  size_t length() const override { return length_; }
-
-  Status GetSeries(SeriesId id, Value* out) const override {
-    if (id >= fail_after_) {
-      return Status::IOError("injected read failure");
-    }
-    for (size_t i = 0; i < length_; ++i) out[i] = 0.0f;
-    return Status::OK();
-  }
-
- private:
-  const size_t count_;
-  const size_t length_;
-  const size_t fail_after_;
-};
-
 TEST(FailureTest, ParisPipelineUnwindsOnMidStreamReadError) {
   // The coordinator hits the injected read error several batches in;
   // the bulk-loading workers (and, for ParIS, the construction pool)
@@ -119,10 +101,71 @@ TEST(FailureTest, ParisPipelineUnwindsOnMidStreamReadError) {
     build.tree.leaf_capacity = 16;
     build.tree.series_length = 64;
     build.leaf_storage_path = TempPath("midstream_fail.leaves");
+    FailingSourceOptions fail;
+    fail.fail_after_id = 300;
     auto index = ParisIndex::Build(
-        std::make_unique<FailingSource>(1000, 64, 300), build);
+        std::make_unique<FailingSource>(1000, 64, fail), build);
     ASSERT_FALSE(index.ok()) << (plus ? "paris+" : "paris");
     EXPECT_EQ(index.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(FailureTest, ParisPipelineUnwindsOnByteBudgetExhaustion) {
+  // Unlike the id trip, the byte-offset trip is cumulative across all
+  // readers: the "device" dies mid-run wherever the pipeline happens to
+  // be, not at a fixed series. The unwinding contract is the same.
+  ParisBuildOptions build;
+  build.num_workers = 4;
+  build.plus_mode = true;
+  build.batch_series = 64;
+  build.tree.segments = 8;
+  build.tree.leaf_capacity = 16;
+  build.tree.series_length = 64;
+  build.leaf_storage_path = TempPath("byte_trip.leaves");
+  FailingSourceOptions fail;
+  fail.fail_at_byte_offset = 250 * 64 * sizeof(Value);
+  auto index = ParisIndex::Build(
+      std::make_unique<FailingSource>(1000, 64, fail), build);
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureTest, FailedAppendLeavesServingSnapshotUnchanged) {
+  // Scan engines route Engine::Append straight to the raw source; an
+  // injected source failure must surface the Status without growing the
+  // serving count, and later queries must still succeed.
+  FailingSourceOptions fail;
+  fail.appendable = true;
+  fail.fail_after_appends = 1;
+  EngineOptions options;
+  // ucr-s is the scan engine that accepts a streamed (non-addressable)
+  // custom source.
+  options.algorithm = Algorithm::kUcrSerial;
+  options.num_threads = 2;
+  auto engine = Engine::Build(
+      SourceSpec::Custom(std::make_unique<FailingSource>(100, 64, fail)),
+      options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE((*engine)->capabilities().append);
+
+  const Dataset extra = MakeData(3);
+  auto first = (*engine)->Append(extra);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->total_series, 103u);
+
+  auto second = (*engine)->Append(extra);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIoError);
+  EXPECT_EQ((*engine)->series_count(), 103u);
+
+  const Dataset queries =
+      GenerateQueries(DatasetKind::kRandomWalk, 2, 64, 617);
+  for (size_t q = 0; q < queries.count(); ++q) {
+    auto response = (*engine)->Search(queries.series(q), {});
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    for (const auto& n : response->neighbors) {
+      EXPECT_LT(n.id, 103u);
+    }
   }
 }
 

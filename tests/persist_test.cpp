@@ -18,12 +18,14 @@
 #include "io/mmap_source.h"
 #include "persist/checksum.h"
 #include "serve/query_service.h"
+#include "support/temp_dir.h"
 
 namespace parisax {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/persist_" + name;
+  static testsupport::ScopedTempDir dir("parisax_persist");
+  return dir.Path(name);
 }
 
 Dataset MakeData(size_t count = 1500, size_t length = 64,

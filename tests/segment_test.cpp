@@ -22,6 +22,7 @@
 #include "messi/messi_index.h"
 #include "paris/paris_index.h"
 #include "persist/snapshot.h"
+#include "support/temp_dir.h"
 
 namespace parisax {
 namespace {
@@ -29,7 +30,8 @@ namespace {
 constexpr size_t kLength = 64;
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/segment_" + name;
+  static testsupport::ScopedTempDir dir("parisax_segment");
+  return dir.Path(name);
 }
 
 Dataset MakeData(size_t count, uint64_t seed = 211) {

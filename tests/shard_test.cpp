@@ -19,6 +19,7 @@
 #include "io/generator.h"
 #include "persist/shard_manifest.h"
 #include "serve/query_service.h"
+#include "support/temp_dir.h"
 
 namespace parisax {
 namespace {
@@ -26,7 +27,8 @@ namespace {
 constexpr size_t kLength = 64;
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/shard_" + name;
+  static testsupport::ScopedTempDir dir("parisax_shard");
+  return dir.Path(name);
 }
 
 Dataset MakeData(size_t count, uint64_t seed = 71) {

@@ -1,0 +1,132 @@
+// A minimal blocking protocol client for the storm harness.
+//
+// Same shape as net_test's TestClient, but gtest-free: every failure is
+// a typed Status the runner can record (with the op index and seed)
+// instead of an ASSERT that would abort the actor thread. One client
+// per thread; instances are not thread-safe.
+#ifndef PARISAX_TESTS_STORM_WIRE_CLIENT_H_
+#define PARISAX_TESTS_STORM_WIRE_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace parisax {
+namespace storm {
+
+/// One decoded-header frame off the wire; the body is left raw for the
+/// caller to route through the right Decode*Frame by header.type.
+struct WireFrame {
+  FrameHeader header;
+  std::vector<uint8_t> body;
+};
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+  WireClient(WireClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)) {}
+  WireClient& operator=(WireClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  Status Connect(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return Status::IOError("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      Close();
+      return Status::IOError("connect() to storm server failed");
+    }
+    return Status::OK();
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  Status SendBytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    size_t sent = 0;
+    while (sent < n) {
+      const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+      if (r <= 0) return Status::IOError("send() failed (peer closed?)");
+      sent += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status SendFrame(const std::vector<uint8_t>& frame) {
+    return SendBytes(frame.data(), frame.size());
+  }
+
+  /// Blocks for one full frame. EOF (clean or mid-frame) and malformed
+  /// headers come back as typed errors; the caller decides whether EOF
+  /// was expected (it is, after header-level wire garbage).
+  Result<WireFrame> ReadFrame() {
+    uint8_t hdr[kFrameHeaderSize];
+    if (!ReadFull(hdr, kFrameHeaderSize)) {
+      return Status::IOError("eof reading frame header");
+    }
+    auto decoded = DecodeFrameHeader(hdr);
+    if (!decoded.ok()) return decoded.status();
+    WireFrame frame;
+    frame.header = *decoded;
+    frame.body.resize(decoded->body_len);
+    if (!frame.body.empty() &&
+        !ReadFull(frame.body.data(), frame.body.size())) {
+      return Status::IOError("eof reading frame body");
+    }
+    return frame;
+  }
+
+  /// True when the next read is a clean EOF (server closed after
+  /// header-level garbage). Consumes at most one byte if the peer is,
+  /// unexpectedly, still talking.
+  bool ReadEof() {
+    uint8_t b;
+    return ::recv(fd_, &b, 1, 0) == 0;
+  }
+
+ private:
+  bool ReadFull(uint8_t* buf, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, buf + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+}  // namespace storm
+}  // namespace parisax
+
+#endif  // PARISAX_TESTS_STORM_WIRE_CLIENT_H_

@@ -1,0 +1,135 @@
+#include "storm/workload_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dist/euclidean.h"
+#include "index/raw_source.h"
+#include "scan/ucr_scan.h"
+
+namespace parisax {
+namespace storm {
+namespace {
+
+/// An addressable view of the first `n` model series: exactly what the
+/// BruteForce* oracles need, with zero data movement. Only valid while
+/// the model lock is held (the base pointer moves on growth).
+class PrefixSource : public RawSeriesSource {
+ public:
+  PrefixSource(const Value* base, size_t count, size_t length)
+      : base_(base), count_(count), length_(length) {}
+
+  size_t count() const override { return count_; }
+  size_t length() const override { return length_; }
+
+  Status GetSeries(SeriesId id, Value* out) const override {
+    if (id >= count_) return Status::InvalidArgument("id out of range");
+    const Value* src = base_ + static_cast<size_t>(id) * length_;
+    std::copy(src, src + length_, out);
+    return Status::OK();
+  }
+  SeriesView TryView(SeriesId id) const override {
+    return SeriesView(base_ + static_cast<size_t>(id) * length_, length_);
+  }
+  const Value* ContiguousData() const override { return base_; }
+
+ private:
+  const Value* base_;
+  const size_t count_;
+  const size_t length_;
+};
+
+}  // namespace
+
+WorkloadModel::WorkloadModel(DatasetKind kind, uint64_t data_seed,
+                             size_t initial_count, size_t length)
+    : kind_(kind),
+      data_seed_(data_seed),
+      length_(length),
+      published_floor_(initial_count) {
+  GeneratorOptions gen;
+  gen.kind = kind;
+  gen.count = initial_count;
+  gen.length = length;
+  gen.seed = data_seed;
+  WriterLock lock(&mu_);
+  data_ = GenerateDataset(gen);
+  batch_counts_.push_back(initial_count);
+}
+
+size_t WorkloadModel::count() const {
+  ReaderLock lock(&mu_);
+  return data_.count();
+}
+
+std::vector<Value> WorkloadModel::AppendBatch(size_t count) {
+  std::vector<Value> values(count * length_);
+  {
+    ReaderLock lock(&mu_);
+    // Series `index` of the deterministic collection (kind, seed) is the
+    // same whether generated here or by GenerateDataset: the storm-grown
+    // collection IS the prefix of one fixed virtual collection.
+    for (size_t i = 0; i < count; ++i) {
+      GenerateSeriesInto(kind_, data_seed_, data_.count() + i,
+                         MutableSeriesView(values.data() + i * length_,
+                                           length_));
+    }
+  }
+  WriterLock lock(&mu_);
+  data_.Append(values.data(), count);
+  batch_counts_.push_back(data_.count());
+  return values;
+}
+
+void WorkloadModel::MarkPublished(size_t count) {
+  assert(count >= published_floor_.load());
+  published_floor_.store(count, std::memory_order_release);
+}
+
+std::vector<size_t> WorkloadModel::CandidateCounts(size_t lo,
+                                                   size_t hi) const {
+  ReaderLock lock(&mu_);
+  std::vector<size_t> counts;
+  for (const size_t c : batch_counts_) {
+    if (c >= lo && c <= hi) counts.push_back(c);
+  }
+  return counts;
+}
+
+Dataset WorkloadModel::CopyData() const {
+  ReaderLock lock(&mu_);
+  Dataset copy(data_.count(), length_);
+  std::copy(data_.raw(), data_.raw() + data_.TotalValues(),
+            copy.mutable_raw());
+  return copy;
+}
+
+Neighbor WorkloadModel::ExactNn(SeriesView query, size_t n) const {
+  ReaderLock lock(&mu_);
+  assert(n <= data_.count());
+  return BruteForceNn(PrefixSource(data_.raw(), n, length_), query);
+}
+
+std::vector<Neighbor> WorkloadModel::ExactKnn(SeriesView query, size_t k,
+                                              size_t n) const {
+  ReaderLock lock(&mu_);
+  assert(n <= data_.count());
+  return BruteForceKnn(PrefixSource(data_.raw(), n, length_), query, k);
+}
+
+Neighbor WorkloadModel::ExactDtwNn(SeriesView query, size_t band,
+                                   size_t n) const {
+  ReaderLock lock(&mu_);
+  assert(n <= data_.count());
+  return BruteForceDtwNn(PrefixSource(data_.raw(), n, length_), query,
+                         band);
+}
+
+float WorkloadModel::DistanceTo(SeriesView query, SeriesId id) const {
+  ReaderLock lock(&mu_);
+  assert(id < data_.count());
+  return SquaredEuclidean(query, data_.series(id));
+}
+
+}  // namespace storm
+}  // namespace parisax

@@ -1,0 +1,121 @@
+// Deterministic failure injection on the RawSeriesSource data plane.
+//
+// FailingSource feeds the build pipelines and the engine append path
+// exactly like a real source until a configured trip point, then
+// returns a typed kIoError — driving the error-unwinding paths (worker
+// pools, segment builders, Engine::Append's "snapshot unchanged on
+// failure" contract) on demand and without real hardware faults.
+// Shared by tests/failure_test.cpp and the storm harness
+// (tests/storm/).
+#ifndef PARISAX_TESTS_SUPPORT_FAILING_SOURCE_H_
+#define PARISAX_TESTS_SUPPORT_FAILING_SOURCE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "index/raw_source.h"
+#include "util/status.h"
+
+namespace parisax {
+namespace testsupport {
+
+struct FailingSourceOptions {
+  /// GetSeries(id) with id >= this returns kIoError ("the far half of
+  /// the device is bad"). Position-based, so the trip is independent of
+  /// read order.
+  size_t fail_after_id = std::numeric_limits<size_t>::max();
+  /// Reads fail once the *cumulative* bytes served by GetSeries reach
+  /// this ("the device dies mid-run"). Order-dependent by design — it
+  /// trips whichever reader crosses the budget first, wherever the
+  /// pipeline happens to be.
+  uint64_t fail_at_byte_offset = std::numeric_limits<uint64_t>::max();
+  /// AppendSeries calls beyond this many successful ones return
+  /// kIoError (the batch is not applied). Requires `appendable`.
+  size_t fail_after_appends = std::numeric_limits<size_t>::max();
+  /// Advertise (and implement) AppendSeries. Off by default to match
+  /// the read-only build-pipeline uses.
+  bool appendable = false;
+};
+
+/// A non-addressable source (ContiguousData() == nullptr — builds must
+/// take the streamed path, which is where the interesting unwinding
+/// lives) that serves zeros, or a wrapped delegate's data, until an
+/// injection point trips.
+class FailingSource : public RawSeriesSource {
+ public:
+  /// Synthesizes `count` zero series of `length` points.
+  FailingSource(size_t count, size_t length,
+                FailingSourceOptions options = {})
+      : count_(count), length_(length), options_(options) {}
+
+  /// Serves `delegate`'s data (through virtual per-series reads) until
+  /// an injection point trips. The delegate supplies count/length and
+  /// receives the appends that are allowed through.
+  explicit FailingSource(std::unique_ptr<RawSeriesSource> delegate,
+                         FailingSourceOptions options = {})
+      : delegate_(std::move(delegate)),
+        count_(0),
+        length_(0),
+        options_(options) {}
+
+  size_t count() const override {
+    return delegate_ != nullptr ? delegate_->count()
+                                : count_ + appended_.load();
+  }
+  size_t length() const override {
+    return delegate_ != nullptr ? delegate_->length() : length_;
+  }
+
+  Status GetSeries(SeriesId id, Value* out) const override {
+    if (id >= options_.fail_after_id) {
+      return Status::IOError("injected read failure (id trip)");
+    }
+    const size_t len = length();
+    const uint64_t bytes = bytes_read_.fetch_add(len * sizeof(Value)) +
+                           len * sizeof(Value);
+    if (bytes > options_.fail_at_byte_offset) {
+      return Status::IOError("injected read failure (byte-offset trip)");
+    }
+    if (delegate_ != nullptr) return delegate_->GetSeries(id, out);
+    for (size_t i = 0; i < len; ++i) out[i] = 0.0f;
+    return Status::OK();
+  }
+
+  bool appendable() const override { return options_.appendable; }
+
+  Status AppendSeries(const Value* values, size_t count) override {
+    if (!options_.appendable) {
+      return Status::NotSupported("FailingSource is not appendable");
+    }
+    if (appends_done_.fetch_add(1) >= options_.fail_after_appends) {
+      return Status::IOError("injected append failure");
+    }
+    if (delegate_ != nullptr) {
+      return delegate_->AppendSeries(values, count);
+    }
+    appended_.fetch_add(count);
+    return Status::OK();
+  }
+
+  /// Cumulative bytes GetSeries has served (including the read that
+  /// tripped the byte-offset injection).
+  uint64_t bytes_read() const { return bytes_read_.load(); }
+
+ private:
+  const std::unique_ptr<RawSeriesSource> delegate_;
+  const size_t count_;
+  const size_t length_;
+  const FailingSourceOptions options_;
+  mutable std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<size_t> appends_done_{0};
+  std::atomic<size_t> appended_{0};
+};
+
+}  // namespace testsupport
+}  // namespace parisax
+
+#endif  // PARISAX_TESTS_SUPPORT_FAILING_SOURCE_H_

@@ -1,0 +1,76 @@
+// One RAII temporary directory per test case (or per storm run).
+//
+// ctest runs test binaries — and gtest value-parameterized instances —
+// as separate concurrent processes, so any two cases writing the same
+// path under a shared temp root race: one process's cleanup deletes the
+// other's live file, or a half-written file from a crashed run poisons
+// the next. Every repository test that touches disk therefore takes its
+// paths from a ScopedTempDir: a mkdtemp-unique directory that is
+// removed, recursively, when the scope ends.
+//
+// Deliberately gtest-free so non-gtest harnesses (tests/storm/) can use
+// it too; it honors TMPDIR like ::testing::TempDir() does.
+#ifndef PARISAX_TESTS_SUPPORT_TEMP_DIR_H_
+#define PARISAX_TESTS_SUPPORT_TEMP_DIR_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace parisax {
+namespace testsupport {
+
+class ScopedTempDir {
+ public:
+  /// Creates "<TMPDIR or /tmp>/<prefix>.XXXXXX". `prefix` names the
+  /// owning suite in leftover-directory listings; keep it short and
+  /// path-safe.
+  explicit ScopedTempDir(const std::string& prefix = "parisax_test") {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = (base != nullptr && base[0] != '\0')
+                           ? std::string(base)
+                           : std::string("/tmp");
+    if (tmpl.back() != '/') tmpl += '/';
+    tmpl += prefix + ".XXXXXX";
+    // mkdtemp mutates its argument in place.
+    std::string buf = tmpl;
+    if (::mkdtemp(buf.data()) != nullptr) {
+      path_ = buf;
+    } else {
+      // Out of temp space or an unwritable TMPDIR: surface it at first
+      // use (Path below still returns a unique-ish name under the
+      // requested root so the failing open carries the real path).
+      std::perror("ScopedTempDir: mkdtemp");
+      path_ = tmpl;
+    }
+  }
+
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    std::error_code ec;  // best-effort: never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  /// The directory itself.
+  const std::string& path() const { return path_; }
+
+  /// "<dir>/<name>" — the drop-in replacement for the old per-file
+  /// TempPath helpers.
+  std::string Path(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace testsupport
+}  // namespace parisax
+
+#endif  // PARISAX_TESTS_SUPPORT_TEMP_DIR_H_
